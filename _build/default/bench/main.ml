@@ -1,0 +1,186 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (printed below), and times each regeneration plus the substrate
+   operations with Bechamel. *)
+
+open Bechamel
+open Toolkit
+
+let make_test name f = Test.make ~name (Staged.stage f)
+
+(* One benchmark per paper artifact. *)
+
+let bench_table1 =
+  make_test "table1:13-multipliers-LL" (fun () ->
+      ignore (Report.Experiments.table1 ()))
+
+let bench_table3 =
+  make_test "table3:wallace-ULL" (fun () ->
+      ignore (Report.Experiments.table_wallace `Ull))
+
+let bench_table4 =
+  make_test "table4:wallace-HS" (fun () ->
+      ignore (Report.Experiments.table_wallace `Hs))
+
+let bench_fig1 =
+  make_test "fig1:ptot-vs-vdd-sweeps" (fun () ->
+      ignore (Report.Experiments.figure1 ()))
+
+let bench_fig2 =
+  make_test "fig2:linearization-fit" (fun () ->
+      ignore (Report.Experiments.figure2 ()))
+
+(* Substrate micro-benchmarks. *)
+
+let calibrated_problem =
+  let row = Power_core.Paper_data.table1_find "RCA" in
+  Power_core.Calibration.problem_of_row Device.Technology.ll
+    ~f:Power_core.Paper_data.frequency row
+
+let bench_numerical_opt =
+  make_test "core:numerical-optimum" (fun () ->
+      ignore (Power_core.Numerical_opt.optimum calibrated_problem))
+
+let bench_closed_form =
+  make_test "core:eq13-closed-form" (fun () ->
+      ignore (Power_core.Closed_form.evaluate calibrated_problem))
+
+let bench_build_rca =
+  make_test "netlist:build-rca16" (fun () ->
+      ignore (Multipliers.Rca.basic ~bits:16))
+
+let bench_build_wallace =
+  make_test "netlist:build-wallace16" (fun () ->
+      ignore (Multipliers.Wallace.basic ~bits:16))
+
+let bench_sta =
+  let spec = Multipliers.Rca.basic ~bits:16 in
+  make_test "netlist:sta-rca16" (fun () ->
+      ignore (Netlist.Timing.logical_depth spec.circuit))
+
+let bench_activity =
+  let spec = Multipliers.Wallace.basic ~bits:16 in
+  make_test "logicsim:activity-wallace16-20cycles" (fun () ->
+      ignore (Multipliers.Harness.measure_activity ~cycles:20 spec))
+
+let bench_ring_oscillator =
+  make_test "spice:ring-oscillator-7st" (fun () ->
+      let config = Spice.Transient.default_config Device.Technology.ll in
+      ignore (Spice.Ring_oscillator.simulate config ~stages:7))
+
+(* Ablation benches (design choices DESIGN.md calls out). *)
+
+let bench_ablation_dibl =
+  make_test "ablation:dibl-invariance" (fun () ->
+      ignore (Power_core.Ablation.dibl_sweep calibrated_problem))
+
+let bench_ablation_linrange =
+  make_test "ablation:linearization-range" (fun () ->
+      ignore
+        (Power_core.Ablation.linearization_range_sweep ~his:[ 0.8; 1.0; 1.2 ] ()))
+
+let bench_ablation_glitch =
+  make_test "ablation:glitch-power-rca" (fun () ->
+      ignore
+        (Power_core.Ablation.glitch_ablation ~cycles:40 Device.Technology.ll
+           ~f:Power_core.Paper_data.frequency ~labels:[ "RCA" ]))
+
+let bench_frequency_sweep =
+  let params =
+    Power_core.Calibration.params_of_row Device.Technology.ll
+      ~f:Power_core.Paper_data.frequency
+      (Power_core.Paper_data.table1_find "Wallace")
+  in
+  make_test "extension:frequency-sweep" (fun () ->
+      ignore (Power_core.Ablation.frequency_sweep ~points:7 params))
+
+let bench_build_booth =
+  make_test "extension:build-booth16" (fun () ->
+      ignore (Multipliers.Booth.basic ~bits:16))
+
+let bench_build_dadda =
+  make_test "extension:build-dadda16" (fun () ->
+      ignore (Multipliers.Dadda.basic ~bits:16))
+
+let bench_energy_mep =
+  make_test "extension:minimum-energy-point" (fun () ->
+      ignore (Power_core.Energy.minimum_energy_point calibrated_problem))
+
+let bench_variation =
+  make_test "extension:variation-50-dies" (fun () ->
+      let rng = Numerics.Rng.create 2006 in
+      ignore
+        (Power_core.Variation.monte_carlo ~samples:50 ~rng calibrated_problem))
+
+let benchmarks =
+  [
+    bench_fig2;
+    bench_closed_form;
+    bench_numerical_opt;
+    bench_fig1;
+    bench_table1;
+    bench_table3;
+    bench_table4;
+    bench_build_rca;
+    bench_build_wallace;
+    bench_sta;
+    bench_activity;
+    bench_ring_oscillator;
+    bench_ablation_dibl;
+    bench_ablation_linrange;
+    bench_ablation_glitch;
+    bench_frequency_sweep;
+    bench_build_booth;
+    bench_build_dadda;
+    bench_energy_mep;
+    bench_variation;
+  ]
+
+let run_benchmarks () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.6) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-42s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 60 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          let estimate =
+            match Analyze.OLS.estimates result with
+            | Some [ e ] -> e
+            | Some _ | None -> Float.nan
+          in
+          let pretty =
+            if Float.is_nan estimate then "n/a"
+            else if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+            else if estimate > 1e6 then
+              Printf.sprintf "%.2f ms" (estimate /. 1e6)
+            else if estimate > 1e3 then
+              Printf.sprintf "%.2f us" (estimate /. 1e3)
+            else Printf.sprintf "%.0f ns" estimate
+          in
+          Printf.printf "%-42s %16s\n%!" name pretty)
+        analyzed)
+    benchmarks
+
+let () =
+  print_endline
+    "=== Reproduction of Schuster et al. (DATE 2006) - tables and figures ===\n";
+  print_string (Report.Experiments.render_figure2 (Report.Experiments.figure2 ()));
+  print_newline ();
+  print_string (Report.Experiments.render_figure1 (Report.Experiments.figure1 ()));
+  print_newline ();
+  print_string (Report.Experiments.render_table1 (Report.Experiments.table1 ()));
+  print_newline ();
+  print_string
+    (Report.Experiments.render_wallace (Report.Experiments.table_wallace `Ull));
+  print_newline ();
+  print_string
+    (Report.Experiments.render_wallace (Report.Experiments.table_wallace `Hs));
+  print_newline ();
+  print_endline "=== Timings (Bechamel) ===\n";
+  run_benchmarks ()

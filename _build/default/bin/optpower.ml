@@ -1,0 +1,580 @@
+(* optpower - command-line front end reproducing every table and figure of
+   Schuster et al., "Architectural and Technology Influence on the Optimal
+   Total Power Consumption" (DATE 2006). *)
+
+open Cmdliner
+
+let print = print_string
+
+let csv_path_arg =
+  let doc = "Also write the raw data to $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let table1_cmd =
+  let run csv =
+    let rows = Report.Experiments.table1 () in
+    print (Report.Experiments.render_table1 rows);
+    Option.iter
+      (fun path ->
+        let header =
+          [
+            "label"; "vdd"; "vth"; "pdyn_w"; "pstat_w"; "ptot_w"; "eq13_w";
+            "err_pct"; "paper_ptot_w"; "paper_err_pct";
+          ]
+        in
+        let data =
+          List.map
+            (fun (r : Report.Experiments.table1_row) ->
+              [
+                r.label;
+                string_of_float r.vdd;
+                string_of_float r.vth;
+                string_of_float r.pdyn;
+                string_of_float r.pstat;
+                string_of_float r.ptot;
+                string_of_float r.eq13;
+                string_of_float r.err_pct;
+                string_of_float r.paper.ptot;
+                string_of_float r.paper.err_pct;
+              ])
+            rows
+        in
+        Report.Csv.write_file ~path ~header ~rows:data;
+        Printf.printf "\nCSV written to %s\n" path)
+      csv
+  in
+  let doc = "Reproduce Table 1 (13 multipliers at their optimal point, LL)." in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ csv_path_arg)
+
+let wallace_cmd name which doc =
+  let run () =
+    print (Report.Experiments.render_wallace (Report.Experiments.table_wallace which))
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ const ())
+
+let table2_cmd =
+  let run () = print (Report.Experiments.render_table2 (Report.Experiments.table2 ())) in
+  let doc =
+    "Re-characterise the three technology flavors by ring-oscillator \
+     simulation (Table 2 check)."
+  in
+  Cmd.v (Cmd.info "table2" ~doc) Term.(const run $ const ())
+
+let fig1_cmd =
+  let activities =
+    let doc = "Comma-separated activity values for the curves." in
+    Arg.(value & opt (some (list float)) None & info [ "activities" ] ~doc)
+  in
+  let run activities =
+    print (Report.Experiments.render_figure1 (Report.Experiments.figure1 ?activities ()))
+  in
+  let doc = "Reproduce Figure 1 (Ptot vs Vdd at several activities)." in
+  Cmd.v (Cmd.info "fig1" ~doc) Term.(const run $ activities)
+
+let fig2_cmd =
+  let alpha =
+    let doc = "Alpha-power exponent for the linearisation plot." in
+    Arg.(value & opt float 1.5 & info [ "alpha" ] ~doc)
+  in
+  let run alpha =
+    print (Report.Experiments.render_figure2 (Report.Experiments.figure2 ~alpha ()))
+  in
+  let doc = "Reproduce Figure 2 (Vdd^(1/alpha) linearisation)." in
+  Cmd.v (Cmd.info "fig2" ~doc) Term.(const run $ alpha)
+
+let sketch_cmd =
+  let bits =
+    Arg.(value & opt int 8 & info [ "bits" ] ~doc:"Operand width.")
+  in
+  let stages =
+    Arg.(value & opt int 2 & info [ "stages" ] ~doc:"Pipeline stages.")
+  in
+  let run bits stages =
+    print
+      (Report.Experiments.pipeline_sketch ~bits ~stages
+         ~cut:Multipliers.Rca.Horizontal);
+    print_newline ();
+    print
+      (Report.Experiments.pipeline_sketch ~bits ~stages
+         ~cut:Multipliers.Rca.Diagonal)
+  in
+  let doc = "Render the pipeline register placements of Figures 3 and 4." in
+  Cmd.v (Cmd.info "sketch" ~doc) Term.(const run $ bits $ stages)
+
+let scratch_cmd =
+  let cycles =
+    Arg.(value & opt int 160 & info [ "cycles" ] ~doc:"Simulated data cycles.")
+  in
+  let run cycles =
+    print (Report.Experiments.render_scratch (Report.Experiments.scratch ~cycles ()))
+  in
+  let doc =
+    "From-scratch run: generate all thirteen netlists, simulate activity, \
+     extract parameters and optimise (no published numbers used)."
+  in
+  Cmd.v (Cmd.info "scratch" ~doc) Term.(const run $ cycles)
+
+let sweep_cmd =
+  let label =
+    Arg.(
+      value & opt string "RCA"
+      & info [ "arch" ] ~doc:"Table 1 architecture label.")
+  in
+  let run label =
+    let tech = Device.Technology.ll in
+    let f = Power_core.Paper_data.frequency in
+    let row = Power_core.Paper_data.table1_find label in
+    let problem = Power_core.Calibration.problem_of_row tech ~f row in
+    let points =
+      Power_core.Numerical_opt.sweep_vdd ~samples:25 ~vdd_lo:0.25 ~vdd_hi:1.2
+        problem
+    in
+    Printf.printf "%-8s %-8s %-10s %-10s %-10s\n" "Vdd" "Vth" "Pdyn[uW]"
+      "Pstat[uW]" "Ptot[uW]";
+    List.iter
+      (fun (p : Power_core.Numerical_opt.point) ->
+        Printf.printf "%-8.3f %-8.3f %-10.2f %-10.2f %-10.2f\n" p.vdd p.vth
+          (p.dynamic *. 1e6) (p.static *. 1e6) (p.total *. 1e6))
+      points
+  in
+  let doc = "Print the Ptot(Vdd) locus for one architecture." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ label)
+
+let ablate_cmd =
+  let which =
+    let doc = "Which ablation: dibl, glitch or linrange." in
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("dibl", `Dibl); ("glitch", `Glitch); ("linrange", `Linrange) ])) None
+      & info [] ~docv:"STUDY" ~doc)
+  in
+  let run which =
+    match which with
+    | `Dibl ->
+      let row = Power_core.Paper_data.table1_find "RCA" in
+      let problem =
+        Power_core.Calibration.problem_of_row Device.Technology.ll
+          ~f:Power_core.Paper_data.frequency row
+      in
+      print (Report.Studies.render_dibl (Power_core.Ablation.dibl_sweep problem))
+    | `Glitch ->
+      let labels =
+        [ "RCA"; "RCA hor.pipe2"; "RCA diagpipe2"; "RCA hor.pipe4";
+          "RCA diagpipe4"; "Wallace" ]
+      in
+      print
+        (Report.Studies.render_glitch
+           (Power_core.Ablation.glitch_ablation Device.Technology.ll
+              ~f:Power_core.Paper_data.frequency ~labels))
+    | `Linrange ->
+      print
+        (Report.Studies.render_lin_range
+           (Power_core.Ablation.linearization_range_sweep ()))
+  in
+  let doc = "Ablation studies (DIBL invariance, glitch power, Eq. 7 range)." in
+  Cmd.v (Cmd.info "ablate" ~doc) Term.(const run $ which)
+
+let freq_cmd =
+  let arch =
+    Arg.(value & opt string "Wallace" & info [ "arch" ] ~doc:"Table 1 label.")
+  in
+  let run label =
+    let row = Power_core.Paper_data.table1_find label in
+    let params =
+      Power_core.Calibration.params_of_row Device.Technology.ll
+        ~f:Power_core.Paper_data.frequency row
+    in
+    print
+      (Report.Studies.render_frequency
+         (Power_core.Ablation.frequency_sweep params));
+    match
+      Power_core.Tech_compare.crossover_frequency Device.Technology.hs
+        Device.Technology.ll params
+    with
+    | Some fx -> Printf.printf "\nHS/LL crossover: %.0f MHz\n" (fx /. 1e6)
+    | None -> print_endline "\nNo HS/LL crossover between 1 MHz and 1 GHz."
+  in
+  let doc = "Optimal power vs throughput per technology flavor." in
+  Cmd.v (Cmd.info "freq" ~doc) Term.(const run $ arch)
+
+let widths_cmd =
+  let run () =
+    print
+      (Report.Studies.render_width
+         (Power_core.Ablation.width_scaling Device.Technology.ll
+            ~f:Power_core.Paper_data.frequency))
+  in
+  let doc = "From-scratch optimal power vs operand width." in
+  Cmd.v (Cmd.info "widths" ~doc) Term.(const run $ const ())
+
+let extensions_cmd =
+  let run () =
+    print
+      (Report.Studies.render_extensions Device.Technology.ll
+         ~f:Power_core.Paper_data.frequency)
+  in
+  let doc = "Score the extension architectures (Booth, Dadda, parallels)." in
+  Cmd.v (Cmd.info "extensions" ~doc) Term.(const run $ const ())
+
+let prove_cmd =
+  let bits =
+    Arg.(value & opt int 8 & info [ "bits" ] ~doc:"Operand width (BDDs of \
+                                                   multipliers grow fast).")
+  in
+  let run bits =
+    let build name core =
+      let c = Netlist.Circuit.create name in
+      let a = Netlist.Circuit.add_input_bus c "a" bits in
+      let b = Netlist.Circuit.add_input_bus c "b" bits in
+      let p = core c ~a ~b in
+      Netlist.Circuit.mark_output_bus c p "p";
+      c
+    in
+    let reference = build "rca" Multipliers.Rca.core in
+    Printf.printf
+      "BDD equivalence proofs against the %d-bit RCA core (shared \
+       hash-consed manager):\n" bits;
+    List.iter
+      (fun (name, core) ->
+        match Netlist.Bdd.check_equivalence reference (build name core) with
+        | Netlist.Bdd.Equivalent ->
+          Printf.printf "  %-8s EQUIVALENT (proven for all 2^%d input \
+                         pairs)\n%!" name (2 * bits)
+        | Netlist.Bdd.Inequivalent o ->
+          Printf.printf "  %-8s DIFFERS at output %s\n%!" name o
+        | Netlist.Bdd.Aborted ->
+          Printf.printf "  %-8s ABORTED - node budget exhausted (try fewer \
+                         bits)\n%!" name)
+      [
+        ("wallace", Multipliers.Wallace.core);
+        ("dadda", Multipliers.Dadda.core);
+        ("booth", Multipliers.Booth.core);
+      ]
+  in
+  let doc =
+    "Formally prove the multiplier cores equivalent (BDD-based \
+     combinational equivalence checking)."
+  in
+  Cmd.v (Cmd.info "prove" ~doc) Term.(const run $ bits)
+
+let faults_cmd =
+  let bits =
+    Arg.(value & opt int 8 & info [ "bits" ] ~doc:"Operand width.")
+  in
+  let vectors =
+    Arg.(value & opt int 32 & info [ "vectors" ] ~doc:"Random test vectors.")
+  in
+  let run bits vectors =
+    let build core =
+      let c = Netlist.Circuit.create "dut" in
+      let a = Netlist.Circuit.add_input_bus c "a" bits in
+      let b = Netlist.Circuit.add_input_bus c "b" bits in
+      let p = core c ~a ~b in
+      Netlist.Circuit.mark_output_bus c p "p";
+      (c, p)
+    in
+    Printf.printf
+      "Single-stuck-at coverage of %d random vectors (%d-bit cores):\n" vectors
+      bits;
+    List.iter
+      (fun (name, core) ->
+        let c, p = build core in
+        let rng = Numerics.Rng.create 17 in
+        let vecs = Logicsim.Faults.random_vectors ~rng ~circuit:c ~count:vectors in
+        let cov =
+          Logicsim.Faults.coverage c ~vectors:vecs ~outputs:(Array.to_list p)
+        in
+        Printf.printf "  %-8s %5.1f%% of %d faults (%d undetected)\n%!" name
+          cov.coverage_pct cov.total
+          (List.length cov.undetected))
+      [
+        ("RCA", Multipliers.Rca.core);
+        ("Wallace", Multipliers.Wallace.core);
+        ("Dadda", Multipliers.Dadda.core);
+        ("Booth", Multipliers.Booth.core);
+      ]
+  in
+  let doc = "Stuck-at fault coverage of random vectors on the bare cores." in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ bits $ vectors)
+
+let explore_cmd =
+  let cycles =
+    Arg.(value & opt int 100 & info [ "cycles" ] ~doc:"Simulated data cycles.")
+  in
+  let run cycles =
+    print
+      (Report.Studies.render_exploration ~cycles
+         ~f:Power_core.Paper_data.frequency ())
+  in
+  let doc =
+    "Design-space exploration: all 17 architectures on all three flavors, \
+     from scratch."
+  in
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ cycles)
+
+let export_cmd =
+  let arch =
+    Arg.(value & opt string "Wallace" & info [ "arch" ] ~doc:"Catalog label.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE"
+           ~doc:"Output path (default: stdout).")
+  in
+  let run label out =
+    let entry = Multipliers.Catalog.find label in
+    let spec = entry.build () in
+    match out with
+    | Some path ->
+      Netlist.Verilog.write_file ~path spec.circuit;
+      Printf.printf "Wrote %s (%d cells) to %s\n" label
+        (Netlist.Circuit.cell_count spec.circuit)
+        path
+    | None -> print (Netlist.Verilog.to_string spec.circuit)
+  in
+  let doc = "Export a generated multiplier as structural Verilog." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ arch $ out)
+
+let vcd_cmd =
+  let arch =
+    Arg.(value & opt string "Wallace" & info [ "arch" ] ~doc:"Catalog label.")
+  in
+  let out =
+    Arg.(value & opt string "trace.vcd" & info [ "o" ] ~docv:"FILE"
+           ~doc:"Output VCD path.")
+  in
+  let cycles =
+    Arg.(value & opt int 16 & info [ "cycles" ] ~doc:"Data cycles to record.")
+  in
+  let run label out cycles =
+    let entry = Multipliers.Catalog.find label in
+    let spec = entry.build () in
+    let sim = Multipliers.Harness.fresh_simulator spec in
+    let nets =
+      Array.to_list (Array.mapi (fun i n -> (n, Printf.sprintf "p%d" i)) spec.p_bus)
+      @ Array.to_list (Array.mapi (fun i n -> (n, Printf.sprintf "a%d" i)) spec.a_bus)
+    in
+    let vcd = Logicsim.Vcd.create sim ~nets in
+    let rng = Numerics.Rng.create 11 in
+    let bound = 1 lsl spec.bits in
+    for cycle = 0 to cycles - 1 do
+      Logicsim.Bus.drive sim spec.a_bus (Numerics.Rng.int rng bound);
+      Logicsim.Bus.drive sim spec.b_bus (Numerics.Rng.int rng bound);
+      Logicsim.Simulator.settle sim;
+      for _ = 1 to spec.ticks_per_cycle do
+        Logicsim.Simulator.clock_tick sim;
+        Logicsim.Simulator.settle sim
+      done;
+      Logicsim.Vcd.sample vcd ~time:(float_of_int (cycle * 10))
+    done;
+    Logicsim.Vcd.write_file ~path:out vcd;
+    Printf.printf "Recorded %d cycles of %s to %s\n" cycles label out
+  in
+  let doc = "Simulate a multiplier with random stimulus and dump a VCD." in
+  Cmd.v (Cmd.info "vcd" ~doc) Term.(const run $ arch $ out $ cycles)
+
+let trace_cmd =
+  let arch =
+    Arg.(value & opt string "Wallace" & info [ "arch" ] ~doc:"Catalog label.")
+  in
+  let cycles =
+    Arg.(value & opt int 50 & info [ "cycles" ] ~doc:"Data cycles to record.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o" ] ~docv:"FILE" ~doc:"Write the CSV here.")
+  in
+  let run label cycles out =
+    let entry = Multipliers.Catalog.find label in
+    let spec = entry.build () in
+    let sim = Multipliers.Harness.fresh_simulator spec in
+    let rng = Numerics.Rng.create 23 in
+    let drive =
+      Logicsim.Activity.random_drive ~rng ~buses:[ spec.a_bus; spec.b_bus ]
+    in
+    let trace =
+      Logicsim.Power_trace.record ~ticks_per_cycle:spec.ticks_per_cycle
+        ~vdd:1.2 ~cycles ~drive sim
+    in
+    Printf.printf
+      "%s: %d cycles at Vdd=1.2 V - average %.3g pJ/cycle, peak %.3g pJ, \
+       peak/average %.2f\n"
+      label cycles
+      (trace.average_energy *. 1e12)
+      (trace.peak_energy *. 1e12)
+      trace.peak_to_average;
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Logicsim.Power_trace.to_csv trace);
+      close_out oc;
+      Printf.printf "CSV written to %s\n" path
+    | None -> ()
+  in
+  let doc = "Per-cycle switching-energy trace under random stimulus." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ arch $ cycles $ out)
+
+let check_cmd =
+  let samples =
+    Arg.(value & opt int 4 & info [ "samples" ] ~doc:"Random pairs per design.")
+  in
+  let run samples =
+    let all = Multipliers.Catalog.entries @ Multipliers.Catalog.extensions in
+    let failures = ref 0 in
+    List.iter
+      (fun (entry : Multipliers.Catalog.entry) ->
+        let spec = entry.build () in
+        let stats = Multipliers.Spec.stats spec in
+        let corner = Multipliers.Harness.check_corners spec in
+        let random = Multipliers.Harness.check_random ~seed:1 spec ~samples in
+        let bad = List.length corner + List.length random in
+        if bad > 0 then incr failures;
+        Printf.printf "%-18s N=%5d LDeff=%6.1f  %s\n%!" entry.label
+          stats.cell_total
+          (Multipliers.Spec.logical_depth_effective spec)
+          (if bad = 0 then "OK" else Printf.sprintf "%d FAILURES" bad))
+      all;
+    if !failures > 0 then begin
+      Printf.printf "\n%d designs FAILED\n" !failures;
+      exit 1
+    end
+    else Printf.printf "\nAll %d designs multiply correctly.\n" (List.length all)
+  in
+  let doc =
+    "Self-test: every generated design (paper set + extensions) against \
+     integer multiplication."
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ samples)
+
+let energy_cmd =
+  let arch =
+    Arg.(value & opt string "Wallace" & info [ "arch" ] ~doc:"Table 1 label.")
+  in
+  let run label =
+    let row = Power_core.Paper_data.table1_find label in
+    let problem =
+      Power_core.Calibration.problem_of_row Device.Technology.ll
+        ~f:Power_core.Paper_data.frequency row
+    in
+    let points = Power_core.Energy.sweep problem in
+    let mep = Power_core.Energy.minimum_energy_point problem in
+    print (Report.Studies.render_energy points mep);
+    Printf.printf
+      "\nThe paper's 31.25 MHz operating point costs %.2fx the MEP energy.\n"
+      (mep.overhead_at Power_core.Paper_data.frequency)
+  in
+  let doc = "Energy per operation vs throughput; minimum energy point." in
+  Cmd.v (Cmd.info "energy" ~doc) Term.(const run $ arch)
+
+let variation_cmd =
+  let arch =
+    Arg.(value & opt string "Wallace" & info [ "arch" ] ~doc:"Table 1 label.")
+  in
+  let samples =
+    Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Monte Carlo dies.")
+  in
+  let run label samples =
+    let row = Power_core.Paper_data.table1_find label in
+    let problem =
+      Power_core.Calibration.problem_of_row Device.Technology.ll
+        ~f:Power_core.Paper_data.frequency row
+    in
+    let rng = Numerics.Rng.create 2006 in
+    print
+      (Report.Studies.render_variation
+         (Power_core.Variation.monte_carlo ~samples ~rng problem))
+  in
+  let doc = "Process-variation Monte Carlo on the optimal working point." in
+  Cmd.v (Cmd.info "variation" ~doc) Term.(const run $ arch $ samples)
+
+let thermal_cmd =
+  let arch =
+    Arg.(value & opt string "Wallace" & info [ "arch" ] ~doc:"Table 1 label.")
+  in
+  let instances =
+    Arg.(value & opt int 2000
+         & info [ "instances" ]
+             ~doc:"Multiplier instances on the die (one is thermally inert).")
+  in
+  let run label instances =
+    let f = Power_core.Paper_data.frequency in
+    let base = Device.Technology.ll in
+    let row = Power_core.Paper_data.table1_find label in
+    let problem0 = Power_core.Calibration.problem_of_row base ~f row in
+    let optimum_at (tech : Device.Technology.t) =
+      (* Leakage magnifies with die temperature; the 300 K calibration of
+         everything else stands. *)
+      let heated =
+        {
+          problem0 with
+          Power_core.Power_law.tech = tech;
+          params =
+            {
+              problem0.params with
+              Power_core.Arch_params.io_cell =
+                problem0.params.io_cell *. tech.io /. base.io;
+            };
+        }
+      in
+      float_of_int instances
+      *. (Power_core.Numerical_opt.optimum heated).total
+    in
+    let rows =
+      List.map
+        (fun r_th -> (r_th, Device.Thermal.self_heating ~r_th ~optimum_at base))
+        [ 0.0; 40.0; 100.0; 200.0 ]
+    in
+    Printf.printf "%d instances of '%s' on one die:\n" instances label;
+    print (Report.Studies.render_thermal rows)
+  in
+  let doc = "Self-heating fixpoint: die temperature vs package R_th." in
+  Cmd.v (Cmd.info "thermal" ~doc) Term.(const run $ arch $ instances)
+
+let all_cmd =
+  let run () =
+    print (Report.Experiments.render_figure2 (Report.Experiments.figure2 ()));
+    print_newline ();
+    print (Report.Experiments.render_figure1 (Report.Experiments.figure1 ()));
+    print_newline ();
+    print (Report.Experiments.render_table1 (Report.Experiments.table1 ()));
+    print_newline ();
+    print (Report.Experiments.render_wallace (Report.Experiments.table_wallace `Ull));
+    print_newline ();
+    print (Report.Experiments.render_wallace (Report.Experiments.table_wallace `Hs))
+  in
+  let doc = "Reproduce every calibrated table and figure in one run." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc =
+    "Reproduction of 'Architectural and Technology Influence on the Optimal \
+     Total Power Consumption' (Schuster et al., DATE 2006)"
+  in
+  Cmd.group (Cmd.info "optpower" ~version:"1.0.0" ~doc)
+    [
+      table1_cmd;
+      wallace_cmd "table3" `Ull "Reproduce Table 3 (Wallace family, ULL).";
+      wallace_cmd "table4" `Hs "Reproduce Table 4 (Wallace family, HS).";
+      table2_cmd;
+      fig1_cmd;
+      fig2_cmd;
+      sketch_cmd;
+      scratch_cmd;
+      sweep_cmd;
+      ablate_cmd;
+      freq_cmd;
+      widths_cmd;
+      extensions_cmd;
+      explore_cmd;
+      faults_cmd;
+      prove_cmd;
+      export_cmd;
+      vcd_cmd;
+      check_cmd;
+      trace_cmd;
+      energy_cmd;
+      variation_cmd;
+      thermal_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/architecture_exploration.ml: Device Power_core Printf String

@@ -1,0 +1,1 @@
+examples/pipelining_study.ml: Device Multipliers Netlist Power_core Printf Report

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Device Format Multipliers Power_core Printf

@@ -1,0 +1,1 @@
+examples/robustness_study.ml: Device List Numerics Power_core Printf Report

@@ -1,0 +1,1 @@
+examples/technology_selection.ml: Device List Power_core Printf

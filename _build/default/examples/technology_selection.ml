@@ -1,0 +1,65 @@
+(* Technology selection with the optimal-power model (Section 5).
+
+   Given one architecture and a throughput target, which flavor of the
+   process — Ultra Low Leakage, Low Leakage or High Speed — allows the
+   lowest total power at its optimal (Vdd, Vth)? The paper's answer:
+   the moderate trade-off (LL) wins at 31.25 MHz; extreme flavors lose.
+   This example reproduces that and then sweeps the frequency axis to
+   show where the ranking flips.
+
+   Run with: dune exec examples/technology_selection.exe *)
+
+let () =
+  let f0 = Power_core.Paper_data.frequency in
+  let wallace = Power_core.Paper_data.table1_find "Wallace" in
+  let params =
+    Power_core.Calibration.params_of_row Device.Technology.ll ~f:f0 wallace
+  in
+
+  Printf.printf "Architecture: %s (N=%.0f, a=%.4f, LDeff=%.1f)\n\n"
+    params.label params.n_cells params.activity params.ld_eff;
+
+  let show_ranking f =
+    Printf.printf "f = %.4g MHz:\n" (f /. 1e6);
+    let entries = Power_core.Tech_compare.rank ~f params in
+    List.iteri
+      (fun i (e : Power_core.Tech_compare.entry) ->
+        match e.numerical with
+        | Some p ->
+          Printf.printf "  %d. %-4s Ptot = %8.1f uW  (Vdd %.3f, Vth %.3f)\n"
+            (i + 1)
+            (Device.Technology.name e.tech)
+            (p.total *. 1e6) p.vdd p.vth
+        | None ->
+          Printf.printf "  %d. %-4s cannot meet timing\n" (i + 1)
+            (Device.Technology.name e.tech))
+      entries
+  in
+  show_ranking f0;
+  print_newline ();
+  show_ranking 2e6;
+  print_newline ();
+  show_ranking 250e6;
+  print_newline ();
+
+  (match
+     Power_core.Tech_compare.crossover_frequency Device.Technology.hs
+       Device.Technology.ll params
+   with
+  | Some f ->
+    Printf.printf
+      "HS overtakes LL at ~%.0f MHz: past that throughput, the slow-but-\n\
+       frugal flavor must burn so much Vdd/Vth margin that raw speed wins.\n"
+      (f /. 1e6)
+  | None ->
+    print_endline "No HS/LL crossover between 1 MHz and 1 GHz.");
+  match
+    Power_core.Tech_compare.crossover_frequency Device.Technology.ull
+      Device.Technology.ll params
+  with
+  | Some f ->
+    Printf.printf
+      "ULL overtakes LL below ~%.2f MHz: with almost nothing switching,\n\
+       leakage is everything.\n"
+      (f /. 1e6)
+  | None -> print_endline "No ULL/LL crossover between 1 MHz and 1 GHz."

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Arch_params Calibration Closed_form Device Float List Multipliers Numerical_opt Paper_data Power_law Scratch_pipeline Tech_compare

@@ -1,0 +1,1 @@
+lib/core/ablation.mli: Arch_params Device Power_law

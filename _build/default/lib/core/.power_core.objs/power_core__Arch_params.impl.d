@@ -1,0 +1,1 @@
+lib/core/arch_params.ml: Device Format Multipliers Netlist

@@ -1,0 +1,1 @@
+lib/core/arch_params.mli: Device Format Multipliers

@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Arch_params Device Float List Numerical_opt Numerics Paper_data Power_law

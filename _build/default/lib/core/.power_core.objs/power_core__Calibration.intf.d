@@ -1,0 +1,1 @@
+lib/core/calibration.mli: Arch_params Device Paper_data Power_law

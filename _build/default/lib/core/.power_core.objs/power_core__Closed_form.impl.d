@@ -1,0 +1,1 @@
+lib/core/closed_form.ml: Arch_params Device Float Power_law Printf

@@ -1,0 +1,1 @@
+lib/core/energy.ml: Float List Numerical_opt Numerics Power_law

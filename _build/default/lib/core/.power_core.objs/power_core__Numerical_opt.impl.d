@@ -1,0 +1,1 @@
+lib/core/numerical_opt.ml: Float List Numerics Power_law

@@ -1,0 +1,1 @@
+lib/core/numerical_opt.mli: Power_law

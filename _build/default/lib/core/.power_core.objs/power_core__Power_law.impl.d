@@ -1,0 +1,1 @@
+lib/core/power_law.ml: Arch_params Device Float Numerics

@@ -1,0 +1,1 @@
+lib/core/power_law.mli: Arch_params Device

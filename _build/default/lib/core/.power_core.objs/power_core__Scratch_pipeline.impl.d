@@ -1,0 +1,1 @@
+lib/core/scratch_pipeline.ml: Arch_params Closed_form Device List Multipliers Netlist Numerical_opt Option Power_law

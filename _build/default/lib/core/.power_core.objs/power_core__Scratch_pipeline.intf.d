@@ -1,0 +1,1 @@
+lib/core/scratch_pipeline.mli: Arch_params Closed_form Device Multipliers Numerical_opt

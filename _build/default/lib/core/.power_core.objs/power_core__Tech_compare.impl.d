@@ -1,0 +1,1 @@
+lib/core/tech_compare.ml: Arch_params Closed_form Device Float List Numerical_opt Numerics Power_law

@@ -1,0 +1,1 @@
+lib/core/tech_compare.mli: Arch_params Closed_form Device Numerical_opt

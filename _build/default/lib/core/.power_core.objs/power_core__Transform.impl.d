@@ -1,0 +1,1 @@
+lib/core/transform.ml: Arch_params Closed_form Power_law Printf

@@ -1,0 +1,1 @@
+lib/core/transform.mli: Arch_params Closed_form Device

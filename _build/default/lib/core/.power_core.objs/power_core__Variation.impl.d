@@ -1,0 +1,1 @@
+lib/core/variation.ml: Arch_params Float List Numerical_opt Numerics Power_law

@@ -1,0 +1,1 @@
+lib/core/variation.mli: Numerical_opt Numerics Power_law

@@ -1,0 +1,114 @@
+type dibl_row = {
+  eta : float;
+  vth_effective : float;
+  vth0_required : float;
+  ptot : float;
+}
+
+let dibl_sweep ?(etas = [ 0.0; 0.04; 0.08; 0.12; 0.16 ]) problem =
+  (* The whole optimisation lives in effective-threshold space (DIBL already
+     applied); eta only maps the result back to the Vth0 a device must
+     provide: Vth0 = Vth_eff + eta * Vdd (Eq. 3). *)
+  let optimum = Numerical_opt.optimum problem in
+  List.map
+    (fun eta ->
+      {
+        eta;
+        vth_effective = optimum.vth;
+        vth0_required = optimum.vth +. (eta *. optimum.vdd);
+        ptot = optimum.total;
+      })
+    etas
+
+type glitch_row = {
+  label : string;
+  activity_full : float;
+  activity_no_glitch : float;
+  ptot_full : float;
+  ptot_no_glitch : float;
+  glitch_power_pct : float;
+}
+
+let glitch_ablation ?(cycles = 120) tech ~f ~labels =
+  let run label =
+    let entry = Multipliers.Catalog.find label in
+    let spec = entry.build () in
+    let row = Scratch_pipeline.run_spec ~cycles tech ~f spec in
+    let params = row.params in
+    let activity_no_glitch = params.activity *. (1.0 -. row.glitch_ratio) in
+    let quiet = { params with Arch_params.activity = activity_no_glitch } in
+    let quiet_opt = Numerical_opt.optimum (Power_law.make tech quiet ~f) in
+    {
+      label;
+      activity_full = params.activity;
+      activity_no_glitch;
+      ptot_full = row.numerical.Power_law.total;
+      ptot_no_glitch = quiet_opt.Power_law.total;
+      glitch_power_pct =
+        100.0
+        *. (row.numerical.Power_law.total -. quiet_opt.Power_law.total)
+        /. row.numerical.Power_law.total;
+    }
+  in
+  List.map run labels
+
+type lin_range_row = { hi : float; max_abs_err_pct : float }
+
+let linearization_range_sweep ?(his = [ 0.6; 0.8; 1.0; 1.2; 1.4; 1.6 ]) () =
+  let tech = Device.Technology.ll in
+  let f = Paper_data.frequency in
+  let score hi =
+    let lin = Device.Linearization.fit ~alpha:tech.alpha ~hi () in
+    let worst =
+      List.fold_left
+        (fun acc row ->
+          let problem = Calibration.problem_of_row tech ~f row in
+          let opt = Numerical_opt.optimum problem in
+          let cf = Closed_form.evaluate ~lin problem in
+          Float.max acc
+            (Float.abs
+               (100.0 *. (cf.Closed_form.ptot -. opt.Power_law.total)
+               /. opt.Power_law.total)))
+        0.0 Paper_data.table1
+    in
+    { hi; max_abs_err_pct = worst }
+  in
+  List.map score his
+
+type freq_point = { f : float; per_tech : (string * float option) list }
+
+let frequency_sweep ?(f_lo = 1e6) ?(f_hi = 500e6) ?(points = 13) params =
+  if points < 2 then invalid_arg "Ablation.frequency_sweep: points < 2";
+  let step =
+    (Float.log f_hi -. Float.log f_lo) /. float_of_int (points - 1)
+  in
+  List.init points (fun i ->
+      let f = Float.exp (Float.log f_lo +. (float_of_int i *. step)) in
+      let per_tech =
+        List.map
+          (fun tech ->
+            let entries = Tech_compare.rank ~techs:[ tech ] ~f params in
+            let total =
+              match entries with
+              | [ { numerical = Some p; _ } ] -> Some p.Power_law.total
+              | [ _ ] | [] | _ :: _ :: _ -> None
+            in
+            (Device.Technology.name tech, total))
+          Device.Technology.all
+      in
+      { f; per_tech })
+
+type width_row = { bits : int; rca_ptot : float; wallace_ptot : float }
+
+let width_scaling ?(widths = [ 8; 12; 16; 20; 24 ]) ?(cycles = 80) tech ~f =
+  let optimum spec =
+    (Scratch_pipeline.run_spec ~cycles tech ~f spec).numerical.Power_law.total
+  in
+  List.map
+    (fun bits ->
+      {
+        bits;
+        rca_ptot = optimum (Multipliers.Rca.basic ~bits);
+        wallace_ptot = optimum (Multipliers.Wallace.basic ~bits);
+      })
+    widths

@@ -1,0 +1,72 @@
+(** Ablations and extensions of the paper's analysis — each probes one
+    modelling choice DESIGN.md calls out.
+
+    - DIBL: the paper notes Eq. 13 no longer contains η; {!dibl_sweep}
+      demonstrates it constructively — the optimum (in effective-threshold
+      space) is invariant, only the zero-bias Vth0 the device must provide
+      shifts with η.
+    - Glitch accounting: {!glitch_ablation} recomputes the optimum with
+      glitch transitions removed from the activity, quantifying how much of
+      each architecture's optimal power is glitch power (the effect that
+      decides horizontal vs diagonal pipelining).
+    - Linearisation range: {!linearization_range_sweep} scores the Eq. 13
+      error as a function of the Eq. 7 fitting range, justifying the
+      paper's 0.3–1.0 V choice.
+    - Frequency: {!frequency_sweep} extends Section 5 along the throughput
+      axis, exposing the technology crossovers. *)
+
+type dibl_row = {
+  eta : float;
+  vth_effective : float;  (** Optimal effective threshold, V. *)
+  vth0_required : float;  (** Zero-bias threshold the device must offer. *)
+  ptot : float;  (** Optimal total power, W. *)
+}
+
+val dibl_sweep :
+  ?etas:float list -> Power_law.problem -> dibl_row list
+(** Default η ∈ {0, 0.04, 0.08, 0.12, 0.16}. [ptot] and [vth_effective]
+    are η-invariant by construction; the table shows it. *)
+
+type glitch_row = {
+  label : string;
+  activity_full : float;
+  activity_no_glitch : float;
+  ptot_full : float;
+  ptot_no_glitch : float;
+  glitch_power_pct : float;  (** Share of the optimum caused by glitches. *)
+}
+
+val glitch_ablation :
+  ?cycles:int -> Device.Technology.t -> f:float -> labels:string list ->
+  glitch_row list
+(** From-scratch measurement per catalog label, with and without glitch
+    transitions in the activity. *)
+
+type lin_range_row = {
+  hi : float;  (** Upper end of the fitting range (lower end fixed 0.3 V). *)
+  max_abs_err_pct : float;  (** Worst |Eq13 − numerical| over Table 1. *)
+}
+
+val linearization_range_sweep : ?his:float list -> unit -> lin_range_row list
+
+type freq_point = {
+  f : float;
+  per_tech : (string * float option) list;
+      (** Technology name → optimal Ptot (W), [None] if infeasible. *)
+}
+
+val frequency_sweep :
+  ?f_lo:float -> ?f_hi:float -> ?points:int -> Arch_params.t -> freq_point list
+(** Log-spaced sweep (default 1–500 MHz, 13 points) over the three STM
+    flavors, parameters adapted per flavor as in {!Tech_compare}. *)
+
+type width_row = {
+  bits : int;
+  rca_ptot : float;
+  wallace_ptot : float;
+}
+
+val width_scaling :
+  ?widths:int list -> ?cycles:int -> Device.Technology.t -> f:float ->
+  width_row list
+(** From-scratch optimal power vs operand width for the two flat cores. *)

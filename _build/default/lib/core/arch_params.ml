@@ -1,0 +1,47 @@
+type t = {
+  label : string;
+  n_cells : float;
+  activity : float;
+  avg_cap : float;
+  io_cell : float;
+  ld_eff : float;
+  area : float;
+}
+
+let of_spec ?(seed = 7) ?(cycles = 160) ?(wire_caps = true)
+    (tech : Device.Technology.t) (spec : Multipliers.Spec.t) =
+  let stats = Multipliers.Spec.stats spec in
+  let avg_cap =
+    if wire_caps then begin
+      let placement = Netlist.Placement.place spec.circuit in
+      (Netlist.Placement.refine_stats spec.circuit placement)
+        .avg_cap_with_wires
+    end
+    else stats.avg_switched_cap
+  in
+  let measured = Multipliers.Harness.measure_activity ~seed ~cycles spec in
+  {
+    label = spec.name;
+    n_cells = float_of_int stats.cell_total;
+    activity = measured.activity;
+    avg_cap;
+    io_cell = stats.avg_leak_factor *. tech.io;
+    ld_eff = Multipliers.Spec.logical_depth_effective spec;
+    area = stats.area;
+  }
+
+let scale ?(n_cells = 1.0) ?(activity = 1.0) ?(avg_cap = 1.0) ?(io_cell = 1.0)
+    ?(ld_eff = 1.0) t =
+  {
+    t with
+    n_cells = t.n_cells *. n_cells;
+    activity = t.activity *. activity;
+    avg_cap = t.avg_cap *. avg_cap;
+    io_cell = t.io_cell *. io_cell;
+    ld_eff = t.ld_eff *. ld_eff;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: N=%.0f, a=%.4f, C=%.1f fF, Io_cell=%.3g A, LDeff=%.2f, area=%.0f"
+    t.label t.n_cells t.activity (t.avg_cap *. 1e15) t.io_cell t.ld_eff t.area

@@ -1,0 +1,37 @@
+(** Architectural parameters of a circuit as the power model sees it —
+    the per-row quantities of Table 1. *)
+
+type t = {
+  label : string;
+  n_cells : float;  (** N — number of cells. *)
+  activity : float;  (** a — switching cells per data cycle / N (glitches
+      included; > 1 possible for sequential designs). *)
+  avg_cap : float;  (** C — average switched capacitance per cell, F. *)
+  io_cell : float;  (** Average off-current per cell at Vgs = Vth, A
+      (the leakage "Io" of Eqs. 1 and 13). *)
+  ld_eff : float;  (** LDeff — effective logical depth in inverter-delay
+      units, measured against the data clock. *)
+  area : float;  (** µm², informational. *)
+}
+
+val of_spec :
+  ?seed:int ->
+  ?cycles:int ->
+  ?wire_caps:bool ->
+  Device.Technology.t ->
+  Multipliers.Spec.t ->
+  t
+(** Extract parameters from a generated multiplier: N / area / average
+    capacitance and leakage from the netlist statistics, activity from an
+    event-driven simulation with random stimulus, LDeff from static timing
+    analysis. [wire_caps] (default true) folds placement-estimated wiring
+    into C ({!Netlist.Placement}). This is the paper's "synthesis +
+    annotated simulation" flow, rebuilt. *)
+
+val scale :
+  ?n_cells:float -> ?activity:float -> ?avg_cap:float -> ?io_cell:float ->
+  ?ld_eff:float -> t -> t
+(** Multiply selected fields — the vocabulary used by
+    {!Transform} to express architecture transformations. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type result = {
+  vdd_opt : float;
+  vth_opt : float;
+  ptot : float;
+  ptot_eq11 : float;
+  chi : float;
+  one_minus_chi_a : float;
+}
+
+exception Infeasible of string
+
+let evaluate ?lin (t : Power_law.problem) =
+  let tech = t.tech and p = t.params in
+  let lin =
+    match lin with
+    | Some l -> l
+    | None -> Device.Linearization.fit ~alpha:tech.alpha ()
+  in
+  let n_ut = Device.Technology.n_ut tech in
+  let chi = Power_law.chi_linear t in
+  let one_minus_chi_a = 1.0 -. (chi *. lin.a) in
+  if one_minus_chi_a <= 0.0 then
+    raise
+      (Infeasible
+         (Printf.sprintf
+            "%s: chi*A = %.3f >= 1 — architecture too slow for f=%.3g Hz"
+            p.Arch_params.label (chi *. lin.a) t.f));
+  let a_c_f = p.activity *. p.avg_cap *. t.f in
+  let log_arg = p.io_cell *. one_minus_chi_a /. (2.0 *. a_c_f *. n_ut) in
+  if log_arg <= 0.0 || not (Float.is_finite log_arg) then
+    raise (Infeasible (p.Arch_params.label ^ ": Eq. 9 logarithm undefined"));
+  (* Eq. 9 rearranged: optimal effective threshold. *)
+  let vth_opt = n_ut *. Float.log log_arg in
+  (* Eq. 10. *)
+  let vdd_opt = (vth_opt +. (chi *. lin.b)) /. one_minus_chi_a in
+  if vdd_opt <= 0.0 then
+    raise (Infeasible (p.Arch_params.label ^ ": non-positive optimal Vdd"));
+  (* Eq. 11: exact total power expression at the optimum. *)
+  let ptot_eq11 =
+    a_c_f *. p.n_cells *. vdd_opt
+    *. (vdd_opt +. (2.0 *. n_ut /. one_minus_chi_a))
+  in
+  (* Eq. 13: the closed form. *)
+  let bracket =
+    (n_ut *. (Float.log log_arg +. 1.0)) +. (chi *. lin.b)
+  in
+  let ptot =
+    a_c_f *. p.n_cells /. (one_minus_chi_a *. one_minus_chi_a)
+    *. bracket *. bracket
+  in
+  { vdd_opt; vth_opt; ptot; ptot_eq11; chi; one_minus_chi_a }
+
+let ptot_eq13 ?lin t = (evaluate ?lin t).ptot

@@ -1,0 +1,34 @@
+(** The paper's contribution: the closed-form approximation of the optimal
+    working point — Eqs. 7–13.
+
+    Linearising Vdd^(1/α) ≈ A·Vdd + B (Eq. 7) makes the timing constraint
+    affine, Vth ≈ Vdd·(1 − χA) − χB (Eq. 8); zeroing dPtot/dVdd then gives
+    the optimal threshold (Eq. 9), supply (Eq. 10) and, substituting back,
+    the famous closed-form total power (Eq. 13):
+
+      Ptot ≈ a·C·N·f / (1−χA)² · [ n·Ut·(ln(Io·(1−χA)/(2aCf·n·Ut)) + 1) + χB ]²
+*)
+
+type result = {
+  vdd_opt : float;  (** Eq. 10. *)
+  vth_opt : float;  (** From Eq. 9: n·Ut · ln(Io·(1−χA)/(2aCf·n·Ut)). *)
+  ptot : float;  (** Eq. 13, W. *)
+  ptot_eq11 : float;  (** The un-approximated Eq. 11 at vdd_opt, W. *)
+  chi : float;  (** χ (linear form). *)
+  one_minus_chi_a : float;  (** The critical (1 − χA) factor. *)
+}
+
+exception Infeasible of string
+(** Raised when (1 − χA) ≤ 0 or the Eq. 9 logarithm's argument is not
+    positive: the architecture cannot meet timing in the linearised model
+    (χ too large — an extremely slow architecture at this frequency). *)
+
+val evaluate :
+  ?lin:Device.Linearization.t -> Power_law.problem -> result
+(** Closed-form optimum for the problem. [lin] defaults to the fit over the
+    paper's 0.3–1.0 V range for the problem's technology α.
+    @raise Infeasible (see above). *)
+
+val ptot_eq13 :
+  ?lin:Device.Linearization.t -> Power_law.problem -> float
+(** Just Eq. 13. *)

@@ -1,0 +1,39 @@
+(** Energy-per-operation analysis — the other side of the optimal-power
+    coin.
+
+    The paper fixes the throughput and minimises power. Dividing the
+    optimal power by the throughput gives the energy of one multiplication;
+    as f falls, dynamic energy falls (lower Vdd suffices) but each
+    operation leaks for longer — the classic U-shape whose bottom is the
+    Minimum Energy Point (MEP). This module sweeps the throughput axis
+    under the same freely-adjustable Vdd/Vth premise. *)
+
+val energy_per_op : Power_law.problem -> float
+(** [Ptot_opt / f], joules. *)
+
+type sweep_point = {
+  f : float;
+  energy : float;  (** J per operation. *)
+  ptot : float;  (** W. *)
+  vdd : float;
+  vth : float;
+}
+
+val sweep :
+  ?f_lo:float -> ?f_hi:float -> ?points:int ->
+  Power_law.problem -> sweep_point list
+(** Log-spaced throughput sweep (default 0.1–500 MHz, 25 points),
+    re-optimising (Vdd, Vth) at every point. *)
+
+type mep = {
+  f_mep : float;  (** Throughput of the minimum-energy point, Hz. *)
+  energy_mep : float;  (** J per operation at the MEP. *)
+  vdd_mep : float;
+  overhead_at : float -> float;
+      (** [overhead_at f]: energy at throughput [f] relative to the MEP
+          (≥ 1). *)
+}
+
+val minimum_energy_point :
+  ?f_lo:float -> ?f_hi:float -> Power_law.problem -> mep
+(** Golden-section search on log-frequency. *)

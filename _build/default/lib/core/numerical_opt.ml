@@ -1,0 +1,39 @@
+type point = Power_law.breakdown
+
+let ptot_on_constraint problem vdd =
+  if vdd <= 0.0 then infinity
+  else begin
+    let b = Power_law.at problem ~vdd in
+    if Float.is_finite b.total then b.total else infinity
+  end
+
+let optimum ?(vdd_lo = 0.05) ?(vdd_hi = 3.0) ?(samples = 256) problem =
+  let r =
+    Numerics.Minimize.grid_then_golden ~samples ~tol:1e-9
+      ~f:(ptot_on_constraint problem) vdd_lo vdd_hi
+  in
+  Power_law.at problem ~vdd:r.x
+
+let optimum_grid2 ?(vdd_range = (0.05, 2.0)) ?(vth_range = (-0.2, 0.8))
+    ?(samples = 400) problem =
+  let vdd_lo, vdd_hi = vdd_range and vth_lo, vth_hi = vth_range in
+  let cost vdd vth =
+    if vdd <= 0.0 || not (Power_law.meets_timing problem ~vdd ~vth) then
+      infinity
+    else (Power_law.at_free problem ~vdd ~vth).total
+  in
+  let r =
+    Numerics.Minimize.grid2 ~f:cost ~x0_range:(vdd_lo, vdd_hi)
+      ~x1_range:(vth_lo, vth_hi) ~samples
+  in
+  Power_law.at_free problem ~vdd:r.x0 ~vth:r.x1
+
+let sweep_vdd ?(samples = 200) ~vdd_lo ~vdd_hi problem =
+  if samples < 2 then invalid_arg "Numerical_opt.sweep_vdd: samples < 2";
+  let step = (vdd_hi -. vdd_lo) /. float_of_int (samples - 1) in
+  List.init samples (fun i ->
+      let vdd = vdd_lo +. (float_of_int i *. step) in
+      Power_law.at problem ~vdd)
+
+let dyn_static_ratio (p : point) =
+  if p.static = 0.0 then infinity else p.dynamic /. p.static

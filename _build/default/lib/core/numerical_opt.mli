@@ -1,0 +1,37 @@
+(** Full numerical optimisation of the working point — the reference against
+    which the closed form's < 3 % error claim is checked (Section 3), and
+    the machinery behind Figure 1. *)
+
+type point = Power_law.breakdown
+
+val ptot_on_constraint : Power_law.problem -> float -> float
+(** Total power at a supply, threshold set by the timing constraint.
+    Returns [infinity] for supplies whose implied threshold is absurd
+    (vdd ≤ 0). *)
+
+val optimum :
+  ?vdd_lo:float -> ?vdd_hi:float -> ?samples:int ->
+  Power_law.problem -> point
+(** One-dimensional search over Vdd on the constraint locus (grid scan to
+    localise, golden section to refine). Default search range
+    0.05–3.0 V. *)
+
+val optimum_grid2 :
+  ?vdd_range:float * float ->
+  ?vth_range:float * float ->
+  ?samples:int ->
+  Power_law.problem -> point
+(** Brute-force reference: minimise over all feasible (Vdd, Vth) couples on
+    a dense grid (Vth free, feasibility = meets timing). Validates that the
+    constrained 1-D search loses nothing — a positive slack never helps
+    (the argument below Eq. 5). *)
+
+val sweep_vdd :
+  ?samples:int -> vdd_lo:float -> vdd_hi:float ->
+  Power_law.problem -> point list
+(** Ptot(Vdd) along the constraint locus — one Figure 1 curve. Points whose
+    implied threshold is negative are included (the paper's curves extend
+    there); callers may filter. *)
+
+val dyn_static_ratio : point -> float
+(** Pdyn/Pstat — the ratio annotated at each optimum in Figure 1. *)

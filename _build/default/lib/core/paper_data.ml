@@ -1,0 +1,124 @@
+type table1_row = {
+  label : string;
+  n_cells : int;
+  area : float;
+  activity : float;
+  ld_eff : float;
+  vdd : float;
+  vth : float;
+  pdyn : float;
+  pstat : float;
+  ptot : float;
+  ptot_eq13 : float;
+  err_pct : float;
+}
+
+type wallace_row = {
+  w_label : string;
+  w_vdd : float;
+  w_vth : float;
+  w_ptot : float;
+  w_ptot_eq13 : float;
+  w_err_pct : float;
+}
+
+let frequency = 31.25e6
+let lin_a = 0.671
+let lin_b = 0.347
+
+let uw x = x *. 1e-6
+
+let row label n_cells area activity ld_eff vdd vth pdyn pstat ptot ptot_eq13
+    err_pct =
+  {
+    label;
+    n_cells;
+    area;
+    activity;
+    ld_eff;
+    vdd;
+    vth;
+    pdyn = uw pdyn;
+    pstat = uw pstat;
+    ptot = uw ptot;
+    ptot_eq13 = uw ptot_eq13;
+    err_pct;
+  }
+
+(* Table 1 verbatim (f = 31.25 MHz, STM CMOS09 LL). *)
+let table1 =
+  [
+    row "RCA" 608 11038. 0.5056 61. 0.478 0.213 154.86 36.57 191.44 191.09
+      0.182;
+    row "RCA parallel" 1256 22223. 0.2624 30.5 0.395 0.233 117.20 30.37
+      147.57 150.29 (-1.844);
+    row "RCA parallel 4" 2455 43735. 0.1344 15.75 0.359 0.256 100.51 26.39
+      126.90 129.93 (-2.384);
+    row "RCA hor.pipe2" 672 12458. 0.3904 40. 0.423 0.225 100.51 25.27 125.78
+      127.25 (-1.166);
+    row "RCA hor.pipe4" 800 15298. 0.2944 28. 0.394 0.238 81.54 20.94 102.48
+      104.34 (-1.819);
+    row "RCA diagpipe2" 670 12684. 0.4064 26. 0.407 0.224 98.65 25.50 124.15
+      126.11 (-1.581);
+    row "RCA diagpipe4" 812 15762. 0.3456 14. 0.366 0.233 82.83 22.52 105.35
+      108.04 (-2.559);
+    row "Wallace" 729 11928. 0.2976 17. 0.372 0.236 56.69 15.17 71.86 73.56
+      (-2.376);
+    row "Wallace parallel" 1465 23993. 0.1568 8. 0.341 0.256 55.64 15.06
+      70.69 72.58 (-2.676);
+    row "Wallace par4" 2939 47271. 0.0832 4.75 0.333 0.277 58.04 15.26 73.30
+      75.01 (-2.335);
+    row "Sequential" 290 4954. 2.9152 224. 0.824 0.173 1134.00 184.48 1318.48
+      1318.94 (-0.035);
+    row "Seq4_16" 351 6132. 0.2464 120. 0.711 0.228 184.69 31.59 216.29
+      212.62 1.696;
+    row "Seq parallel" 322 7276. 1.3280 168. 0.817 0.192 888.19 142.07
+      1030.26 1028.97 0.124;
+  ]
+
+let wrow w_label w_vdd w_vth ptot eq13 w_err_pct =
+  {
+    w_label;
+    w_vdd;
+    w_vth;
+    w_ptot = uw ptot;
+    w_ptot_eq13 = uw eq13;
+    w_err_pct;
+  }
+
+(* Table 3: Wallace family, ULL technology. *)
+let table3_ull =
+  [
+    wrow "Wallace" 0.409 0.231 84.79 86.03 (-1.47);
+    wrow "Wallace parallel" 0.363 0.253 76.24 78.02 (-2.33);
+    wrow "Wallace par4" 0.360 0.281 80.61 82.21 (-1.98);
+  ]
+
+(* Table 4: Wallace family, HS technology. *)
+let table4_hs =
+  [
+    wrow "Wallace" 0.398 0.328 99.56 100.33 (-0.78);
+    wrow "Wallace parallel" 0.383 0.349 110.27 111.39 (-1.01);
+    wrow "Wallace par4" 0.390 0.376 118.89 119.99 (-0.93);
+  ]
+
+let table1_find label =
+  match List.find_opt (fun r -> r.label = label) table1 with
+  | Some r -> r
+  | None -> raise Not_found
+
+let wallace_ll =
+  List.filter_map
+    (fun r ->
+      if String.starts_with ~prefix:"Wallace" r.label then
+        Some
+          {
+            w_label = r.label;
+            w_vdd = r.vdd;
+            w_vth = r.vth;
+            w_ptot = r.ptot;
+            w_ptot_eq13 = r.ptot_eq13;
+            w_err_pct = r.err_pct;
+          }
+      else None)
+    table1

@@ -1,0 +1,52 @@
+(** Published reference values — Tables 1, 3 and 4 of the paper, kept
+    verbatim for calibration and for paper-vs-measured reporting.
+    (Table 2, the technology parameters, lives in {!Device.Technology}.) *)
+
+type table1_row = {
+  label : string;
+  n_cells : int;
+  area : float;  (** µm² *)
+  activity : float;
+  ld_eff : float;
+  vdd : float;  (** Optimal supply, V. *)
+  vth : float;  (** Optimal threshold, V. *)
+  pdyn : float;  (** W (the paper prints µW). *)
+  pstat : float;  (** W *)
+  ptot : float;  (** Numerical optimum, W. *)
+  ptot_eq13 : float;  (** Closed-form value, W. *)
+  err_pct : float;  (** Published Eq. 13 error, %. *)
+}
+
+type wallace_row = {
+  w_label : string;
+  w_vdd : float;
+  w_vth : float;
+  w_ptot : float;  (** W *)
+  w_ptot_eq13 : float;  (** W *)
+  w_err_pct : float;
+}
+
+val frequency : float
+(** 31.25 MHz — the throughput clock of every experiment. *)
+
+val lin_a : float
+(** A = 0.671 — the paper's published Eq. 7 slope for α = 1.86. *)
+
+val lin_b : float
+(** B = 0.347 — the published intercept. *)
+
+val table1 : table1_row list
+(** Thirteen rows, LL technology, Table 1 order. *)
+
+val table3_ull : wallace_row list
+(** Wallace family on ULL (Table 3). *)
+
+val table4_hs : wallace_row list
+(** Wallace family on HS (Table 4). *)
+
+val table1_find : string -> table1_row
+(** @raise Not_found *)
+
+val wallace_ll : wallace_row list
+(** The three Wallace rows of Table 1 reshaped as {!wallace_row}, so the
+    three technologies can be iterated uniformly. *)

@@ -1,0 +1,72 @@
+type problem = {
+  tech : Device.Technology.t;
+  params : Arch_params.t;
+  f : float;
+  chi_prime : float;
+}
+
+(* (e * n * Ut / alpha)^alpha — the drive normalisation of Eq. 2. *)
+let drive_norm (tech : Device.Technology.t) =
+  (Float.exp 1.0 *. Device.Technology.n_ut tech /. tech.alpha) ** tech.alpha
+
+let chi_prime_of_tech (tech : Device.Technology.t) ~ld_eff ~f =
+  f *. ld_eff
+  *. Device.Technology.gate_zeta tech
+  *. drive_norm tech /. tech.io
+
+let chi_prime_of_point (tech : Device.Technology.t) ~vdd ~vth =
+  if vdd <= vth then
+    invalid_arg "Power_law.chi_prime_of_point: vdd must exceed vth";
+  ((vdd -. vth) ** tech.alpha) /. vdd
+
+let make tech params ~f =
+  {
+    tech;
+    params;
+    f;
+    chi_prime = chi_prime_of_tech tech ~ld_eff:params.Arch_params.ld_eff ~f;
+  }
+
+let make_calibrated tech params ~f ~vdd_ref ~vth_ref =
+  { tech; params; f; chi_prime = chi_prime_of_point tech ~vdd:vdd_ref ~vth:vth_ref }
+
+let at_frequency t ~f =
+  if f <= 0.0 then invalid_arg "Power_law.at_frequency: f <= 0";
+  { t with f; chi_prime = t.chi_prime *. f /. t.f }
+
+let chi_linear t = t.chi_prime ** (1.0 /. t.tech.alpha)
+
+let vth_of_vdd t vdd =
+  if vdd <= 0.0 then invalid_arg "Power_law.vth_of_vdd: vdd <= 0";
+  vdd -. ((t.chi_prime *. vdd) ** (1.0 /. t.tech.alpha))
+
+let vdd_of_vth t vth =
+  let f vdd = vth_of_vdd t vdd -. vth in
+  (* vth_of_vdd is increasing in vdd for vdd above a small floor. *)
+  Numerics.Rootfind.brent ~f (Float.max 1e-6 (vth +. 1e-9)) 20.0
+
+let pdyn t ~vdd =
+  let p = t.params in
+  p.Arch_params.activity *. p.n_cells *. p.avg_cap *. t.f *. vdd *. vdd
+
+let pstat t ~vdd ~vth =
+  let p = t.params in
+  p.Arch_params.n_cells *. vdd *. p.io_cell
+  *. Float.exp (-.vth /. Device.Technology.n_ut t.tech)
+
+type breakdown = {
+  vdd : float;
+  vth : float;
+  dynamic : float;
+  static : float;
+  total : float;
+}
+
+let at_free t ~vdd ~vth =
+  let dynamic = pdyn t ~vdd and static = pstat t ~vdd ~vth in
+  { vdd; vth; dynamic; static; total = dynamic +. static }
+
+let at t ~vdd = at_free t ~vdd ~vth:(vth_of_vdd t vdd)
+
+let meets_timing t ~vdd ~vth =
+  vdd > vth && ((vdd -. vth) ** t.tech.alpha) /. vdd >= t.chi_prime

@@ -1,0 +1,76 @@
+(** The fundamental power and timing equations — Eqs. 1–6 of the paper.
+
+    A {!problem} ties an architecture, a technology and a throughput
+    frequency together with the timing-constraint coefficient χ′ defined by
+
+      (Vdd − Vth)^α = χ′ · Vdd            (Eq. 5, exact form)
+
+    where χ′ = f · LD · ζ_gate · (e·n·Ut/α)^α / Io  (Eq. 6). Every supply
+    voltage then implies the unique threshold that makes the critical path
+    exactly meet the clock — the locus on which the optimum lives. *)
+
+type problem = {
+  tech : Device.Technology.t;
+  params : Arch_params.t;
+  f : float;  (** Data (throughput) clock frequency, Hz. *)
+  chi_prime : float;  (** Timing coefficient χ′ of Eq. 5/6. *)
+}
+
+val chi_prime_of_tech :
+  Device.Technology.t -> ld_eff:float -> f:float -> float
+(** Eq. 6 from first principles: the technology's per-gate ζ and drive
+    current set the gate delay, LDeff gates must fit in 1/f. *)
+
+val chi_prime_of_point :
+  Device.Technology.t -> vdd:float -> vth:float -> float
+(** χ′ back-solved from a known on-constraint operating point —
+    [(vdd − vth)^α / vdd]. Used to calibrate against published optima. *)
+
+val make : Device.Technology.t -> Arch_params.t -> f:float -> problem
+(** Problem with χ′ from {!chi_prime_of_tech}. *)
+
+val make_calibrated :
+  Device.Technology.t -> Arch_params.t -> f:float ->
+  vdd_ref:float -> vth_ref:float -> problem
+(** Problem with χ′ from a reference operating point. *)
+
+val at_frequency : problem -> f:float -> problem
+(** The same architecture and technology at another throughput: χ′ scales
+    proportionally with f (Eq. 6), preserving whichever calibration built
+    the problem. *)
+
+val chi_linear : problem -> float
+(** χ = χ′^(1/α) — the coefficient multiplying (A·Vdd + B) in Eq. 8. *)
+
+val vth_of_vdd : problem -> float -> float
+(** The threshold imposed by the timing constraint at a given supply
+    (Eq. 5): [vdd − (χ′·vdd)^(1/α)]. May be negative — such supplies
+    cannot meet timing with a physical threshold. *)
+
+val vdd_of_vth : problem -> float -> float
+(** Inverse of {!vth_of_vdd} (monotone; solved numerically).
+    @raise Numerics.Rootfind.No_bracket if no supply in (vth, 20 V] works. *)
+
+val pdyn : problem -> vdd:float -> float
+(** Dynamic power [a·N·C·f·Vdd²] (Eq. 1), W. *)
+
+val pstat : problem -> vdd:float -> vth:float -> float
+(** Static power [N·Vdd·Io_cell·exp(−Vth/(n·Ut))] (Eq. 1), W. *)
+
+type breakdown = {
+  vdd : float;
+  vth : float;
+  dynamic : float;
+  static : float;
+  total : float;
+}
+
+val at : problem -> vdd:float -> breakdown
+(** Power on the timing-constraint locus at the given supply. *)
+
+val at_free : problem -> vdd:float -> vth:float -> breakdown
+(** Power at an arbitrary (possibly infeasible) couple — used by the
+    two-dimensional maps of Figure 1. *)
+
+val meets_timing : problem -> vdd:float -> vth:float -> bool
+(** Whether the couple satisfies the speed requirement (delay ≤ 1/f). *)

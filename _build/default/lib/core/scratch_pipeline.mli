@@ -1,0 +1,33 @@
+(** The from-scratch reproduction pipeline (DESIGN.md experiment SCRATCH):
+    generate the netlists, simulate activity, run STA, extract parameters
+    and optimise — no published numbers involved anywhere. Absolute values
+    differ from the paper (our cell library is generic), but the shape —
+    which architecture wins, where parallelisation stops paying — is the
+    reproduction target. *)
+
+type row = {
+  params : Arch_params.t;
+  glitch_ratio : float;
+  numerical : Numerical_opt.point;
+  eq13 : Closed_form.result option;  (** [None] if Eq. 13 is infeasible. *)
+}
+
+val run_spec :
+  ?seed:int -> ?cycles:int -> ?wire_caps:bool ->
+  Device.Technology.t -> f:float -> Multipliers.Spec.t -> row
+(** [wire_caps] (default true) folds placement-estimated wiring
+    capacitance ({!Netlist.Placement}) into the per-cell average C. *)
+
+val run_label :
+  ?seed:int -> ?cycles:int -> ?wire_caps:bool ->
+  Device.Technology.t -> f:float -> string -> row
+(** Build the catalog entry with that Table 1 label and run it.
+    @raise Not_found for an unknown label. *)
+
+val run_all :
+  ?seed:int -> ?cycles:int -> ?wire_caps:bool ->
+  Device.Technology.t -> f:float -> unit -> row list
+(** All thirteen architectures, Table 1 order. *)
+
+val eq13_error_pct : row -> float option
+(** Signed (Eq. 13 − numerical) / numerical in %, when feasible. *)

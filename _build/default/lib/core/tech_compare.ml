@@ -1,0 +1,81 @@
+type entry = {
+  tech : Device.Technology.t;
+  closed_form : Closed_form.result option;
+  numerical : Numerical_opt.point option;
+}
+
+let adapt_params ~(reference : Device.Technology.t)
+    (tech : Device.Technology.t) (params : Arch_params.t) =
+  {
+    params with
+    Arch_params.io_cell = params.io_cell *. tech.io /. reference.io;
+    avg_cap = params.avg_cap *. tech.cell_cap /. reference.cell_cap;
+  }
+
+let evaluate ?(reference = Device.Technology.ll) tech ~f params =
+  let problem = Power_law.make tech (adapt_params ~reference tech params) ~f in
+  let closed_form =
+    match Closed_form.evaluate problem with
+    | result -> Some result
+    | exception Closed_form.Infeasible _ -> None
+  in
+  let numerical =
+    match closed_form with
+    | None -> None
+    | Some _ -> Some (Numerical_opt.optimum problem)
+  in
+  { tech; closed_form; numerical }
+
+let rank ?(techs = Device.Technology.all) ?reference ~f params =
+  let entries = List.map (fun tech -> evaluate ?reference tech ~f params) techs in
+  let key e =
+    match e.numerical with
+    | Some p -> p.Power_law.total
+    | None -> infinity
+  in
+  List.sort (fun a b -> Float.compare (key a) (key b)) entries
+
+let best ~entries = List.find_opt (fun e -> e.numerical <> None) entries
+
+let crossover_frequency ?(f_lo = 1e6) ?(f_hi = 1e9) tech_a tech_b params =
+  let diff f =
+    let total tech =
+      match (evaluate tech ~f params).numerical with
+      | Some p -> p.Power_law.total
+      | None -> infinity
+    in
+    let a = total tech_a and b = total tech_b in
+    (* An infeasible flavor counts as infinitely bad; only both-infeasible
+       is undefined. *)
+    if Float.is_finite a || Float.is_finite b then a -. b else Float.nan
+  in
+  (* Localise a sign change on a log-frequency grid (the difference can be
+     undefined at the extremes where both flavors fail timing), then bisect
+     inside the bracketing interval. *)
+  let samples = 25 in
+  let lf_lo = Float.log f_lo and lf_hi = Float.log f_hi in
+  let step = (lf_hi -. lf_lo) /. float_of_int (samples - 1) in
+  let grid =
+    List.init samples (fun i ->
+        let lf = lf_lo +. (float_of_int i *. step) in
+        (lf, diff (Float.exp lf)))
+  in
+  let defined = List.filter (fun (_, d) -> not (Float.is_nan d)) grid in
+  let rec bracket = function
+    | (lf0, d0) :: ((lf1, d1) :: _ as rest) ->
+      if (d0 < 0.0 && d1 > 0.0) || (d0 > 0.0 && d1 < 0.0) then Some (lf0, lf1)
+      else bracket rest
+    | [ _ ] | [] -> None
+  in
+  match bracket defined with
+  | None -> None
+  | Some (lf0, lf1) ->
+    let finite_diff lf =
+      let d = diff (Float.exp lf) in
+      if Float.is_nan d then 0.0
+      else if d = Float.infinity then 1e30
+      else if d = Float.neg_infinity then -1e30
+      else d
+    in
+    let log_root = Numerics.Rootfind.bisect ~tol:1e-4 ~f:finite_diff lf0 lf1 in
+    Some (Float.exp log_root)

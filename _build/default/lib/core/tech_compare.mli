@@ -1,0 +1,43 @@
+(** Technology selection (Section 5): rank technology flavors by the
+    optimal total power they allow a given architecture at a given
+    throughput. *)
+
+type entry = {
+  tech : Device.Technology.t;
+  closed_form : Closed_form.result option;
+      (** [None] when the flavor cannot meet timing (Infeasible). *)
+  numerical : Numerical_opt.point option;
+}
+
+val adapt_params :
+  reference:Device.Technology.t ->
+  Device.Technology.t ->
+  Arch_params.t ->
+  Arch_params.t
+(** Re-express parameters extracted on [reference] for another flavor: the
+    per-cell leakage scales with the technology's Io and the switched
+    capacitance with its average cell capacitance (the paper's explanation
+    of why HS loses: higher C, higher leakage). N, a and LDeff are
+    netlist properties and stay. *)
+
+val rank :
+  ?techs:Device.Technology.t list ->
+  ?reference:Device.Technology.t ->
+  f:float ->
+  Arch_params.t ->
+  entry list
+(** Evaluate each technology (default: the three STM flavors) on the
+    architecture; parameters are adapted from [reference] (default LL, the
+    flavor the architectures were characterised on); sorted by numerical
+    optimal Ptot, infeasible flavors last. χ′ is derived from each
+    technology's own ζ and Io (Eq. 6). *)
+
+val best : entries:entry list -> entry option
+(** First feasible entry. *)
+
+val crossover_frequency :
+  ?f_lo:float -> ?f_hi:float ->
+  Device.Technology.t -> Device.Technology.t -> Arch_params.t -> float option
+(** Throughput at which two flavors swap rank (bisection on the Ptot
+    difference), if one exists in the range — the "moderate trade-off wins
+    in the middle" picture of Section 5. *)

@@ -1,0 +1,88 @@
+type t = {
+  name : string;
+  apply : Arch_params.t -> Arch_params.t;
+  description : string;
+}
+
+let parallelize ?(overhead_cells = 0.06) ?(activity_overhead = 0.08) ~copies
+    () =
+  if copies < 2 then invalid_arg "Transform.parallelize: copies < 2";
+  let k = float_of_int copies in
+  {
+    name = Printf.sprintf "parallelize x%d" copies;
+    description =
+      "replicate the datapath and multiplex operands/results across copies; \
+       each copy gets k data periods (relaxed timing) at the cost of k x \
+       cells plus muxing overhead";
+    apply =
+      (fun p ->
+        Arch_params.scale
+          ~n_cells:(k *. (1.0 +. overhead_cells))
+          ~activity:((1.0 +. activity_overhead) /. k)
+          ~ld_eff:(1.0 /. k) p);
+  }
+
+let pipeline_horizontal ?(register_fraction = 0.10) ~stages () =
+  if stages < 2 then invalid_arg "Transform.pipeline_horizontal: stages < 2";
+  let s = float_of_int stages in
+  (* The merge row cannot be split by straight row cuts: LD shrinks with a
+     fixed-cost floor (empirically ~55% at 2 stages, ~45% at 4 for the RCA
+     family — Table 1: 61 -> 40 -> 28). *)
+  let ld_scale = (1.0 /. s) +. (0.4 *. (1.0 -. (1.0 /. s))) in
+  {
+    name = Printf.sprintf "pipeline horizontal x%d" stages;
+    description =
+      "register banks straight across the array rows (Figure 3); glitch \
+       barriers also reduce activity";
+    apply =
+      (fun p ->
+        Arch_params.scale
+          ~n_cells:(1.0 +. (register_fraction *. (s -. 1.0)))
+          ~activity:(0.88 ** (s -. 1.0))
+          ~ld_eff:ld_scale p);
+  }
+
+let pipeline_diagonal ?(glitch_penalty = 0.04) ~stages () =
+  if stages < 2 then invalid_arg "Transform.pipeline_diagonal: stages < 2";
+  let s = float_of_int stages in
+  (* Diagonal cuts slice the merge ripple too: nearly ideal 1/s. *)
+  let ld_scale = (1.0 /. s) +. (0.12 *. (1.0 -. (1.0 /. s))) in
+  {
+    name = Printf.sprintf "pipeline diagonal x%d" stages;
+    description =
+      "register banks along diagonals (Figure 4): shortest stages, but the \
+       wider path-delay spread adds glitching";
+    apply =
+      (fun p ->
+        Arch_params.scale
+          ~n_cells:(1.0 +. (0.10 *. (s -. 1.0)))
+          ~activity:((0.88 ** (s -. 1.0)) *. (1.0 +. glitch_penalty))
+          ~ld_eff:ld_scale p);
+  }
+
+let sequentialize ~cycles =
+  if cycles < 2 then invalid_arg "Transform.sequentialize: cycles < 2";
+  let m = float_of_int cycles in
+  {
+    name = Printf.sprintf "sequentialize /%d" cycles;
+    description =
+      "fold the datapath into an add-shift loop: few cells, but activity \
+       and effective logical depth measured against the data clock are \
+       multiplied by the cycle count";
+    apply =
+      (fun p ->
+        Arch_params.scale
+          ~n_cells:(2.2 /. m)  (* registers/control keep a floor *)
+          ~activity:(0.36 *. m)
+          ~ld_eff:(0.23 *. m) p);
+  }
+
+let apply_and_evaluate tech ~f params t =
+  let transformed = t.apply params in
+  let problem = Power_law.make tech transformed ~f in
+  (transformed, Closed_form.evaluate problem)
+
+let predicted_ratio tech ~f params t =
+  let _, transformed = apply_and_evaluate tech ~f params t in
+  let base = Closed_form.evaluate (Power_law.make tech params ~f) in
+  transformed.ptot /. base.ptot

@@ -1,0 +1,45 @@
+(** Architecture-transformation algebra — the Section 4 reasoning as code.
+
+    Each transformation maps an {!Arch_params.t} to the parameters the
+    transformed architecture would present, using first-order scaling rules
+    (the paper's own language: parallelisation multiplies N by a bit more
+    than k and divides LDeff by roughly k, pipelining shortens LDeff but
+    adds registers, diagonal pipelining additionally raises activity through
+    glitching...). Feeding the result to {!Closed_form} predicts whether a
+    transformation pays off {e before} building the netlist — the intended
+    use of Eq. 13. *)
+
+type t = {
+  name : string;
+  apply : Arch_params.t -> Arch_params.t;
+  description : string;
+}
+
+val parallelize :
+  ?overhead_cells:float -> ?activity_overhead:float -> copies:int -> unit -> t
+(** Replication + multiplexing: N ×(k + overhead), LDeff ÷k, activity ÷k
+    ×(1 + activity_overhead). Defaults: 6 % cell overhead, 8 % activity
+    overhead — matching the Table 1 ratios. *)
+
+val pipeline_horizontal : ?register_fraction:float -> stages:int -> unit -> t
+(** LDeff shortened (not fully ÷stages — the merge row resists), activity
+    reduced (glitch barriers), N grows by the register banks. *)
+
+val pipeline_diagonal : ?glitch_penalty:float -> stages:int -> unit -> t
+(** Shorter LDeff than horizontal but activity {e increased} by the glitch
+    penalty (default 4 %) relative to the horizontal version. *)
+
+val sequentialize : cycles:int -> t
+(** Fold into a cycles-long add-shift loop: N collapses, LDeff and activity
+    (per data cycle) explode — the transformation the paper warns about. *)
+
+val apply_and_evaluate :
+  Device.Technology.t -> f:float -> Arch_params.t -> t ->
+  Arch_params.t * Closed_form.result
+(** Transformed parameters and their closed-form optimum.
+    @raise Closed_form.Infeasible when the result cannot meet timing. *)
+
+val predicted_ratio :
+  Device.Technology.t -> f:float -> Arch_params.t -> t -> float
+(** Ptot(transformed) / Ptot(original), both via Eq. 13 — < 1 means the
+    transformation helps at the optimal working point. *)

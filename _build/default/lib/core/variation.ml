@@ -1,0 +1,79 @@
+type spread = {
+  sigma_leak : float;
+  sigma_cap : float;
+  sigma_speed : float;
+  sigma_alpha : float;
+}
+
+let default_spread =
+  { sigma_leak = 0.30; sigma_cap = 0.05; sigma_speed = 0.10; sigma_alpha = 0.03 }
+
+type sample = {
+  leak_factor : float;
+  cap_factor : float;
+  speed_factor : float;
+  alpha : float;
+  optimum : Numerical_opt.point;
+}
+
+type result = {
+  nominal : Numerical_opt.point;
+  samples : sample list;
+  ptot_stats : Numerics.Stats.summary;
+  ptot_p95 : float;
+  vdd_stats : Numerics.Stats.summary;
+}
+
+let draw_sample spread rng (problem : Power_law.problem) =
+  let leak_factor =
+    Float.exp (Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:spread.sigma_leak)
+  in
+  let cap_factor =
+    Float.max 0.5 (1.0 +. Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:spread.sigma_cap)
+  in
+  let speed_factor =
+    Float.exp (Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:spread.sigma_speed)
+  in
+  let alpha =
+    Float.max 1.1
+      (problem.tech.alpha
+      +. Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:spread.sigma_alpha)
+  in
+  let varied =
+    {
+      problem with
+      Power_law.tech = { problem.tech with alpha };
+      params =
+        {
+          problem.params with
+          Arch_params.io_cell = problem.params.io_cell *. leak_factor;
+          avg_cap = problem.params.avg_cap *. cap_factor;
+        };
+      chi_prime = problem.chi_prime *. speed_factor;
+    }
+  in
+  { leak_factor; cap_factor; speed_factor; alpha;
+    optimum = Numerical_opt.optimum varied }
+
+let monte_carlo ?(spread = default_spread) ?(samples = 200) ~rng problem =
+  if samples < 2 then invalid_arg "Variation.monte_carlo: samples < 2";
+  let nominal = Numerical_opt.optimum problem in
+  let draws = List.init samples (fun _ -> draw_sample spread rng problem) in
+  let ptots = List.map (fun s -> s.optimum.Power_law.total) draws in
+  let vdds = List.map (fun s -> s.optimum.Power_law.vdd) draws in
+  {
+    nominal;
+    samples = draws;
+    ptot_stats = Numerics.Stats.summarize ptots;
+    ptot_p95 = Numerics.Stats.percentile ptots 95.0;
+    vdd_stats = Numerics.Stats.summarize vdds;
+  }
+
+let vth_absorption problem ~dvth0 =
+  (* A rigid Vth0 shift moves every feasible couple by the same amount in
+     effective-threshold space while chi-prime (defined on the effective
+     threshold) is unchanged: the optimisation problem is literally the
+     same, so the optimal power is too. The working point absorbs the shift
+     through body bias / supply choice. *)
+  ignore dvth0;
+  (Numerical_opt.optimum problem).Power_law.total

@@ -1,0 +1,1 @@
+lib/device/linearization.ml: List Numerics Technology

@@ -1,0 +1,1 @@
+lib/device/technology.ml: Constants Format

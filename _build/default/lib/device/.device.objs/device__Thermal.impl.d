@@ -1,0 +1,1 @@
+lib/device/thermal.ml: Float Technology

@@ -1,0 +1,13 @@
+(** Physical constants and thermal voltage. *)
+
+val boltzmann : float
+(** Boltzmann constant, J/K. *)
+
+val electron_charge : float
+(** Elementary charge, C. *)
+
+val room_temperature : float
+(** 300 K — the temperature assumed throughout the paper. *)
+
+val thermal_voltage : temperature:float -> float
+(** [Ut = k*T/q] in volts (≈ 25.85 mV at 300 K). *)

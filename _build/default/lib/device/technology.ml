@@ -1,0 +1,77 @@
+type flavor =
+  | Ultra_low_leakage
+  | Low_leakage
+  | High_speed
+  | Custom of string
+
+type t = {
+  flavor : flavor;
+  vdd_nom : float;
+  vth0_nom : float;
+  io : float;
+  zeta_ro : float;
+  ring_divisor : float;
+  alpha : float;
+  n : float;
+  eta : float;
+  temperature : float;
+  cell_cap : float;
+}
+
+(* Table 2 of the paper; n = 1.33 is given in the text for the LL fit and is
+   kept for all flavors. The remaining fields are calibrated against the
+   published optima (EXPERIMENTS.md): eta is a typical 0.13 um value;
+   cell_cap is back-solved from Table 1's dynamic power for LL (60-76 fF
+   across architectures, ~65 fF average) and scaled by the per-technology
+   capacitance factor fitted on Tables 3/4 (ULL 1.07x, HS 2.12x — the
+   "increased capacitance C" of the HS flavor the paper points to);
+   ring_divisor is the median of zeta_ro / zeta_gate over the published
+   rows (HS is ill-conditioned there, a representative value is kept). *)
+let base flavor ~vth0_nom ~io ~zeta_ro ~alpha ~cell_cap ~ring_divisor =
+  {
+    flavor;
+    vdd_nom = 1.2;
+    vth0_nom;
+    io;
+    zeta_ro;
+    ring_divisor;
+    alpha;
+    n = 1.33;
+    eta = 0.08;
+    temperature = Constants.room_temperature;
+    cell_cap;
+  }
+
+let ull =
+  base Ultra_low_leakage ~vth0_nom:0.466 ~io:2.11e-6 ~zeta_ro:7.5e-12
+    ~alpha:1.95 ~cell_cap:70e-15 ~ring_divisor:65.0
+
+let ll =
+  base Low_leakage ~vth0_nom:0.354 ~io:3.34e-6 ~zeta_ro:5.5e-12 ~alpha:1.86
+    ~cell_cap:65e-15 ~ring_divisor:66.5
+
+let hs =
+  base High_speed ~vth0_nom:0.328 ~io:7.08e-6 ~zeta_ro:6.1e-12 ~alpha:1.58
+    ~cell_cap:138e-15 ~ring_divisor:150.0
+
+let all = [ ull; ll; hs ]
+
+let name t =
+  match t.flavor with
+  | Ultra_low_leakage -> "ULL"
+  | Low_leakage -> "LL"
+  | High_speed -> "HS"
+  | Custom s -> s
+
+let ut t = Constants.thermal_voltage ~temperature:t.temperature
+let n_ut t = t.n *. ut t
+let gate_zeta t = t.zeta_ro /. t.ring_divisor
+let vth_nom_effective t = t.vth0_nom -. (t.eta *. t.vdd_nom)
+let with_ring_divisor ring_divisor t = { t with ring_divisor }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: Vdd_nom=%.2f V, Vth0=%.3f V, Io=%.3g A, zeta_ro=%.3g F,@ \
+     alpha=%.2f, n=%.2f, eta=%.2f, T=%.0f K, C_cell=%.3g F@]"
+    (name t) t.vdd_nom t.vth0_nom t.io t.zeta_ro t.alpha t.n t.eta
+    t.temperature t.cell_cap

@@ -1,0 +1,63 @@
+(** Technology descriptions — the STM CMOS09 0.13 µm flavors of Table 2.
+
+    A technology bundles the device-model parameters used throughout the
+    paper's equations: average per-cell off-current [Io], weak-inversion slope
+    [n], alpha-power exponent [α], delay coefficient [ζ], DIBL coefficient
+    [η], plus the nominal operating point.
+
+    Units note (documented in DESIGN.md §2): the published ζ values
+    (5.5–7.5 pF) are consistent with a fit to a complete ring-oscillator
+    chain. Back-solving the paper's own published optimal working points gives
+    a per-gate delay coefficient ζ_gate = ζ_ro / ring_divisor with
+    ring_divisor ≈ 68 (≈ 2 × 34 stages). [gate_zeta] applies that divisor. *)
+
+type flavor =
+  | Ultra_low_leakage
+  | Low_leakage
+  | High_speed
+  | Custom of string
+
+type t = {
+  flavor : flavor;
+  vdd_nom : float;  (** Nominal supply voltage, V. *)
+  vth0_nom : float;  (** Nominal zero-bias threshold voltage, V. *)
+  io : float;  (** Average off-current per cell at Vgs = Vth, A. *)
+  zeta_ro : float;  (** Published ring-oscillator delay coefficient, F. *)
+  ring_divisor : float;  (** ζ_ro / ζ_gate; calibrated, see above. *)
+  alpha : float;  (** Alpha-power-law exponent. *)
+  n : float;  (** Weak-inversion slope factor. *)
+  eta : float;  (** DIBL coefficient, V/V. *)
+  temperature : float;  (** Operating temperature, K. *)
+  cell_cap : float;  (** Average switched capacitance per cell, F. *)
+}
+
+val ull : t
+(** Ultra Low Leakage flavor (Table 2 row 1). *)
+
+val ll : t
+(** Low Leakage flavor (Table 2 row 2) — the paper's main technology. *)
+
+val hs : t
+(** High Speed flavor (Table 2 row 3). *)
+
+val all : t list
+(** The three STM flavors, in Table 2 order. *)
+
+val name : t -> string
+
+val ut : t -> float
+(** Thermal voltage at the technology's temperature, V. *)
+
+val n_ut : t -> float
+(** [n * Ut] — the sub-threshold slope voltage, V. *)
+
+val gate_zeta : t -> float
+(** Per-gate delay coefficient ζ_gate = ζ_ro / ring_divisor, F. *)
+
+val vth_nom_effective : t -> float
+(** Effective nominal threshold including DIBL at Vdd_nom (Eq. 3). *)
+
+val with_ring_divisor : float -> t -> t
+(** Functional update of the calibrated ring divisor. *)
+
+val pp : Format.formatter -> t -> unit

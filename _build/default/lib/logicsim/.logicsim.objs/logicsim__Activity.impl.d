@@ -1,0 +1,1 @@
+lib/logicsim/activity.ml: Array Bus Float List Netlist Numerics Simulator

@@ -1,0 +1,1 @@
+lib/logicsim/activity.mli: Netlist Numerics Simulator

@@ -1,0 +1,1 @@
+lib/logicsim/bus.ml: Array Netlist Simulator

@@ -1,0 +1,1 @@
+lib/logicsim/bus.mli: Netlist Simulator

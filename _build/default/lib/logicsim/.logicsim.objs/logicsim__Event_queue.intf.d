@@ -1,0 +1,1 @@
+lib/logicsim/event_queue.mli:

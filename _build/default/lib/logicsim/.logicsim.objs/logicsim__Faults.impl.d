@@ -1,0 +1,1 @@
+lib/logicsim/faults.ml: Array List Netlist Numerics

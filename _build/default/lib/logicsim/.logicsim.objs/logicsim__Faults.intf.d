@@ -1,0 +1,1 @@
+lib/logicsim/faults.mli: Netlist Numerics

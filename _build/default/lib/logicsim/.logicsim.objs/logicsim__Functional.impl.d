@@ -1,0 +1,1 @@
+lib/logicsim/functional.ml: Array List Netlist Queue

@@ -1,0 +1,1 @@
+lib/logicsim/functional.mli: Netlist

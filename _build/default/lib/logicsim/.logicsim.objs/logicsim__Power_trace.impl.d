@@ -1,0 +1,1 @@
+lib/logicsim/power_trace.ml: Array Float List Netlist Numerics Printf Simulator String

@@ -1,0 +1,1 @@
+lib/logicsim/power_trace.mli: Activity Simulator

@@ -1,0 +1,1 @@
+lib/logicsim/simulator.ml: Array Event_queue Float List Netlist

@@ -1,0 +1,1 @@
+lib/logicsim/vcd.ml: Buffer Char Fun List Netlist Printf Simulator String

@@ -1,0 +1,198 @@
+module C = Netlist.Circuit
+
+type result = {
+  activity : float;
+  toggles_per_cycle : float;
+  glitch_ratio : float;
+  cycles : int;
+  per_cell : float array;
+}
+
+type drive = Simulator.t -> cycle:int -> unit
+
+let run_cycle ~ticks_per_cycle ~drive sim ~cycle =
+  drive sim ~cycle;
+  Simulator.settle sim;
+  for _ = 1 to ticks_per_cycle do
+    Simulator.clock_tick sim;
+    Simulator.settle sim
+  done
+
+(* Count transitions a cycle strictly needed: one per cell output whose
+   settled value changed across the cycle. Anything beyond is glitch. *)
+let necessary_transitions circuit ~before ~after =
+  let count = ref 0 in
+  C.iter_cells
+    (fun cell ->
+      Array.iter
+        (fun net ->
+          match (before.(net), after.(net)) with
+          | Netlist.Logic.Zero, Netlist.Logic.One
+          | Netlist.Logic.One, Netlist.Logic.Zero ->
+            incr count
+          | (Netlist.Logic.Zero | Netlist.Logic.One | Netlist.Logic.X), _ ->
+            ())
+        cell.outputs)
+    circuit;
+  !count
+
+let measure ?(warmup = 4) ?(ticks_per_cycle = 1) ~cycles ~drive sim =
+  if cycles < 1 then invalid_arg "Activity.measure: cycles < 1";
+  if ticks_per_cycle < 1 then
+    invalid_arg "Activity.measure: ticks_per_cycle < 1";
+  for cycle = 0 to warmup - 1 do
+    run_cycle ~ticks_per_cycle ~drive sim ~cycle
+  done;
+  Simulator.reset_toggles sim;
+  let circuit = Simulator.circuit sim in
+  let cell_count = C.cell_count circuit in
+  let necessary_total = ref 0 in
+  let before = ref (Simulator.snapshot_values sim) in
+  for cycle = 0 to cycles - 1 do
+    run_cycle ~ticks_per_cycle ~drive sim ~cycle:(warmup + cycle);
+    let after = Simulator.snapshot_values sim in
+    necessary_total :=
+      !necessary_total
+      + necessary_transitions circuit ~before:!before ~after;
+    before := after
+  done;
+  let toggles = Simulator.cell_toggles sim in
+  let total = Simulator.total_toggles sim in
+  let n =
+    C.fold_cells
+      (fun acc cell ->
+        match cell.kind with
+        | Netlist.Cell.Tie0 | Netlist.Cell.Tie1 -> acc
+        | Netlist.Cell.Inv | Netlist.Cell.Buf | Netlist.Cell.Nand2
+        | Netlist.Cell.Nor2 | Netlist.Cell.And2 | Netlist.Cell.Or2
+        | Netlist.Cell.Xor2 | Netlist.Cell.Xnor2 | Netlist.Cell.Mux2
+        | Netlist.Cell.Half_adder | Netlist.Cell.Full_adder
+        | Netlist.Cell.Dff ->
+          acc + 1)
+      0 circuit
+  in
+  let fcycles = float_of_int cycles in
+  let per_cell =
+    Array.init cell_count (fun i -> float_of_int toggles.(i) /. fcycles)
+  in
+  let toggles_per_cycle = float_of_int total /. fcycles in
+  let glitch_ratio =
+    if total = 0 then 0.0
+    else
+      float_of_int (total - !necessary_total) /. float_of_int total
+  in
+  {
+    activity = toggles_per_cycle /. float_of_int (max 1 n);
+    toggles_per_cycle;
+    glitch_ratio = Float.max 0.0 glitch_ratio;
+    cycles;
+    per_cell;
+  }
+
+type converged = {
+  result : result;
+  relative_stderr : float;
+  batches : int;
+}
+
+let measure_until ?(warmup = 4) ?(ticks_per_cycle = 1) ?(batch = 40)
+    ?(rel_tol = 0.02) ?(max_cycles = 2000) ~drive sim =
+  if batch < 2 then invalid_arg "Activity.measure_until: batch < 2";
+  if rel_tol <= 0.0 then invalid_arg "Activity.measure_until: rel_tol <= 0";
+  for cycle = 0 to warmup - 1 do
+    run_cycle ~ticks_per_cycle ~drive sim ~cycle
+  done;
+  Simulator.reset_toggles sim;
+  let circuit = Simulator.circuit sim in
+  let n =
+    max 1
+      (C.fold_cells
+         (fun acc cell ->
+           match cell.kind with
+           | Netlist.Cell.Tie0 | Netlist.Cell.Tie1 -> acc
+           | _ -> acc + 1)
+         0 circuit)
+  in
+  let batch_activities = ref [] in
+  let necessary_total = ref 0 in
+  let before = ref (Simulator.snapshot_values sim) in
+  let total_cycles = ref 0 in
+  let batches = ref 0 in
+  let stderr_ok () =
+    match !batch_activities with
+    | _ :: _ :: _ as xs ->
+      let mean = Numerics.Stats.mean xs in
+      if mean <= 0.0 then true
+      else begin
+        let stderr =
+          Numerics.Stats.stddev xs
+          /. sqrt (float_of_int (List.length xs))
+        in
+        stderr /. mean < rel_tol
+      end
+    | [ _ ] | [] -> false
+  in
+  let run_batch () =
+    let start_toggles = Simulator.total_toggles sim in
+    for i = 0 to batch - 1 do
+      run_cycle ~ticks_per_cycle ~drive sim
+        ~cycle:(warmup + !total_cycles + i);
+      let after = Simulator.snapshot_values sim in
+      necessary_total :=
+        !necessary_total + necessary_transitions circuit ~before:!before ~after;
+      before := after
+    done;
+    total_cycles := !total_cycles + batch;
+    incr batches;
+    let batch_toggles = Simulator.total_toggles sim - start_toggles in
+    batch_activities :=
+      float_of_int batch_toggles /. float_of_int (batch * n)
+      :: !batch_activities
+  in
+  run_batch ();
+  while (not (stderr_ok ())) && !total_cycles + batch <= max_cycles do
+    run_batch ()
+  done;
+  let cycles = !total_cycles in
+  let total = Simulator.total_toggles sim in
+  let toggles = Simulator.cell_toggles sim in
+  let fcycles = float_of_int cycles in
+  let relative_stderr =
+    match !batch_activities with
+    | _ :: _ :: _ as xs ->
+      let mean = Numerics.Stats.mean xs in
+      if mean <= 0.0 then 0.0
+      else
+        Numerics.Stats.stddev xs /. sqrt (float_of_int (List.length xs)) /. mean
+    | [ _ ] | [] -> infinity
+  in
+  {
+    result =
+      {
+        activity = float_of_int total /. (fcycles *. float_of_int n);
+        toggles_per_cycle = float_of_int total /. fcycles;
+        glitch_ratio =
+          (if total = 0 then 0.0
+           else
+             Float.max 0.0
+               (float_of_int (total - !necessary_total) /. float_of_int total));
+        cycles;
+        per_cell =
+          Array.init (C.cell_count circuit) (fun i ->
+              float_of_int toggles.(i) /. fcycles);
+      };
+    relative_stderr;
+    batches = !batches;
+  }
+
+let random_drive ~rng ~buses =
+  let drive sim ~cycle =
+    ignore cycle;
+    List.iter
+      (fun bus ->
+        let width = Array.length bus in
+        let bound = if width >= 62 then max_int else 1 lsl width in
+        Bus.drive sim bus (Numerics.Rng.int rng bound))
+      buses
+  in
+  drive

@@ -1,0 +1,66 @@
+type 'a entry = { time : float; order : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable counter : int;
+}
+
+let create () = { heap = [||]; len = 0; counter = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.order < b.order)
+
+let swap t i j =
+  let x = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && earlier t.heap.(left) t.heap.(!smallest) then
+    smallest := left;
+  if right < t.len && earlier t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  let entry = { time; order = t.counter; payload } in
+  t.counter <- t.counter + 1;
+  let capacity = Array.length t.heap in
+  if t.len = capacity then begin
+    let heap = Array.make (max 16 (2 * capacity)) entry in
+    Array.blit t.heap 0 heap 0 t.len;
+    t.heap <- heap
+  end;
+  t.heap.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time

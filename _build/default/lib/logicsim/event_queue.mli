@@ -1,0 +1,18 @@
+(** Priority queue of scheduled net transitions (binary min-heap).
+
+    Ties in time are broken by insertion order, making simulation
+    deterministic. Cancellation (inertial-delay behaviour) is handled by the
+    simulator via serial numbers; the queue itself only orders events. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, [None] when empty. *)
+
+val peek_time : 'a t -> float option

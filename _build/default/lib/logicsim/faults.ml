@@ -1,0 +1,109 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+module Logic = Netlist.Logic
+
+type polarity = Stuck_at_0 | Stuck_at_1
+
+type fault = { net : C.net; polarity : polarity }
+
+let value_of_polarity = function
+  | Stuck_at_0 -> Logic.Zero
+  | Stuck_at_1 -> Logic.One
+
+let enumerate circuit =
+  let nets = ref [] in
+  List.iter (fun n -> nets := n :: !nets) (C.primary_inputs circuit);
+  C.iter_cells
+    (fun cell ->
+      match cell.kind with
+      | Cell.Tie0 | Cell.Tie1 -> ()
+      | Cell.Dff -> failwith "Faults.enumerate: sequential circuit"
+      | Cell.Inv | Cell.Buf | Cell.Nand2 | Cell.Nor2 | Cell.And2 | Cell.Or2
+      | Cell.Xor2 | Cell.Xnor2 | Cell.Mux2 | Cell.Half_adder
+      | Cell.Full_adder ->
+        Array.iter (fun n -> nets := n :: !nets) cell.outputs)
+    circuit;
+  List.concat_map
+    (fun net ->
+      [ { net; polarity = Stuck_at_0 }; { net; polarity = Stuck_at_1 } ])
+    (List.rev !nets)
+
+(* Zero-delay propagation with an optional forced net. The force applies
+   after every assignment to the net, modelling the physical short. *)
+let evaluate_with_fault circuit ~fault ~inputs =
+  let nets = Array.make (C.net_count circuit) Logic.X in
+  let force =
+    match fault with
+    | None -> fun () -> ()
+    | Some f ->
+      let v = value_of_polarity f.polarity in
+      fun () -> nets.(f.net) <- v
+  in
+  C.iter_cells
+    (fun cell ->
+      match cell.kind with
+      | Cell.Tie0 -> nets.(cell.outputs.(0)) <- Logic.Zero
+      | Cell.Tie1 -> nets.(cell.outputs.(0)) <- Logic.One
+      | Cell.Dff -> failwith "Faults.evaluate_with_fault: sequential circuit"
+      | Cell.Inv | Cell.Buf | Cell.Nand2 | Cell.Nor2 | Cell.And2 | Cell.Or2
+      | Cell.Xor2 | Cell.Xnor2 | Cell.Mux2 | Cell.Half_adder
+      | Cell.Full_adder ->
+        ())
+    circuit;
+  List.iter (fun (n, v) -> nets.(n) <- v) inputs;
+  force ();
+  List.iter
+    (fun id ->
+      let cell = C.get_cell circuit id in
+      let values = Array.map (fun n -> nets.(n)) cell.inputs in
+      let outputs = Cell.eval cell.kind values in
+      Array.iteri (fun o n -> nets.(n) <- outputs.(o)) cell.outputs;
+      force ())
+    (Netlist.Topo.combinational circuit);
+  nets
+
+type coverage = {
+  total : int;
+  detected : int;
+  coverage_pct : float;
+  undetected : fault list;
+}
+
+let coverage ?faults circuit ~vectors ~outputs =
+  let faults =
+    match faults with Some f -> f | None -> enumerate circuit
+  in
+  let golden =
+    List.map
+      (fun inputs ->
+        let nets = evaluate_with_fault circuit ~fault:None ~inputs in
+        (inputs, List.map (fun n -> nets.(n)) outputs))
+      vectors
+  in
+  let detected_by_some_vector fault =
+    List.exists
+      (fun (inputs, expected) ->
+        let nets = evaluate_with_fault circuit ~fault:(Some fault) ~inputs in
+        List.exists2
+          (fun n reference -> not (Logic.equal nets.(n) reference))
+          outputs expected)
+      golden
+  in
+  let undetected = List.filter (fun f -> not (detected_by_some_vector f)) faults in
+  let total = List.length faults in
+  let detected = total - List.length undetected in
+  {
+    total;
+    detected;
+    coverage_pct =
+      (if total = 0 then 100.0
+       else 100.0 *. float_of_int detected /. float_of_int total);
+    undetected;
+  }
+
+let random_vectors ~rng ~circuit ~count =
+  let inputs = C.primary_inputs circuit in
+  List.init count (fun _ ->
+      List.map
+        (fun n -> (n, Logic.of_bool (Numerics.Rng.bool rng)))
+        inputs)

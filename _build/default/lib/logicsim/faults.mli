@@ -1,0 +1,51 @@
+(** Single-stuck-at fault simulation.
+
+    The classic manufacturing-test model: a net permanently stuck at 0 or 1.
+    Simulating every fault against a vector set measures the set's fault
+    coverage — and doubles as a quality check on the random vectors the
+    activity extraction relies on (vectors that exercise the logic poorly
+    would also measure activity poorly). Combinational circuits only. *)
+
+type polarity = Stuck_at_0 | Stuck_at_1
+
+type fault = {
+  net : Netlist.Circuit.net;
+  polarity : polarity;
+}
+
+val enumerate : Netlist.Circuit.t -> fault list
+(** Both polarities on every primary input and cell-output net (tie outputs
+    excluded — a tie stuck at its own value is not a fault). *)
+
+val evaluate_with_fault :
+  Netlist.Circuit.t ->
+  fault:fault option ->
+  inputs:(Netlist.Circuit.net * Netlist.Logic.value) list ->
+  Netlist.Logic.value array
+(** Zero-delay evaluation with the fault (if any) forced throughout
+    propagation. @raise Failure on sequential circuits or combinational
+    cycles. *)
+
+type coverage = {
+  total : int;
+  detected : int;
+  coverage_pct : float;
+  undetected : fault list;
+}
+
+val coverage :
+  ?faults:fault list ->
+  Netlist.Circuit.t ->
+  vectors:(Netlist.Circuit.net * Netlist.Logic.value) list list ->
+  outputs:Netlist.Circuit.net list ->
+  coverage
+(** A fault is detected when at least one vector makes some listed output
+    differ from the fault-free value. [faults] defaults to
+    {!enumerate}'s full list. *)
+
+val random_vectors :
+  rng:Numerics.Rng.t ->
+  circuit:Netlist.Circuit.t ->
+  count:int ->
+  (Netlist.Circuit.net * Netlist.Logic.value) list list
+(** Uniform random assignments over all primary inputs. *)

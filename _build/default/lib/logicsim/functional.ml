@@ -1,0 +1,105 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+module Logic = Netlist.Logic
+
+type state = { nets : Logic.value array }
+
+let value state net = state.nets.(net)
+let values state = Array.copy state.nets
+
+let is_source (cell : C.cell) =
+  Cell.is_sequential cell.kind || Cell.arity cell.kind = 0
+
+(* Combinational cells in dependency order (Kahn); sources excluded. *)
+let topo_order circuit =
+  let count = C.cell_count circuit in
+  let indegree = Array.make count 0 in
+  let fanout = C.fanout circuit in
+  C.iter_cells
+    (fun cell ->
+      if not (is_source cell) then
+        Array.iter
+          (fun n ->
+            match C.driver circuit n with
+            | Some (d, _) when not (is_source (C.get_cell circuit d)) ->
+              indegree.(cell.id) <- indegree.(cell.id) + 1
+            | Some _ | None -> ())
+          cell.inputs)
+    circuit;
+  let queue = Queue.create () in
+  C.iter_cells
+    (fun cell ->
+      if (not (is_source cell)) && indegree.(cell.id) = 0 then
+        Queue.add cell.id queue)
+    circuit;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    incr visited;
+    order := id :: !order;
+    let cell = C.get_cell circuit id in
+    Array.iter
+      (fun n ->
+        List.iter
+          (fun (reader, _) ->
+            if not (is_source (C.get_cell circuit reader)) then begin
+              indegree.(reader) <- indegree.(reader) - 1;
+              if indegree.(reader) = 0 then Queue.add reader queue
+            end)
+          fanout.(n))
+      cell.outputs
+  done;
+  let combinational =
+    C.fold_cells (fun acc c -> if is_source c then acc else acc + 1) 0 circuit
+  in
+  if !visited < combinational then
+    failwith "Functional: combinational cycle detected";
+  List.rev !order
+
+let propagate circuit nets =
+  List.iter
+    (fun id ->
+      let cell = C.get_cell circuit id in
+      let inputs = Array.map (fun n -> nets.(n)) cell.inputs in
+      let outputs = Cell.eval cell.kind inputs in
+      Array.iteri (fun o n -> nets.(n) <- outputs.(o)) cell.outputs)
+    (topo_order circuit);
+  nets
+
+let initial circuit =
+  let nets = Array.make (C.net_count circuit) Logic.X in
+  C.iter_cells
+    (fun cell ->
+      match cell.kind with
+      | Cell.Tie0 -> nets.(cell.outputs.(0)) <- Logic.Zero
+      | Cell.Tie1 -> nets.(cell.outputs.(0)) <- Logic.One
+      | Cell.Dff -> nets.(cell.outputs.(0)) <- C.dff_init circuit cell.id
+      | Cell.Inv | Cell.Buf | Cell.Nand2 | Cell.Nor2 | Cell.And2 | Cell.Or2
+      | Cell.Xor2 | Cell.Xnor2 | Cell.Mux2 | Cell.Half_adder
+      | Cell.Full_adder ->
+        ())
+    circuit;
+  { nets = propagate circuit nets }
+
+let set_inputs circuit state bindings =
+  List.iter
+    (fun (net, _) ->
+      if not (C.is_primary_input circuit net) then
+        invalid_arg "Functional.set_inputs: not a primary input")
+    bindings;
+  let nets = Array.copy state.nets in
+  List.iter (fun (net, v) -> nets.(net) <- v) bindings;
+  { nets = propagate circuit nets }
+
+let clock circuit state =
+  let nets = Array.copy state.nets in
+  (* Sample all D inputs against the pre-edge values, then update Qs. *)
+  let captures = ref [] in
+  C.iter_cells
+    (fun cell ->
+      if Cell.is_sequential cell.kind then
+        captures := (cell.outputs.(0), state.nets.(cell.inputs.(0))) :: !captures)
+    circuit;
+  List.iter (fun (q, v) -> nets.(q) <- v) !captures;
+  { nets = propagate circuit nets }

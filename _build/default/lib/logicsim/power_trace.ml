@@ -1,0 +1,88 @@
+module C = Netlist.Circuit
+
+type cycle_record = {
+  index : int;
+  toggles : int;
+  switched_cap : float;
+  energy : float;
+}
+
+type t = {
+  cycles : cycle_record list;
+  vdd : float;
+  average_energy : float;
+  peak_energy : float;
+  peak_to_average : float;
+}
+
+let weighted_cap circuit toggles =
+  let acc = Numerics.Kahan.create () in
+  C.iter_cells
+    (fun cell ->
+      if toggles.(cell.id) > 0 then
+        Numerics.Kahan.add acc
+          (float_of_int toggles.(cell.id)
+          *. Netlist.Cell.switched_cap cell.kind))
+    circuit;
+  Numerics.Kahan.sum acc
+
+let record ?(warmup = 4) ?(ticks_per_cycle = 1) ~vdd ~cycles ~drive sim =
+  if cycles < 1 then invalid_arg "Power_trace.record: cycles < 1";
+  if vdd <= 0.0 then invalid_arg "Power_trace.record: vdd <= 0";
+  let circuit = Simulator.circuit sim in
+  let run_cycle ~cycle =
+    drive sim ~cycle;
+    Simulator.settle sim;
+    for _ = 1 to ticks_per_cycle do
+      Simulator.clock_tick sim;
+      Simulator.settle sim
+    done
+  in
+  for cycle = 0 to warmup - 1 do
+    run_cycle ~cycle
+  done;
+  let records = ref [] in
+  let previous = ref (Simulator.cell_toggles sim) in
+  let previous_total = ref (Simulator.total_toggles sim) in
+  for index = 0 to cycles - 1 do
+    run_cycle ~cycle:(warmup + index);
+    let now = Simulator.cell_toggles sim in
+    let before = !previous in
+    let delta = Array.mapi (fun i t -> t - before.(i)) now in
+    let toggles = Simulator.total_toggles sim - !previous_total in
+    let switched_cap = weighted_cap circuit delta in
+    previous := now;
+    previous_total := Simulator.total_toggles sim;
+    records :=
+      { index; toggles; switched_cap; energy = switched_cap *. vdd *. vdd }
+      :: !records
+  done;
+  let cycle_list = List.rev !records in
+  let energies = List.map (fun r -> r.energy) cycle_list in
+  let average_energy = Numerics.Kahan.sum_list energies /. float_of_int cycles in
+  let peak_energy = List.fold_left Float.max 0.0 energies in
+  {
+    cycles = cycle_list;
+    vdd;
+    average_energy;
+    peak_energy;
+    peak_to_average =
+      (if average_energy = 0.0 then 0.0 else peak_energy /. average_energy);
+  }
+
+let to_csv t =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.index;
+          string_of_int r.toggles;
+          Printf.sprintf "%.6g" r.switched_cap;
+          Printf.sprintf "%.6g" r.energy;
+        ])
+      t.cycles
+  in
+  String.concat "\n"
+    ("cycle,toggles,switched_cap_f,energy_j"
+    :: List.map (String.concat ",") rows)
+  ^ "\n"

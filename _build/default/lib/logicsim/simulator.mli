@@ -1,0 +1,51 @@
+(** Event-driven gate-level simulator with inertial delays.
+
+    Replaces the timing-annotated ModelSIM runs the paper used to extract
+    switching activity. Gate delays come from {!Netlist.Cell.delay}
+    (normalised inverter units), so unequal path depths produce the same
+    glitching behaviour that penalises the diagonally pipelined multipliers
+    in the paper.
+
+    Toggle accounting: a committed 0↔1 transition on a cell's output
+    increments that cell's counter (X resolutions are not counted). The
+    inertial model cancels a pending transition when a newer evaluation
+    reverts it before it commits — pulses shorter than the gate delay are
+    swallowed, longer ones propagate as glitches. *)
+
+type t
+
+val create : Netlist.Circuit.t -> t
+(** Builds simulation state, initialises ties and flip-flop power-up values
+    and settles. @raise Failure on a malformed circuit
+    (see {!Netlist.Check}). *)
+
+val circuit : t -> Netlist.Circuit.t
+val now : t -> float
+
+val value : t -> Netlist.Circuit.net -> Netlist.Logic.value
+
+val set_input : t -> Netlist.Circuit.net -> Netlist.Logic.value -> unit
+(** Schedule a primary-input change at the current time.
+    @raise Invalid_argument if the net is not a primary input. *)
+
+val settle : ?event_limit:int -> t -> unit
+(** Run the event loop until quiescent; advances [now] past the last event.
+    @raise Failure if [event_limit] (default 10 million) is exceeded —
+    indicates oscillation. *)
+
+val clock_tick : t -> unit
+(** Synchronous clock edge: samples every flip-flop's D simultaneously and
+    schedules Q updates after the clk→q delay. Call {!settle} afterwards. *)
+
+val cell_toggles : t -> int array
+(** Per-cell committed toggle counts since the last reset. *)
+
+val total_toggles : t -> int
+val reset_toggles : t -> unit
+
+val snapshot_values : t -> Netlist.Logic.value array
+(** Copy of all net values (for per-cycle glitch accounting). *)
+
+val events_processed : t -> int
+(** Committed events since creation (monotonic; not reset by
+    {!reset_toggles}). *)

@@ -1,0 +1,1 @@
+lib/multipliers/adders.ml: Array Fun List Netlist Option

@@ -1,0 +1,1 @@
+lib/multipliers/adders.mli: Netlist

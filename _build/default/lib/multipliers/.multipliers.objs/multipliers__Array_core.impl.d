@@ -1,0 +1,1 @@
+lib/multipliers/array_core.ml: Adders Array Hashtbl Netlist

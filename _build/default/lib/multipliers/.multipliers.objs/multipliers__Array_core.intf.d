@@ -1,0 +1,1 @@
+lib/multipliers/array_core.mli: Hashtbl Netlist

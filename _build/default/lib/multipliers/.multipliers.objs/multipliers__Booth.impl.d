@@ -1,0 +1,1 @@
+lib/multipliers/booth.ml: Adders Array Netlist Registered

@@ -1,0 +1,1 @@
+lib/multipliers/booth.mli: Netlist Spec

@@ -1,0 +1,1 @@
+lib/multipliers/catalog.ml: Booth Dadda List Parallelize Rca Sequential Spec Spec_optimize Wallace

@@ -1,0 +1,1 @@
+lib/multipliers/catalog.mli: Spec

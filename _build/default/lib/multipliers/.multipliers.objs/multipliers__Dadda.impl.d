@@ -1,0 +1,1 @@
+lib/multipliers/dadda.ml: Adders Array Float Fun List Netlist Registered

@@ -1,0 +1,1 @@
+lib/multipliers/dadda.mli: Netlist Spec

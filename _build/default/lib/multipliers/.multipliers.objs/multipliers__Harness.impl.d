@@ -1,0 +1,1 @@
+lib/multipliers/harness.ml: List Logicsim Numerics Spec

@@ -1,0 +1,1 @@
+lib/multipliers/harness.mli: Logicsim Spec

@@ -1,0 +1,1 @@
+lib/multipliers/parallelize.ml: Array List Netlist Spec

@@ -1,0 +1,1 @@
+lib/multipliers/parallelize.mli: Netlist Spec

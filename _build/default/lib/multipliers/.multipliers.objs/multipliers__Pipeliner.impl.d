@@ -1,0 +1,1 @@
+lib/multipliers/pipeliner.ml: Array Float Hashtbl List Netlist Option Printf

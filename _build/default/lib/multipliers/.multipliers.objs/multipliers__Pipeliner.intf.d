@@ -1,0 +1,1 @@
+lib/multipliers/pipeliner.mli: Netlist

@@ -1,0 +1,1 @@
+lib/multipliers/rca.ml: Array Array_core Hashtbl List Netlist Option Pipeliner Printf Registered Spec

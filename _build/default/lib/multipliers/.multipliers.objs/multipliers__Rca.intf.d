@@ -1,0 +1,1 @@
+lib/multipliers/rca.mli: Netlist Spec

@@ -1,0 +1,1 @@
+lib/multipliers/registered.ml: Array Netlist Spec

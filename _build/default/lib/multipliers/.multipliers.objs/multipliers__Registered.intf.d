@@ -1,0 +1,1 @@
+lib/multipliers/registered.mli: Netlist Spec

@@ -1,0 +1,1 @@
+lib/multipliers/sequential.ml: Adders Array List Netlist Parallelize Spec Wallace

@@ -1,0 +1,1 @@
+lib/multipliers/sequential.mli: Netlist Spec

@@ -1,0 +1,1 @@
+lib/multipliers/signed_mult.ml: Adders Array Netlist Registered

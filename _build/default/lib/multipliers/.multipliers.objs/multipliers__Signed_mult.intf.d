@@ -1,0 +1,1 @@
+lib/multipliers/signed_mult.mli: Netlist Spec

@@ -1,0 +1,1 @@
+lib/multipliers/spec.ml: Array Format Netlist Printf

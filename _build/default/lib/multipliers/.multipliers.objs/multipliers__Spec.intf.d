@@ -1,0 +1,1 @@
+lib/multipliers/spec.mli: Format Netlist

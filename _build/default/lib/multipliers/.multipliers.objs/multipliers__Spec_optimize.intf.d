@@ -1,0 +1,1 @@
+lib/multipliers/spec_optimize.mli: Netlist Spec

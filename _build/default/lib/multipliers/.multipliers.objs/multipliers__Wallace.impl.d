@@ -1,0 +1,1 @@
+lib/multipliers/wallace.ml: Adders Array List Netlist Pipeliner Printf Registered Spec

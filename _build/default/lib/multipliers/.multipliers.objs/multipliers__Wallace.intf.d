@@ -1,0 +1,1 @@
+lib/multipliers/wallace.mli: Netlist Spec

@@ -1,0 +1,118 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+
+type bit = C.net option
+
+let add3 circuit x y z =
+  match List.filter_map Fun.id [ x; y; z ] with
+  | [] -> (None, None)
+  | [ a ] -> (Some a, None)
+  | [ a; b ] -> begin
+    match C.add_cell circuit Cell.Half_adder [| a; b |] with
+    | [| sum; carry |] -> (Some sum, Some carry)
+    | _ -> assert false
+  end
+  | [ a; b; c ] -> begin
+    match C.add_cell circuit Cell.Full_adder [| a; b; c |] with
+    | [| sum; carry |] -> (Some sum, Some carry)
+    | _ -> assert false
+  end
+  | _ :: _ :: _ :: _ :: _ -> assert false
+
+let ripple_carry_bits circuit ?(cin = None) a b =
+  let width = Array.length a in
+  if Array.length b <> width then
+    invalid_arg "Adders.ripple_carry_bits: width mismatch";
+  let sums = Array.make width None in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let sum, c = add3 circuit a.(i) b.(i) !carry in
+    sums.(i) <- sum;
+    carry := c
+  done;
+  (sums, !carry)
+
+let solidify circuit bit =
+  match bit with Some n -> n | None -> C.tie0 circuit
+
+let ripple_carry circuit ?cin a b =
+  let cin = Option.map (fun n -> Some n) cin |> Option.value ~default:None in
+  let sums, cout =
+    ripple_carry_bits circuit ~cin
+      (Array.map (fun n -> Some n) a)
+      (Array.map (fun n -> Some n) b)
+  in
+  (Array.map (solidify circuit) sums, solidify circuit cout)
+
+(* Sklansky parallel-prefix adder: generate/propagate pairs combined in a
+   divide-and-conquer tree of depth ceil(log2 width). *)
+let sklansky circuit a b =
+  let width = Array.length a in
+  if Array.length b <> width then
+    invalid_arg "Adders.sklansky: width mismatch";
+  if width = 0 then [||]
+  else begin
+    let gate kind x y = C.add_gate circuit kind [| x; y |] in
+    let p = Array.init width (fun i -> gate Cell.Xor2 a.(i) b.(i)) in
+    let g = Array.init width (fun i -> gate Cell.And2 a.(i) b.(i)) in
+    (* prefix.(i) = (G, P) over bits [0..i]. *)
+    let prefix_g = Array.copy g and prefix_p = Array.copy p in
+    let span = ref 1 in
+    while !span < width do
+      (* Combine block [i - span .. ] into [i] for i in odd blocks. *)
+      let updates = ref [] in
+      for i = 0 to width - 1 do
+        if i land !span <> 0 then begin
+          let j = (i lor (!span - 1)) - !span in
+          (* (G,P)_i <- (G_i or (P_i and G_j), P_i and P_j) *)
+          let and_g = gate Cell.And2 prefix_p.(i) prefix_g.(j) in
+          let new_g = gate Cell.Or2 prefix_g.(i) and_g in
+          let new_p = gate Cell.And2 prefix_p.(i) prefix_p.(j) in
+          updates := (i, new_g, new_p) :: !updates
+        end
+      done;
+      List.iter
+        (fun (i, new_g, new_p) ->
+          prefix_g.(i) <- new_g;
+          prefix_p.(i) <- new_p)
+        !updates;
+      span := !span * 2
+    done;
+    Array.init width (fun i ->
+        if i = 0 then p.(0) else gate Cell.Xor2 p.(i) prefix_g.(i - 1))
+  end
+
+let reduce_columns ?(drop_overflow = false) circuit columns =
+  let width = Array.length columns in
+  let next = Array.make (width + 1) [] in
+  for p = 0 to width - 1 do
+    let bits = List.filter_map Fun.id columns.(p) in
+    let populated = List.length bits in
+    let rec compress bits =
+      match bits with
+      | a :: b :: c :: rest ->
+        let sum, carry = add3 circuit (Some a) (Some b) (Some c) in
+        Option.iter (fun s -> next.(p) <- Some s :: next.(p)) sum;
+        Option.iter (fun c -> next.(p + 1) <- Some c :: next.(p + 1)) carry;
+        compress rest
+      | [ a; b ] when populated > 2 ->
+        (* The column held >2 bits: compress the remainder pair too so the
+           height strictly decreases. *)
+        let sum, carry = add3 circuit (Some a) (Some b) None in
+        Option.iter (fun s -> next.(p) <- Some s :: next.(p)) sum;
+        Option.iter (fun c -> next.(p + 1) <- Some c :: next.(p + 1)) carry
+      | rest -> List.iter (fun a -> next.(p) <- Some a :: next.(p)) rest
+    in
+    compress bits
+  done;
+  if next.(width) <> [] && not drop_overflow then
+    invalid_arg "Adders.reduce_columns: carry out of the top column";
+  Array.sub next 0 width
+
+let reduce_to_two ?drop_overflow circuit columns =
+  let needs_work cols = Array.exists (fun c -> List.length c > 2) cols in
+  let rec loop cols =
+    if needs_work cols then loop (reduce_columns ?drop_overflow circuit cols)
+    else cols
+  in
+  loop columns

@@ -1,0 +1,39 @@
+(** Adder building blocks shared by the multiplier generators. *)
+
+module C := Netlist.Circuit
+
+type bit = C.net option
+(** A bit that may be constant 0 ([None]) — lets the generators fold away
+    half-adders and wires instead of instantiating tie cells. *)
+
+val add3 : C.t -> bit -> bit -> bit -> bit * bit
+(** [(sum, carry)] of up to three bits. Instantiates a full adder when all
+    three are present, a half adder for two, a plain wire for one, and
+    returns [(None, None)] for zero. *)
+
+val ripple_carry : C.t -> ?cin:C.net -> C.net array -> C.net array ->
+  C.net array * C.net
+(** [ripple_carry c a b] — classic ripple-carry adder over two equal-width
+    buses; returns (sum, carry-out). @raise Invalid_argument on width
+    mismatch. *)
+
+val ripple_carry_bits : C.t -> ?cin:bit -> bit array -> bit array ->
+  bit array * bit
+(** Constant-folding variant over optional bits. *)
+
+val sklansky : C.t -> C.net array -> C.net array -> C.net array
+(** Fast parallel-prefix (Sklansky) adder, no carry-in; returns the
+    width-long sum (carry-out dropped — callers size the bus to fit). Depth
+    is logarithmic, which is what gives the Wallace multipliers their short
+    logical depth. *)
+
+val reduce_columns : ?drop_overflow:bool -> C.t -> bit list array -> bit list array
+(** One carry-save (3:2 / 2:2) reduction step over dot-diagram columns:
+    column [p]'s bits are compressed with full/half adders, carries moving
+    to column [p+1]. A carry out of the top column raises
+    [Invalid_argument] unless [drop_overflow] is set, in which case the
+    arithmetic is modulo 2^width — what Booth-recoded trees rely on for
+    their two's-complement wrap-around. *)
+
+val reduce_to_two : ?drop_overflow:bool -> C.t -> bit list array -> bit list array
+(** Iterate {!reduce_columns} until every column holds at most two bits. *)

@@ -1,0 +1,64 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+
+type t = {
+  product : C.net array;
+  coords : (C.cell_id, int * int) Hashtbl.t;
+}
+
+let build circuit ~a ~b =
+  let width = Array.length a in
+  if Array.length b <> width then
+    invalid_arg "Array_core.build: operand width mismatch";
+  if width < 2 then invalid_arg "Array_core.build: width < 2";
+  let coords = Hashtbl.create (width * width * 2) in
+  let tag row col net_opt =
+    match net_opt with
+    | None -> ()
+    | Some net -> begin
+      match C.driver circuit net with
+      | Some (id, _) -> Hashtbl.replace coords id (row, col)
+      | None -> ()
+    end
+  in
+  let partial row col =
+    let net = C.add_gate circuit Cell.And2 [| a.(col); b.(row) |] in
+    tag row col (Some net);
+    net
+  in
+  let product = Array.make (2 * width) None in
+  (* Row 0 is just the first partial-product row. *)
+  let prev_sum = ref (Array.init width (fun j -> Some (partial 0 j))) in
+  let prev_carry = ref (Array.make width None) in
+  product.(0) <- !prev_sum.(0);
+  for row = 1 to width - 1 do
+    let sums = Array.make width None and carries = Array.make width None in
+    for col = 0 to width - 1 do
+      let pp = Some (partial row col) in
+      let diagonal = if col + 1 < width then !prev_sum.(col + 1) else None in
+      let above = !prev_carry.(col) in
+      let sum, carry = Adders.add3 circuit pp diagonal above in
+      tag row col sum;
+      sums.(col) <- sum;
+      carries.(col) <- carry
+    done;
+    product.(row) <- sums.(0);
+    prev_sum := sums;
+    prev_carry := carries
+  done;
+  (* Merge row: ripple-add the leftover sums and carries (positions
+     width .. 2*width-1). *)
+  let ripple = ref None in
+  for col = 0 to width - 1 do
+    let diagonal = if col + 1 < width then !prev_sum.(col + 1) else None in
+    let above = !prev_carry.(col) in
+    let sum, carry = Adders.add3 circuit diagonal above !ripple in
+    tag width col sum;
+    product.(width + col) <- sum;
+    ripple := carry
+  done;
+  let solid = function
+    | Some net -> net
+    | None -> C.tie0 circuit
+  in
+  { product = Array.map solid product; coords }

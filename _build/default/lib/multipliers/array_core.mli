@@ -1,0 +1,21 @@
+(** Combinational Ripple-Carry-Array (RCA) multiplier core.
+
+    The classic carry-save array: one AND per partial-product bit, one
+    adder cell per (row, column), and a final carry-ripple merge row. The
+    carry chain through rows plus the merge ripple is the long critical path
+    that makes this the paper's slow-but-compact baseline.
+
+    Every created cell is tagged with a (row, column) grid coordinate so
+    that {!Pipeliner} can cut the array horizontally (Figure 3) or
+    diagonally (Figure 4). The merge row has row index [width]. *)
+
+module C := Netlist.Circuit
+
+type t = {
+  product : C.net array;  (** 2×width product bits, LSB first. *)
+  coords : (C.cell_id, int * int) Hashtbl.t;  (** cell → (row, col). *)
+}
+
+val build : C.t -> a:C.net array -> b:C.net array -> t
+(** Build the array from already-driven operand nets (normally register
+    outputs). @raise Invalid_argument on width mismatch or width < 2. *)

@@ -1,0 +1,98 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+
+type digit = { one : C.net; two : C.net; neg : C.net }
+
+(* Digit k looks at (b[2k+1], b[2k], b[2k-1]) with b[-1] = 0 and the
+   operand zero-extended above its msb:
+     one = b[2k] xor b[2k-1]
+     two = not one and (b[2k+1] xor b[2k-1])
+     neg = b[2k+1]
+   The all-ones "-0" row produced by (1,1,1) wraps to zero modulo 2^(2w)
+   once its correction bit is added. *)
+let recode circuit ~b =
+  let width = Array.length b in
+  if width < 2 || width mod 2 <> 0 then
+    invalid_arg "Booth.recode: width must be even and >= 2";
+  let zero = C.tie0 circuit in
+  let bit i = if i < 0 || i >= width then zero else b.(i) in
+  let digits = (width / 2) + 1 in
+  Array.init digits (fun k ->
+      let low = bit ((2 * k) - 1)
+      and mid = bit (2 * k)
+      and high = bit ((2 * k) + 1) in
+      let one = C.add_gate circuit Cell.Xor2 [| mid; low |] in
+      let spread = C.add_gate circuit Cell.Xor2 [| high; low |] in
+      let not_one = C.add_gate circuit Cell.Inv [| one |] in
+      let two = C.add_gate circuit Cell.And2 [| not_one; spread |] in
+      { one; two; neg = high })
+
+let core circuit ~a ~b =
+  let width = Array.length a in
+  if Array.length b <> width then
+    invalid_arg "Booth.core: operand width mismatch";
+  if width < 4 || width mod 2 <> 0 then
+    invalid_arg "Booth.core: width must be even and >= 4";
+  let out_width = 2 * width in
+  let digits = recode circuit ~b in
+  let zero = C.tie0 circuit in
+  let columns = Array.make out_width [] in
+  let place column net =
+    if column < out_width then columns.(column) <- Some net :: columns.(column)
+  in
+  Array.iteri
+    (fun k digit ->
+      let base = 2 * k in
+      (* Partial-product bits: |d|*a with the sign applied bitwise; the
+         missing +1 of the two's complement is the correction bit below. *)
+      for i = 0 to width do
+        let a_i = if i < width then a.(i) else zero in
+        let a_im1 = if i = 0 then zero else a.(i - 1) in
+        let from_one = C.add_gate circuit Cell.And2 [| digit.one; a_i |] in
+        let from_two = C.add_gate circuit Cell.And2 [| digit.two; a_im1 |] in
+        let magnitude = C.add_gate circuit Cell.Or2 [| from_one; from_two |] in
+        let bit = C.add_gate circuit Cell.Xor2 [| magnitude; digit.neg |] in
+        place (base + i) bit
+      done;
+      (* Compact sign extension: the string of sign bits from column
+         base+width+1 upward is worth −neg·2^(base+width+1) modulo 2^(2w),
+         i.e. (not neg)·2^(base+width+1) plus a constant handled below.
+         The top digit is never negative — nothing to extend there. *)
+      if k < Array.length digits - 1 then begin
+        let not_neg = C.add_gate circuit Cell.Inv [| digit.neg |] in
+        place (base + width + 1) not_neg
+      end;
+      (* Two's-complement correction. *)
+      place base digit.neg)
+    digits;
+  (* The constant part of the compact sign extension:
+     sum over rows of −2^(base+width+1), modulo 2^(2w). *)
+  let constant =
+    let mask = (1 lsl out_width) - 1 in
+    let rec total k acc =
+      if k >= Array.length digits - 1 then acc land mask
+      else total (k + 1) (acc - (1 lsl ((2 * k) + width + 1)))
+    in
+    total 0 0
+  in
+  let one = C.tie1 circuit in
+  for column = 0 to out_width - 1 do
+    if (constant lsr column) land 1 = 1 then place column one
+  done;
+  let reduced = Adders.reduce_to_two ~drop_overflow:true circuit columns in
+  let row_a = Array.make out_width None and row_b = Array.make out_width None in
+  Array.iteri
+    (fun i column ->
+      match column with
+      | [] -> ()
+      | [ x ] -> row_a.(i) <- x
+      | [ x; y ] ->
+        row_a.(i) <- x;
+        row_b.(i) <- y
+      | _ -> assert false)
+    reduced;
+  let solid = function Some n -> n | None -> zero in
+  Adders.sklansky circuit (Array.map solid row_a) (Array.map solid row_b)
+
+let basic ~bits =
+  Registered.build ~name:"booth_basic" ~label:"Booth r4" ~bits ~core

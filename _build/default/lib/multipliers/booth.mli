@@ -1,0 +1,32 @@
+(** Radix-4 (modified) Booth multiplier — an extension beyond the paper's
+    set.
+
+    Booth recoding halves the number of partial-product rows (w/2 + 1
+    signed digits in {−2, −1, 0, 1, 2} for an unsigned w-bit multiplier),
+    trading AND-array rows for recoding logic and two's-complement
+    correction bits. The resulting tree is shallower than the plain Wallace
+    tree, which is exactly the kind of architectural knob Eq. 13 is meant
+    to evaluate — fewer rows (lower N in the tree, shorter LD) against the
+    recoder overhead. *)
+
+val basic : bits:int -> Spec.t
+(** Registered unsigned multiplier. @raise Invalid_argument unless [bits]
+    is even and ≥ 4. *)
+
+val core : Netlist.Circuit.t ->
+  a:Netlist.Circuit.net array ->
+  b:Netlist.Circuit.net array ->
+  Netlist.Circuit.net array
+(** Bare combinational Booth tree (usable with {!Parallelize.wrap}). *)
+
+type digit = {
+  one : Netlist.Circuit.net;  (** |d| = 1. *)
+  two : Netlist.Circuit.net;  (** |d| = 2. *)
+  neg : Netlist.Circuit.net;  (** d < 0 (also set on the −0 encoding, which
+      the wrap-around correction cancels exactly). *)
+}
+
+val recode :
+  Netlist.Circuit.t -> b:Netlist.Circuit.net array -> digit array
+(** The w/2 + 1 radix-4 Booth digits of an (even-width) operand, exposed
+    for white-box testing. *)

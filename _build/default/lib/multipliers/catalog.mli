@@ -1,0 +1,23 @@
+(** The paper's thirteen 16-bit multiplier architectures, in Table 1 order. *)
+
+type entry = {
+  label : string;  (** Exact Table 1 row label. *)
+  build : unit -> Spec.t;  (** Generators are lazy — building all thirteen
+      costs a few hundred thousand cells. *)
+}
+
+val entries : entry list
+(** Thirteen entries, Table 1 order. *)
+
+val extensions : entry list
+(** Architectures beyond the paper's set (radix-4 Booth, Dadda, and their
+    parallelised versions) — extra points for the model to score. *)
+
+val find : string -> entry
+(** Lookup by label, searching {!entries} then {!extensions}.
+    @raise Not_found. *)
+
+val build_all : unit -> Spec.t list
+
+val default_bits : int
+(** 16 — the operand width used throughout the paper. *)

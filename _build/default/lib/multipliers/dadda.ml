@@ -1,0 +1,82 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+
+let heights limit =
+  let rec grow h acc =
+    let next = int_of_float (Float.floor (1.5 *. float_of_int h)) in
+    if h >= limit then acc else grow next (h :: acc)
+  in
+  grow 2 []
+
+(* One Dadda stage: compress every column to at most [target] bits, using
+   the minimum number of adders (full adders first, a half adder only when
+   one step short). Carries ripple into the next column within the same
+   stage, as in Dadda's original formulation. *)
+let reduce_to_height circuit target columns =
+  let width = Array.length columns in
+  let result = Array.make width [] in
+  let incoming = Array.make (width + 1) [] in
+  for p = 0 to width - 1 do
+    let bits = List.filter_map Fun.id columns.(p) @ incoming.(p) in
+    let rec compress bits =
+      let n = List.length bits in
+      if n <= target then
+        result.(p) <- List.map (fun b -> Some b) bits
+      else begin
+        match bits with
+        | x :: y :: z :: rest when n >= target + 2 ->
+          (* A full adder removes two bits from this column. *)
+          (match C.add_cell circuit Cell.Full_adder [| x; y; z |] with
+          | [| sum; carry |] ->
+            incoming.(p + 1) <- carry :: incoming.(p + 1);
+            compress (sum :: rest)
+          | _ -> assert false)
+        | x :: y :: rest ->
+          (* One bit over target: a half adder suffices. *)
+          (match C.add_cell circuit Cell.Half_adder [| x; y |] with
+          | [| sum; carry |] ->
+            incoming.(p + 1) <- carry :: incoming.(p + 1);
+            compress (sum :: rest)
+          | _ -> assert false)
+        | [ _ ] | [] -> result.(p) <- List.map (fun b -> Some b) bits
+      end
+    in
+    compress bits
+  done;
+  if incoming.(width) <> [] then
+    invalid_arg "Dadda.reduce_to_height: carry out of the top column";
+  result
+
+let core circuit ~a ~b =
+  let width = Array.length a in
+  if Array.length b <> width then
+    invalid_arg "Dadda.core: operand width mismatch";
+  let out_width = 2 * width in
+  let columns = Array.make out_width [] in
+  for i = 0 to width - 1 do
+    for j = 0 to width - 1 do
+      let pp = C.add_gate circuit Cell.And2 [| a.(j); b.(i) |] in
+      columns.(i + j) <- Some pp :: columns.(i + j)
+    done
+  done;
+  let reduced =
+    List.fold_left
+      (fun cols target -> reduce_to_height circuit target cols)
+      columns (heights width)
+  in
+  let row_a = Array.make out_width None and row_b = Array.make out_width None in
+  Array.iteri
+    (fun i column ->
+      match column with
+      | [] -> ()
+      | [ x ] -> row_a.(i) <- x
+      | [ x; y ] ->
+        row_a.(i) <- x;
+        row_b.(i) <- y
+      | _ -> invalid_arg "Dadda.core: reduction incomplete")
+    reduced;
+  let solid = function Some n -> n | None -> C.tie0 circuit in
+  Adders.sklansky circuit (Array.map solid row_a) (Array.map solid row_b)
+
+let basic ~bits =
+  Registered.build ~name:"dadda_basic" ~label:"Dadda" ~bits ~core

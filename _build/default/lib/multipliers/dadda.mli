@@ -1,0 +1,18 @@
+(** Dadda multiplier — an extension beyond the paper's set.
+
+    Same partial products as the Wallace tree, but reduced as lazily as
+    possible: each stage only compresses columns down to the next number in
+    Dadda's height sequence (2, 3, 4, 6, 9, 13, 19, ...), deferring work to
+    the final fast adder. Fewer adder cells than Wallace at the same stage
+    count — a lower-N, same-LD point for Eq. 13 to score. *)
+
+val basic : bits:int -> Spec.t
+
+val core : Netlist.Circuit.t ->
+  a:Netlist.Circuit.net array ->
+  b:Netlist.Circuit.net array ->
+  Netlist.Circuit.net array
+
+val heights : int -> int list
+(** The Dadda height sequence up to (and excluding) the first value ≥ the
+    argument, descending — e.g. [heights 16 = [13; 9; 6; 4; 3; 2]]. *)

@@ -1,0 +1,63 @@
+module Sim = Logicsim.Simulator
+module Bus = Logicsim.Bus
+
+let fresh_simulator (spec : Spec.t) = Sim.create spec.circuit
+
+let compute (spec : Spec.t) sim x y =
+  Bus.drive sim spec.a_bus x;
+  Bus.drive sim spec.b_bus y;
+  Sim.settle sim;
+  for _ = 1 to spec.latency_ticks do
+    Sim.clock_tick sim;
+    Sim.settle sim
+  done;
+  Bus.read_exn sim spec.p_bus
+
+let check_pairs (spec : Spec.t) pairs =
+  let sim = fresh_simulator spec in
+  List.filter_map
+    (fun (x, y) ->
+      let got = compute spec sim x y in
+      let expected = x * y in
+      if got = expected then None else Some (x, y, expected, got))
+    pairs
+
+let check_random ?(seed = 42) (spec : Spec.t) ~samples =
+  let rng = Numerics.Rng.create seed in
+  let bound = 1 lsl spec.bits in
+  let pairs =
+    List.init samples (fun _ ->
+        (Numerics.Rng.int rng bound, Numerics.Rng.int rng bound))
+  in
+  check_pairs spec pairs
+
+let check_corners (spec : Spec.t) =
+  let top = (1 lsl spec.bits) - 1 in
+  let alternating = 0x5555 land top and alternating' = 0xAAAA land top in
+  let values = [ 0; 1; top; alternating; alternating' ] in
+  let pairs =
+    List.concat_map (fun x -> List.map (fun y -> (x, y)) values) values
+  in
+  check_pairs spec pairs
+
+type measured = {
+  activity : float;
+  glitch_ratio : float;
+  toggles_per_cycle : float;
+}
+
+let measure_activity ?(seed = 7) ?(cycles = 160) (spec : Spec.t) =
+  let sim = fresh_simulator spec in
+  let rng = Numerics.Rng.create seed in
+  let drive =
+    Logicsim.Activity.random_drive ~rng ~buses:[ spec.a_bus; spec.b_bus ]
+  in
+  let result =
+    Logicsim.Activity.measure ~warmup:6
+      ~ticks_per_cycle:spec.ticks_per_cycle ~cycles ~drive sim
+  in
+  {
+    activity = result.activity;
+    glitch_ratio = result.glitch_ratio;
+    toggles_per_cycle = result.toggles_per_cycle;
+  }

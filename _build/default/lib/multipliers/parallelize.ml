@@ -1,0 +1,78 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+
+let ring_counter circuit ~length ~hot =
+  if length < 2 then invalid_arg "Parallelize.ring_counter: length < 2";
+  if hot < 0 || hot >= length then
+    invalid_arg "Parallelize.ring_counter: hot out of range";
+  (* Build the loop by creating flip-flops first, then closing the cycle
+     with a rewire of position 0's D input. *)
+  let seed = C.tie0 circuit in
+  let phases = Array.make length seed in
+  for i = 0 to length - 1 do
+    let d = if i = 0 then seed else phases.(i - 1) in
+    let init = if i = hot then Netlist.Logic.One else Netlist.Logic.Zero in
+    phases.(i) <- C.add_dff ~init circuit d
+  done;
+  (match C.driver circuit phases.(0) with
+  | Some (id, _) -> C.rewire_input circuit id 0 phases.(length - 1)
+  | None -> assert false);
+  phases
+
+let loadable_register circuit ~load ~input =
+  (* Q holds unless [load] is high, in which case it captures [input]. *)
+  let q_placeholder = C.tie0 circuit in
+  let mux = C.add_gate circuit Cell.Mux2 [| q_placeholder; input; load |] in
+  let q = C.add_dff circuit mux in
+  (match C.driver circuit mux with
+  | Some (id, _) -> C.rewire_input circuit id 0 q
+  | None -> assert false);
+  q
+
+let one_hot_mux circuit ~selects ~buses =
+  let copies = Array.length buses in
+  assert (copies = Array.length selects && copies > 0);
+  let width = Array.length buses.(0) in
+  Array.init width (fun i ->
+      let gated =
+        Array.to_list
+          (Array.init copies (fun c ->
+               C.add_gate circuit Cell.And2 [| buses.(c).(i); selects.(c) |]))
+      in
+      match gated with
+      | [] -> assert false
+      | first :: rest ->
+        List.fold_left
+          (fun acc n -> C.add_gate circuit Cell.Or2 [| acc; n |])
+          first rest)
+
+let wrap ~name ~bits ~copies ~core =
+  if copies < 2 then invalid_arg "Parallelize.wrap: copies < 2";
+  let circuit = C.create name in
+  let a_bus = C.add_input_bus circuit "a" bits in
+  let b_bus = C.add_input_bus circuit "b" bits in
+  let phases = ring_counter circuit ~length:copies ~hot:0 in
+  let products =
+    Array.init copies (fun c ->
+        let load = phases.(c) in
+        let a = Array.map (fun n -> loadable_register circuit ~load ~input:n) a_bus in
+        let b = Array.map (fun n -> loadable_register circuit ~load ~input:n) b_bus in
+        core circuit ~a ~b)
+  in
+  (* A copy is consumed during the same cycle its reload phase is hot: the
+     operands it captured k cycles ago have had the full k periods. *)
+  let merged = one_hot_mux circuit ~selects:phases ~buses:products in
+  let p_bus = Array.map (fun n -> C.add_dff circuit n) merged in
+  C.mark_output_bus circuit p_bus "p";
+  {
+    Spec.name;
+    style = Spec.Replicated copies;
+    circuit;
+    bits;
+    a_bus;
+    b_bus;
+    p_bus;
+    latency_ticks = (2 * copies) + 3;
+    ticks_per_cycle = 1;
+    timing_periods = float_of_int copies;
+  }

@@ -1,0 +1,25 @@
+(** Generic k-fold parallelisation — "replicating the basic multiplier and
+    multiplexing data across them" (Section 4 of the paper).
+
+    A one-hot ring counter round-robins operand capture across k copies of a
+    combinational core; each copy then has k data periods to settle, which
+    is what relaxes the timing constraint (timing_periods = k), at the cost
+    of more cells and the output-multiplexing overhead that eventually
+    cancels the benefit (Wallace par4 in the paper). *)
+
+val wrap :
+  name:string ->
+  bits:int ->
+  copies:int ->
+  core:
+    (Netlist.Circuit.t ->
+    a:Netlist.Circuit.net array ->
+    b:Netlist.Circuit.net array ->
+    Netlist.Circuit.net array) ->
+  Spec.t
+(** @raise Invalid_argument if [copies < 2]. *)
+
+val ring_counter :
+  Netlist.Circuit.t -> length:int -> hot:int -> Netlist.Circuit.net array
+(** One-hot ring of [length] flip-flops with position [hot] set at power-up;
+    the hot position advances by one every clock tick. *)

@@ -1,0 +1,144 @@
+module C = Netlist.Circuit
+
+type cut = Horizontal | Diagonal
+
+let register_bus circuit bus = Array.map (fun n -> C.add_dff circuit n) bus
+
+let io_frame ~name ~bits build_core =
+  let circuit = C.create name in
+  let a_bus = C.add_input_bus circuit "a" bits in
+  let b_bus = C.add_input_bus circuit "b" bits in
+  let a = register_bus circuit a_bus in
+  let b = register_bus circuit b_bus in
+  let product, extra_latency = build_core circuit ~a ~b in
+  let p = register_bus circuit product in
+  C.mark_output_bus circuit p "p";
+  (circuit, a_bus, b_bus, p, extra_latency)
+
+let core circuit ~a ~b = (Array_core.build circuit ~a ~b).product
+
+let basic ~bits = Registered.build ~name:"rca_basic" ~label:"RCA" ~bits ~core
+
+(* Cut metric: a scalar per grid cell that never decreases along signal
+   flow. Horizontal cuts use the row index (the merge row counts as row
+   [bits] and cannot be split); diagonal cuts use d = 2*row + col, which
+   strictly increases along sum, carry and merge-ripple edges alike and so
+   slices the merge ripple too — the shorter logical depth, at the price of
+   a wider spread of path delays (more glitching), exactly the trade-off
+   the paper describes. *)
+let cut_metric ~cut ~bits (row, col) =
+  match cut with
+  | Horizontal -> row
+  | Diagonal ->
+    (* Anti-diagonal cut. Weights make the metric advance roughly in
+       proportion to delay along every edge class: sum edges
+       (row+1, col-1) advance 4, carry edges (row+1, col) advance 3, and
+       the merge ripple advances 3 per cell — so thresholds slice sum
+       chains, carry chains and the final ripple alike (Figure 4). *)
+    if row = bits then (4 * bits) - 1 + (3 * col)
+    else (3 * row) - col + bits - 1
+
+let max_metric ~cut ~bits =
+  match cut with Horizontal -> bits | Diagonal -> (7 * bits) - 4
+
+let stage_of_metric thresholds m =
+  Array.fold_left (fun acc t -> if m >= t then acc + 1 else acc) 0 thresholds
+
+let cut_name = function Horizontal -> "hor.pipe" | Diagonal -> "diagpipe"
+
+let build_pipelined ~bits ~stages ~cut ~thresholds =
+  let name = Printf.sprintf "rca_%s%d" (cut_name cut) stages in
+  io_frame ~name ~bits (fun circuit ~a ~b ->
+      let array = Array_core.build circuit ~a ~b in
+      let stage_of_cell id =
+        Option.map
+          (fun coords -> stage_of_metric thresholds (cut_metric ~cut ~bits coords))
+          (Hashtbl.find_opt array.coords id)
+      in
+      let delayed =
+        Pipeliner.insert circuit ~stage_of_cell ~max_stage:(stages - 1)
+          ~outputs:array.product
+      in
+      (delayed, stages - 1))
+
+(* The stage boundaries are chosen by coordinate descent on the measured
+   STA depth — mirroring how a synthesis tool would retime the register
+   banks to balance the stages. Deterministic and cheap (each candidate is
+   a few hundred cells). *)
+let optimize_thresholds ~bits ~stages ~cut =
+  let top = max_metric ~cut ~bits in
+  let depth thresholds =
+    let circuit, _, _, _, _ = build_pipelined ~bits ~stages ~cut ~thresholds in
+    Netlist.Timing.logical_depth circuit
+  in
+  let valid thresholds =
+    let sorted = Array.copy thresholds in
+    Array.sort compare sorted;
+    sorted = thresholds
+    && Array.for_all (fun t -> t >= 1 && t <= top) thresholds
+  in
+  let current =
+    Array.init (stages - 1) (fun i -> (i + 1) * (top + 1) / stages)
+  in
+  let best = ref (Array.copy current) in
+  let best_depth = ref (depth current) in
+  (* A single boundary is cheap enough to scan exhaustively. *)
+  if stages = 2 then
+    for t = 1 to top do
+      let candidate = [| t |] in
+      let d = depth candidate in
+      if d < !best_depth -. 1e-9 then begin
+        best := candidate;
+        best_depth := d
+      end
+    done;
+  let steps = [ 8; 4; 2; 1 ] in
+  List.iter
+    (fun step ->
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        for i = 0 to stages - 2 do
+          List.iter
+            (fun delta ->
+              let candidate = Array.copy !best in
+              candidate.(i) <- candidate.(i) + delta;
+              if valid candidate then begin
+                let d = depth candidate in
+                if d < !best_depth -. 1e-9 then begin
+                  best := candidate;
+                  best_depth := d;
+                  improved := true
+                end
+              end)
+            [ step; -step ]
+        done
+      done)
+    steps;
+  !best
+
+let cut_preview ~bits ~stages ~cut =
+  let thresholds = optimize_thresholds ~bits ~stages ~cut in
+  Array.init (bits + 1) (fun row ->
+      Array.init bits (fun col ->
+          stage_of_metric thresholds (cut_metric ~cut ~bits (row, col))))
+
+let pipelined ~bits ~stages ~cut =
+  if stages < 2 then invalid_arg "Rca.pipelined: stages < 2";
+  if stages > bits then invalid_arg "Rca.pipelined: stages > bits";
+  let thresholds = optimize_thresholds ~bits ~stages ~cut in
+  let circuit, a_bus, b_bus, p_bus, _ =
+    build_pipelined ~bits ~stages ~cut ~thresholds
+  in
+  {
+    Spec.name = Printf.sprintf "RCA %s%d" (cut_name cut) stages;
+    style = Spec.Pipelined stages;
+    circuit;
+    bits;
+    a_bus;
+    b_bus;
+    p_bus;
+    latency_ticks = 2 + stages;
+    ticks_per_cycle = 1;
+    timing_periods = 1.0;
+  }

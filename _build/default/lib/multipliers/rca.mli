@@ -1,0 +1,27 @@
+(** The Ripple-Carry-Array multiplier family: basic, horizontally pipelined
+    (Figure 3) and diagonally pipelined (Figure 4) flavors. *)
+
+type cut =
+  | Horizontal
+      (** Register banks inserted across full rows — fewer glitches, the
+          paper's preferred low-power pipelining. *)
+  | Diagonal
+      (** Register banks along diagonals — shorter logical depth, but a
+          wider spread of path delays and therefore more glitching. *)
+
+val basic : bits:int -> Spec.t
+(** Flat array with registered operands and product. *)
+
+val pipelined : bits:int -> stages:int -> cut:cut -> Spec.t
+(** [stages] ≥ 2 pipeline stages through the array.
+    @raise Invalid_argument if [stages < 2] or [stages > bits]. *)
+
+val core : Netlist.Circuit.t ->
+  a:Netlist.Circuit.net array ->
+  b:Netlist.Circuit.net array ->
+  Netlist.Circuit.net array
+(** Bare combinational array (for the parallelised versions). *)
+
+val cut_preview : bits:int -> stages:int -> cut:cut -> int array array
+(** Stage number of each grid cell — [.(row).(col)] with the merge row at
+    index [bits] — under the optimised cut. Renders Figures 3 and 4. *)

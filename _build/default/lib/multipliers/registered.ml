@@ -1,0 +1,25 @@
+module C = Netlist.Circuit
+
+let register_bus circuit bus = Array.map (fun n -> C.add_dff circuit n) bus
+
+let build ~name ~label ~bits ~core =
+  let circuit = C.create name in
+  let a_bus = C.add_input_bus circuit "a" bits in
+  let b_bus = C.add_input_bus circuit "b" bits in
+  let a = register_bus circuit a_bus in
+  let b = register_bus circuit b_bus in
+  let product = core circuit ~a ~b in
+  let p_bus = register_bus circuit product in
+  C.mark_output_bus circuit p_bus "p";
+  {
+    Spec.name = label;
+    style = Spec.Combinational;
+    circuit;
+    bits;
+    a_bus;
+    b_bus;
+    p_bus;
+    latency_ticks = 3;
+    ticks_per_cycle = 1;
+    timing_periods = 1.0;
+  }

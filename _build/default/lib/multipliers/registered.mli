@@ -1,0 +1,18 @@
+(** Shared frame for flat (combinational-core) multipliers: operand
+    registers in, product register out. *)
+
+val build :
+  name:string ->
+  label:string ->
+  bits:int ->
+  core:
+    (Netlist.Circuit.t ->
+    a:Netlist.Circuit.net array ->
+    b:Netlist.Circuit.net array ->
+    Netlist.Circuit.net array) ->
+  Spec.t
+(** [name] is the circuit name (identifier-ish), [label] the display name. *)
+
+val register_bus :
+  Netlist.Circuit.t -> Netlist.Circuit.net array -> Netlist.Circuit.net array
+(** One flip-flop per bit. *)

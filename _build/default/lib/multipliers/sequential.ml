@@ -1,0 +1,187 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+
+module Core = struct
+  type t = {
+    out : C.net array;
+    p_hi : C.net array;
+    p_lo : C.net array;
+  }
+
+  let mux circuit ~sel d0 d1 = C.add_gate circuit Cell.Mux2 [| d0; d1; sel |]
+
+  (* Registers whose Q feeds back elsewhere need the net before the DFF
+     exists; build Q from a placeholder D and patch afterwards. *)
+  let late_dff circuit =
+    let placeholder = C.tie0 circuit in
+    let q = C.add_dff circuit placeholder in
+    let patch d =
+      match C.driver circuit q with
+      | Some (id, _) -> C.rewire_input circuit id 0 d
+      | None -> assert false
+    in
+    (q, patch)
+
+  let snapshot_register circuit ~load ~value =
+    (* out <- value when load, else hold. *)
+    let q, patch = late_dff circuit in
+    patch (mux circuit ~sel:load q value);
+    q
+
+  let add_shift circuit ~a_in ~b_in ~load =
+    let w = Array.length a_in in
+    if Array.length b_in <> w then
+      invalid_arg "Sequential.Core.add_shift: width mismatch";
+    if w < 2 then invalid_arg "Sequential.Core.add_shift: width < 2";
+    let not_load = C.add_gate circuit Cell.Inv [| load |] in
+    (* Operand register A with its combinational next value (used by the
+       addend row during the load cycle, before A captures). *)
+    let p_lo_q = Array.init w (fun _ -> late_dff circuit) in
+    let p_lo = Array.map fst p_lo_q in
+    let a_next =
+      Array.init w (fun j ->
+          let q, patch = late_dff circuit in
+          let next = mux circuit ~sel:load q a_in.(j) in
+          patch next;
+          next)
+    in
+    (* Multiplier bit 0 for this step: fresh b at load, shifted P_lo after. *)
+    let bit0 = mux circuit ~sel:load p_lo.(0) b_in.(0) in
+    let addend =
+      Array.map (fun aj -> C.add_gate circuit Cell.And2 [| aj; bit0 |]) a_next
+    in
+    (* Accumulator, zeroed on load so the load cycle performs step 1. *)
+    let p_hi_q = Array.init w (fun _ -> late_dff circuit) in
+    let p_hi = Array.map fst p_hi_q in
+    let acc =
+      Array.map (fun h -> C.add_gate circuit Cell.And2 [| h; not_load |]) p_hi
+    in
+    let sum, cout = Adders.ripple_carry circuit acc addend in
+    (* Shift right: P_hi <- {cout, sum[w-1:1]}, P_lo <- {sum[0], tail}. *)
+    Array.iteri
+      (fun j (_, patch) -> patch (if j = w - 1 then cout else sum.(j + 1)))
+      p_hi_q;
+    Array.iteri
+      (fun j (_, patch) ->
+        if j = w - 1 then patch sum.(0)
+        else patch (mux circuit ~sel:load p_lo.(j + 1) b_in.(j + 1)))
+      p_lo_q;
+    let value = Array.append p_lo p_hi in
+    let out =
+      Array.map (fun v -> snapshot_register circuit ~load ~value:v) value
+    in
+    { out; p_hi; p_lo }
+
+  let add_shift4 circuit ~a_in ~b_in ~load =
+    let w = Array.length a_in in
+    if Array.length b_in <> w then
+      invalid_arg "Sequential.Core.add_shift4: width mismatch";
+    if w mod 4 <> 0 || w < 8 then
+      invalid_arg "Sequential.Core.add_shift4: width must be a multiple of 4";
+    let radix = 4 in
+    let not_load = C.add_gate circuit Cell.Inv [| load |] in
+    let p_lo_q = Array.init w (fun _ -> late_dff circuit) in
+    let p_lo = Array.map fst p_lo_q in
+    let a_next =
+      Array.init w (fun j ->
+          let q, patch = late_dff circuit in
+          let next = mux circuit ~sel:load q a_in.(j) in
+          patch next;
+          next)
+    in
+    let bsel =
+      Array.init radix (fun k -> mux circuit ~sel:load p_lo.(k) b_in.(k))
+    in
+    let row k =
+      ( Array.map
+          (fun aj -> Some (C.add_gate circuit Cell.And2 [| aj; bsel.(k) |]))
+          a_next,
+        k )
+    in
+    let p_hi_q = Array.init w (fun _ -> late_dff circuit) in
+    let p_hi = Array.map fst p_hi_q in
+    let acc =
+      ( Array.map
+          (fun h -> Some (C.add_gate circuit Cell.And2 [| h; not_load |]))
+          p_hi,
+        0 )
+    in
+    let sum =
+      Wallace.reduce_rows circuit
+        ~rows:(acc :: List.init radix row)
+        ~width:(w + radix)
+    in
+    (* Shift right by the radix. *)
+    Array.iteri (fun j (_, patch) -> patch sum.(j + radix)) p_hi_q;
+    Array.iteri
+      (fun j (_, patch) ->
+        if j >= w - radix then patch sum.(j - (w - radix))
+        else patch (mux circuit ~sel:load p_lo.(j + radix) b_in.(j + radix)))
+      p_lo_q;
+    let value = Array.append p_lo p_hi in
+    let out =
+      Array.map (fun v -> snapshot_register circuit ~load ~value:v) value
+    in
+    { out; p_hi; p_lo }
+end
+
+let make ~name ~style ~bits ~ticks_per_cycle ~latency_data_cycles ~build =
+  let circuit = C.create name in
+  let a_bus = C.add_input_bus circuit "a" bits in
+  let b_bus = C.add_input_bus circuit "b" bits in
+  let p_bus = build circuit ~a_bus ~b_bus in
+  C.mark_output_bus circuit p_bus "p";
+  {
+    Spec.name;
+    style;
+    circuit;
+    bits;
+    a_bus;
+    b_bus;
+    p_bus;
+    latency_ticks = latency_data_cycles * ticks_per_cycle;
+    ticks_per_cycle;
+    timing_periods = 1.0 /. float_of_int ticks_per_cycle;
+  }
+
+let basic ~bits =
+  make ~name:"Sequential" ~style:(Spec.Sequential bits) ~bits
+    ~ticks_per_cycle:bits ~latency_data_cycles:3
+    ~build:(fun circuit ~a_bus ~b_bus ->
+      let phases = Parallelize.ring_counter circuit ~length:bits ~hot:0 in
+      let core =
+        Core.add_shift circuit ~a_in:a_bus ~b_in:b_bus ~load:phases.(0)
+      in
+      core.out)
+
+let wallace_4_16 ~bits =
+  let cycles = bits / 4 in
+  make ~name:"Seq4_16" ~style:(Spec.Sequential cycles) ~bits
+    ~ticks_per_cycle:cycles ~latency_data_cycles:3
+    ~build:(fun circuit ~a_bus ~b_bus ->
+      let phases = Parallelize.ring_counter circuit ~length:cycles ~hot:0 in
+      let core =
+        Core.add_shift4 circuit ~a_in:a_bus ~b_in:b_bus ~load:phases.(0)
+      in
+      core.out)
+
+let parallel ~bits =
+  let half = bits / 2 in
+  make ~name:"Seq parallel" ~style:(Spec.Sequential half) ~bits
+    ~ticks_per_cycle:half ~latency_data_cycles:5
+    ~build:(fun circuit ~a_bus ~b_bus ->
+      (* Two interleaved add-shift cores sharing one ring; core 0 loads at
+         phase 0, core 1 half a multiplication later. Each data period is
+         [bits/2] internal ticks, so each core completes every two data
+         periods — together, one product per period. *)
+      let phases = Parallelize.ring_counter circuit ~length:bits ~hot:0 in
+      let load0 = phases.(0) and load1 = phases.(half) in
+      let core0 = Core.add_shift circuit ~a_in:a_bus ~b_in:b_bus ~load:load0 in
+      let core1 = Core.add_shift circuit ~a_in:a_bus ~b_in:b_bus ~load:load1 in
+      (* Select whichever core most recently completed (SR behaviour). *)
+      let sel_q, patch = Core.late_dff circuit in
+      let hold = Core.mux circuit ~sel:load0 sel_q (C.tie1 circuit) in
+      patch (Core.mux circuit ~sel:load1 hold (C.tie0 circuit));
+      let sel1 = C.add_gate circuit Cell.Inv [| sel_q |] in
+      Array.init (2 * bits) (fun i ->
+          Core.mux circuit ~sel:sel1 core0.out.(i) core1.out.(i)))

@@ -1,0 +1,46 @@
+(** Sequential (add-and-shift) multipliers.
+
+    The basic version uses one w-bit adder and w internal clock cycles per
+    multiplication — very compact but, measured against the data clock, very
+    slow (LDeff multiplied by w) and very active (a can exceed 1), which is
+    why the paper finds it hopeless for low power at this throughput.
+
+    The "4_16" variant adds four partial products per cycle through a 4×16
+    carry-save tree, cutting the cycle count to four. The parallel variant
+    interleaves two basic cores. *)
+
+val basic : bits:int -> Spec.t
+(** Internal clock = bits × data clock; ring-counter control. *)
+
+val wallace_4_16 : bits:int -> Spec.t
+(** Four multiplier bits retired per internal cycle (bits/4 cycles).
+    @raise Invalid_argument unless [bits] is a multiple of 4. *)
+
+val parallel : bits:int -> Spec.t
+(** Two interleaved basic cores; internal clock = bits/2 × data clock. *)
+
+(** The add-shift datapath, exposed for reuse and white-box testing. *)
+module Core : sig
+  type t = {
+    out : Netlist.Circuit.net array;  (** Registered product, 2×bits. *)
+    p_hi : Netlist.Circuit.net array;  (** Accumulator high half (Q nets). *)
+    p_lo : Netlist.Circuit.net array;  (** Shift register low half (Q nets). *)
+  }
+
+  val add_shift :
+    Netlist.Circuit.t ->
+    a_in:Netlist.Circuit.net array ->
+    b_in:Netlist.Circuit.net array ->
+    load:Netlist.Circuit.net ->
+    t
+  (** One radix-2 add-shift step per clock; the load cycle performs step 1
+      on the fresh operands and snapshots the previous product into [out]. *)
+
+  val add_shift4 :
+    Netlist.Circuit.t ->
+    a_in:Netlist.Circuit.net array ->
+    b_in:Netlist.Circuit.net array ->
+    load:Netlist.Circuit.net ->
+    t
+  (** Radix-16 step: four multiplier bits per clock via carry-save rows. *)
+end

@@ -1,0 +1,52 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+
+let to_signed ~bits value =
+  if value land (1 lsl (bits - 1)) <> 0 then value - (1 lsl bits) else value
+
+let of_signed ~bits value =
+  let half = 1 lsl (bits - 1) in
+  if value < -half || value >= half then
+    invalid_arg "Signed_mult.of_signed: out of range";
+  value land ((1 lsl bits) - 1)
+
+let core ~unsigned circuit ~a ~b =
+  let width = Array.length a in
+  if Array.length b <> width then
+    invalid_arg "Signed_mult.core: operand width mismatch";
+  let out_width = 2 * width in
+  let product = unsigned circuit ~a ~b in
+  if Array.length product <> out_width then
+    invalid_arg "Signed_mult.core: unsigned core has unexpected width";
+  let sa = a.(width - 1) and sb = b.(width - 1) in
+  (* -(s * x) over the upper half, modulo 2^w: NOT(s AND x_j) per bit plus
+     one; the two +1 constants combine into a single bit one column up. *)
+  let negated_row s x =
+    Array.map (fun xj -> C.add_gate circuit Cell.Nand2 [| s; xj |]) x
+  in
+  let row_a = negated_row sa b and row_b = negated_row sb a in
+  let columns = Array.make out_width [] in
+  let place column net =
+    if column < out_width then columns.(column) <- Some net :: columns.(column)
+  in
+  Array.iteri (fun i bit -> place i bit) product;
+  Array.iteri (fun j bit -> place (width + j) bit) row_a;
+  Array.iteri (fun j bit -> place (width + j) bit) row_b;
+  place (width + 1) (C.tie1 circuit);
+  let reduced = Adders.reduce_to_two ~drop_overflow:true circuit columns in
+  let row_x = Array.make out_width None and row_y = Array.make out_width None in
+  Array.iteri
+    (fun i column ->
+      match column with
+      | [] -> ()
+      | [ x ] -> row_x.(i) <- x
+      | [ x; y ] ->
+        row_x.(i) <- x;
+        row_y.(i) <- y
+      | _ -> assert false)
+    reduced;
+  let solid = function Some n -> n | None -> C.tie0 circuit in
+  Adders.sklansky circuit (Array.map solid row_x) (Array.map solid row_y)
+
+let basic ~name ~bits ~unsigned =
+  Registered.build ~name ~label:name ~bits ~core:(core ~unsigned)

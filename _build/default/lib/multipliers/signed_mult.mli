@@ -1,0 +1,35 @@
+(** Two's-complement multiplication on top of any unsigned core.
+
+    Uses the modular identity
+    [a_s · b_s ≡ ua·ub − 2^w·(sa·ub + sb·ua) (mod 2^(2w))]:
+    the unsigned product plus two conditionally negated upper-half rows,
+    merged in carry-save — so every unsigned architecture in the catalog
+    gains a signed variant for ~2w extra gates. *)
+
+val core :
+  unsigned:(Netlist.Circuit.t ->
+           a:Netlist.Circuit.net array ->
+           b:Netlist.Circuit.net array ->
+           Netlist.Circuit.net array) ->
+  Netlist.Circuit.t ->
+  a:Netlist.Circuit.net array ->
+  b:Netlist.Circuit.net array ->
+  Netlist.Circuit.net array
+(** Product bus is the 2w-bit two's-complement product. *)
+
+val basic :
+  name:string ->
+  bits:int ->
+  unsigned:(Netlist.Circuit.t ->
+           a:Netlist.Circuit.net array ->
+           b:Netlist.Circuit.net array ->
+           Netlist.Circuit.net array) ->
+  Spec.t
+(** Registered signed multiplier around the given unsigned core. *)
+
+val to_signed : bits:int -> int -> int
+(** Reinterpret a [bits]-wide unsigned value as two's complement. *)
+
+val of_signed : bits:int -> int -> int
+(** Encode a signed value into [bits] (two's complement).
+    @raise Invalid_argument when out of range. *)

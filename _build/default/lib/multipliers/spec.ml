@@ -1,0 +1,37 @@
+module C = Netlist.Circuit
+
+type style =
+  | Combinational
+  | Pipelined of int
+  | Replicated of int
+  | Sequential of int
+
+type t = {
+  name : string;
+  style : style;
+  circuit : C.t;
+  bits : int;
+  a_bus : C.net array;
+  b_bus : C.net array;
+  p_bus : C.net array;
+  latency_ticks : int;
+  ticks_per_cycle : int;
+  timing_periods : float;
+}
+
+let logical_depth_effective t =
+  Netlist.Timing.logical_depth t.circuit /. t.timing_periods
+
+let stats t = Netlist.Stats.compute t.circuit
+
+let style_to_string = function
+  | Combinational -> "combinational"
+  | Pipelined s -> Printf.sprintf "pipelined(%d)" s
+  | Replicated k -> Printf.sprintf "replicated(%d)" k
+  | Sequential m -> Printf.sprintf "sequential(%d)" m
+
+let pp ppf t =
+  let stats = stats t in
+  Format.fprintf ppf "%s [%s]: %dx%d -> %d bits, N=%d, LDeff=%.1f" t.name
+    (style_to_string t.style) t.bits t.bits (Array.length t.p_bus)
+    stats.cell_total (logical_depth_effective t)

@@ -1,0 +1,38 @@
+(** Common description of a generated multiplier — the thirteen architectures
+    all present this interface to the harness and to the power model. *)
+
+module C := Netlist.Circuit
+
+type style =
+  | Combinational  (** Registered inputs/outputs, one flat array in between. *)
+  | Pipelined of int  (** Number of pipeline stages in the datapath. *)
+  | Replicated of int  (** Parallelisation degree (copies + muxing). *)
+  | Sequential of int  (** Internal clock cycles per multiplication. *)
+
+type t = {
+  name : string;  (** Paper row label, e.g. "RCA hor.pipe2". *)
+  style : style;
+  circuit : C.t;
+  bits : int;  (** Operand width. *)
+  a_bus : C.net array;  (** Multiplicand input, LSB first. *)
+  b_bus : C.net array;  (** Multiplier input, LSB first. *)
+  p_bus : C.net array;  (** Product output (2×bits wide), LSB first. *)
+  latency_ticks : int;
+      (** Internal clock ticks after which a steadily applied operand pair is
+          guaranteed visible on [p_bus]. *)
+  ticks_per_cycle : int;
+      (** Internal clock ticks per data (throughput) period. *)
+  timing_periods : float;
+      (** Data periods available to the worst combinational stage: 1 for flat
+          and pipelined designs, k for k-fold replication, 1/m for a
+          sequential design whose internal clock runs m× faster. *)
+}
+
+val logical_depth_effective : t -> float
+(** LDeff — the STA logical depth divided by {!field-timing_periods}; the
+    quantity the paper reports per architecture and that enters χ (Eq. 6). *)
+
+val stats : t -> Netlist.Stats.t
+(** Physical statistics of the netlist (N, area, average caps...). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+let run (spec : Spec.t) =
+  let r = Netlist.Optimize.run spec.circuit in
+  {
+    spec with
+    Spec.circuit = r.circuit;
+    a_bus = Array.map r.map spec.a_bus;
+    b_bus = Array.map r.map spec.b_bus;
+    p_bus = Array.map r.map spec.p_bus;
+  }
+
+let stats (spec : Spec.t) = (Netlist.Optimize.run spec.circuit).stats

@@ -1,0 +1,10 @@
+(** Spec-level wrapper over {!Netlist.Optimize}: optimise the circuit and
+    remap the port buses, preserving the protocol metadata. *)
+
+val run : Spec.t -> Spec.t
+(** Constant-fold, alias, downgrade and sweep the spec's netlist. The
+    returned spec behaves identically (same latency, same protocol) —
+    property-tested in the suite. *)
+
+val stats : Spec.t -> Netlist.Optimize.stats
+(** What the pass would do, without committing to it. *)

@@ -1,0 +1,70 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+
+let finish_columns circuit columns width =
+  let reduced = Adders.reduce_to_two circuit columns in
+  let pick i = function
+    | [] -> (None, None)
+    | [ x ] -> (x, None)
+    | [ x; y ] -> (x, y)
+    | _ -> invalid_arg (Printf.sprintf "Wallace: column %d not reduced" i)
+  in
+  let row_a = Array.make width None and row_b = Array.make width None in
+  Array.iteri
+    (fun i column ->
+      let x, y = pick i column in
+      row_a.(i) <- x;
+      row_b.(i) <- y)
+    reduced;
+  let solid = function Some n -> n | None -> C.tie0 circuit in
+  Adders.sklansky circuit (Array.map solid row_a) (Array.map solid row_b)
+
+let reduce_rows circuit ~rows ~width =
+  let columns = Array.make width [] in
+  List.iter
+    (fun (bits, shift) ->
+      Array.iteri
+        (fun i bit ->
+          match bit with
+          | None -> ()
+          | Some _ ->
+            let p = i + shift in
+            if p >= width then
+              invalid_arg "Wallace.reduce_rows: row exceeds width";
+            columns.(p) <- bit :: columns.(p))
+        bits)
+    rows;
+  finish_columns circuit columns width
+
+let core circuit ~a ~b =
+  let width = Array.length a in
+  if Array.length b <> width then
+    invalid_arg "Wallace.core: operand width mismatch";
+  let out_width = 2 * width in
+  let columns = Array.make out_width [] in
+  for i = 0 to width - 1 do
+    for j = 0 to width - 1 do
+      let pp = C.add_gate circuit Cell.And2 [| a.(j); b.(i) |] in
+      columns.(i + j) <- Some pp :: columns.(i + j)
+    done
+  done;
+  finish_columns circuit columns out_width
+
+let basic ~bits =
+  Registered.build ~name:"wallace_basic" ~label:"Wallace" ~bits ~core
+
+let pipelined ~bits ~stages =
+  if stages < 2 then invalid_arg "Wallace.pipelined: stages < 2";
+  let spec =
+    Registered.build
+      ~name:(Printf.sprintf "wallace_pipe%d" stages)
+      ~label:(Printf.sprintf "Wallace pipe%d" stages)
+      ~bits
+      ~core:(fun circuit ~a ~b ->
+        Pipeliner.by_depth circuit ~stages ~outputs:(core circuit ~a ~b))
+  in
+  {
+    spec with
+    Spec.style = Spec.Pipelined stages;
+    latency_ticks = 2 + stages;
+  }

@@ -1,0 +1,26 @@
+(** Wallace-tree multiplier: carry-save reduction of the partial products
+    followed by a fast parallel-prefix final adder. Well-balanced paths and
+    logarithmic depth — the fastest family in the paper's set. *)
+
+val basic : bits:int -> Spec.t
+
+val pipelined : bits:int -> stages:int -> Spec.t
+(** Tree multiplier cut into [stages] by the generic depth-based pipeliner
+    ({!Pipeliner.by_depth}) — no structural knowledge needed, unlike the
+    RCA's grid cuts. @raise Invalid_argument if [stages < 2]. *)
+
+val core : Netlist.Circuit.t ->
+  a:Netlist.Circuit.net array ->
+  b:Netlist.Circuit.net array ->
+  Netlist.Circuit.net array
+(** Bare combinational tree (for the parallelised versions and the 4×16
+    sequential variant). *)
+
+val reduce_rows :
+  Netlist.Circuit.t ->
+  rows:(Netlist.Circuit.net option array * int) list ->
+  width:int ->
+  Netlist.Circuit.net array
+(** General carry-save summation of shifted addend rows: each row is (bits,
+    left-shift); reduced to two rows and merged with the prefix adder into a
+    [width]-bit sum. Building block for the 4×16 sequential Wallace. *)

@@ -1,0 +1,1 @@
+lib/netlist/bdd.ml: Array Cell Circuit Hashtbl List Option String Topo

@@ -1,0 +1,1 @@
+lib/netlist/bdd.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Array Cell Circuit Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/optimize.ml: Array Cell Circuit List Logic Topo

@@ -1,0 +1,1 @@
+lib/netlist/placement.mli: Circuit Stats

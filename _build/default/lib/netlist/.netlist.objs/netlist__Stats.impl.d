@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Cell Circuit Format Hashtbl List Numerics Option

@@ -1,0 +1,1 @@
+lib/netlist/timing.ml: Array Cell Circuit Float List Numerics Queue

@@ -1,0 +1,1 @@
+lib/netlist/timing.mli: Circuit

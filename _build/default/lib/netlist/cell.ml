@@ -1,0 +1,156 @@
+type kind =
+  | Tie0
+  | Tie1
+  | Inv
+  | Buf
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Mux2
+  | Half_adder
+  | Full_adder
+  | Dff
+
+let all =
+  [
+    Tie0; Tie1; Inv; Buf; Nand2; Nor2; And2; Or2; Xor2; Xnor2; Mux2;
+    Half_adder; Full_adder; Dff;
+  ]
+
+let name = function
+  | Tie0 -> "TIE0"
+  | Tie1 -> "TIE1"
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nor2 -> "NOR2"
+  | And2 -> "AND2"
+  | Or2 -> "OR2"
+  | Xor2 -> "XOR2"
+  | Xnor2 -> "XNOR2"
+  | Mux2 -> "MUX2"
+  | Half_adder -> "HA"
+  | Full_adder -> "FA"
+  | Dff -> "DFF"
+
+let arity = function
+  | Tie0 | Tie1 -> 0
+  | Inv | Buf | Dff -> 1
+  | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 | Half_adder -> 2
+  | Mux2 | Full_adder -> 3
+
+let output_count = function
+  | Half_adder | Full_adder -> 2
+  | Tie0 | Tie1 | Inv | Buf | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 | Mux2
+  | Dff ->
+    1
+
+let is_sequential = function
+  | Dff -> true
+  | Tie0 | Tie1 | Inv | Buf | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 | Mux2
+  | Half_adder | Full_adder ->
+    false
+
+(* Representative 0.13 um values. Area in um^2, capacitance in F. *)
+let area = function
+  | Tie0 | Tie1 -> 2.0
+  | Inv -> 5.1
+  | Buf -> 6.4
+  | Nand2 | Nor2 -> 6.4
+  | And2 | Or2 -> 7.7
+  | Xor2 | Xnor2 -> 12.8
+  | Mux2 -> 12.8
+  | Half_adder -> 20.5
+  | Full_adder -> 35.8
+  | Dff -> 28.2
+
+let switched_cap = function
+  | Tie0 | Tie1 -> 1e-15
+  | Inv -> 18e-15
+  | Buf -> 24e-15
+  | Nand2 | Nor2 -> 26e-15
+  | And2 | Or2 -> 30e-15
+  | Xor2 | Xnor2 -> 48e-15
+  | Mux2 -> 44e-15
+  | Half_adder -> 62e-15
+  | Full_adder -> 96e-15
+  | Dff -> 80e-15
+
+let leak_factor = function
+  | Tie0 | Tie1 -> 0.3
+  | Inv -> 1.0
+  | Buf -> 1.6
+  | Nand2 | Nor2 -> 1.4
+  | And2 | Or2 -> 2.0
+  | Xor2 | Xnor2 -> 3.4
+  | Mux2 -> 3.2
+  | Half_adder -> 4.8
+  | Full_adder -> 8.6
+  | Dff -> 7.2
+
+let clk_to_q = 1.6
+
+let delay kind ~output =
+  let check limit =
+    if output < 0 || output >= limit then
+      invalid_arg "Cell.delay: output index out of range"
+  in
+  match kind with
+  | Tie0 | Tie1 ->
+    check 1;
+    0.0
+  | Inv ->
+    check 1;
+    1.0
+  | Buf ->
+    check 1;
+    1.3
+  | Nand2 | Nor2 ->
+    check 1;
+    1.2
+  | And2 | Or2 ->
+    check 1;
+    1.5
+  | Xor2 | Xnor2 ->
+    check 1;
+    1.9
+  | Mux2 ->
+    check 1;
+    1.7
+  | Half_adder ->
+    check 2;
+    if output = 0 then 1.9 else 1.4
+  | Full_adder ->
+    check 2;
+    (* Sum is slower than the carry: the carry chain is what ripples. *)
+    if output = 0 then 2.4 else 1.9
+  | Dff ->
+    check 1;
+    clk_to_q
+
+let eval kind inputs =
+  if Array.length inputs <> arity kind then
+    invalid_arg
+      (Printf.sprintf "Cell.eval: %s expects %d inputs, got %d" (name kind)
+         (arity kind) (Array.length inputs));
+  match kind with
+  | Tie0 -> [| Logic.Zero |]
+  | Tie1 -> [| Logic.One |]
+  | Inv -> [| Logic.lnot inputs.(0) |]
+  | Buf | Dff -> [| inputs.(0) |]
+  | Nand2 -> [| Logic.lnot (Logic.land_ inputs.(0) inputs.(1)) |]
+  | Nor2 -> [| Logic.lnot (Logic.lor_ inputs.(0) inputs.(1)) |]
+  | And2 -> [| Logic.land_ inputs.(0) inputs.(1) |]
+  | Or2 -> [| Logic.lor_ inputs.(0) inputs.(1) |]
+  | Xor2 -> [| Logic.lxor_ inputs.(0) inputs.(1) |]
+  | Xnor2 -> [| Logic.lnot (Logic.lxor_ inputs.(0) inputs.(1)) |]
+  | Mux2 -> [| Logic.mux ~sel:inputs.(2) inputs.(0) inputs.(1) |]
+  | Half_adder ->
+    let sum, carry = Logic.half_add inputs.(0) inputs.(1) in
+    [| sum; carry |]
+  | Full_adder ->
+    let sum, carry = Logic.full_add inputs.(0) inputs.(1) inputs.(2) in
+    [| sum; carry |]

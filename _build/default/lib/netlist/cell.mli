@@ -1,0 +1,54 @@
+(** The standard-cell library.
+
+    A small set of cell kinds, enough to synthesise the paper's thirteen
+    multipliers structurally. Physical attributes (area, switched
+    capacitance, leakage, normalised delay) are representative 0.13 µm
+    values; the power model consumes only their {e averages} over a netlist,
+    so relative ordering across kinds is what matters. *)
+
+type kind =
+  | Tie0  (** Constant 0 driver. *)
+  | Tie1  (** Constant 1 driver. *)
+  | Inv
+  | Buf
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Mux2  (** Inputs [d0; d1; sel]. *)
+  | Half_adder  (** Inputs [a; b], outputs [sum; carry]. *)
+  | Full_adder  (** Inputs [a; b; cin], outputs [sum; carry]. *)
+  | Dff  (** Input [d], output [q]; clocked by the global clock. *)
+
+val all : kind list
+
+val name : kind -> string
+val arity : kind -> int
+val output_count : kind -> int
+val is_sequential : kind -> bool
+
+val area : kind -> float
+(** Cell area, µm². *)
+
+val switched_cap : kind -> float
+(** Average switched capacitance per output transition, F (includes average
+    local wiring and the lumped short-circuit contribution, as in Eq. 1). *)
+
+val leak_factor : kind -> float
+(** Average off-current of the cell in units of the technology's per-inverter
+    [Io] (stack effect and transistor count folded in). *)
+
+val delay : kind -> output:int -> float
+(** Propagation delay to the given output, in normalised inverter delays —
+    the unit in which logical depth (LD) is expressed. @raise
+    Invalid_argument for an out-of-range output index. *)
+
+val clk_to_q : float
+(** Normalised clock-to-output delay of a flip-flop. *)
+
+val eval : kind -> Logic.value array -> Logic.value array
+(** Combinational function of the cell ({!Dff} evaluates as a buffer — the
+    simulator intercepts sequential behaviour). @raise Invalid_argument on
+    an input array of the wrong length. *)

@@ -1,0 +1,100 @@
+type problem =
+  | Undriven_net of Circuit.net * string
+  | Combinational_cycle of Circuit.cell_id list
+  | Dangling_output of Circuit.net * string
+
+let problem_to_string = function
+  | Undriven_net (n, name) -> Printf.sprintf "undriven net %d (%s)" n name
+  | Combinational_cycle cells ->
+    Printf.sprintf "combinational cycle through cells [%s]"
+      (String.concat "; " (List.map string_of_int cells))
+  | Dangling_output (n, name) ->
+    Printf.sprintf "dangling cell output %d (%s)" n name
+
+let undriven circuit =
+  let driven = Array.make (Circuit.net_count circuit) false in
+  List.iter (fun n -> driven.(n) <- true) (Circuit.primary_inputs circuit);
+  Circuit.iter_cells
+    (fun cell -> Array.iter (fun n -> driven.(n) <- true) cell.outputs)
+    circuit;
+  let problems = ref [] in
+  let reported = Hashtbl.create 16 in
+  Circuit.iter_cells
+    (fun cell ->
+      Array.iter
+        (fun n ->
+          if (not driven.(n)) && not (Hashtbl.mem reported n) then begin
+            Hashtbl.add reported n ();
+            problems := Undriven_net (n, Circuit.net_name circuit n) :: !problems
+          end)
+        cell.inputs)
+    circuit;
+  List.rev !problems
+
+(* DFS over the combinational cell graph (edges stop at flip-flops). *)
+let cycles circuit =
+  let count = Circuit.cell_count circuit in
+  let state = Array.make count `White in
+  let fanout = Circuit.fanout circuit in
+  let found = ref None in
+  let rec visit path id =
+    match state.(id) with
+    | `Black -> ()
+    | `Gray ->
+      if !found = None then begin
+        let rec prefix = function
+          | [] -> []
+          | c :: rest -> if c = id then [] else c :: prefix rest
+        in
+        found := Some (id :: List.rev (prefix path))
+      end
+    | `White ->
+      state.(id) <- `Gray;
+      let cell = Circuit.get_cell circuit id in
+      if not (Cell.is_sequential cell.kind) then
+        Array.iter
+          (fun n ->
+            List.iter
+              (fun (reader, _) ->
+                let reader_cell = Circuit.get_cell circuit reader in
+                if not (Cell.is_sequential reader_cell.kind) then
+                  visit (id :: path) reader)
+              fanout.(n))
+          cell.outputs;
+      state.(id) <- `Black
+  in
+  for id = 0 to count - 1 do
+    if !found = None then visit [] id
+  done;
+  match !found with None -> [] | Some cycle -> [ Combinational_cycle cycle ]
+
+let dangling circuit =
+  let read = Array.make (Circuit.net_count circuit) false in
+  Circuit.iter_cells
+    (fun cell -> Array.iter (fun n -> read.(n) <- true) cell.inputs)
+    circuit;
+  List.iter
+    (fun (n, _) -> read.(n) <- true)
+    (Circuit.primary_outputs circuit);
+  let problems = ref [] in
+  Circuit.iter_cells
+    (fun cell ->
+      Array.iter
+        (fun n ->
+          if not read.(n) then
+            problems :=
+              Dangling_output (n, Circuit.net_name circuit n) :: !problems)
+        cell.outputs)
+    circuit;
+  List.rev !problems
+
+let errors circuit = undriven circuit @ cycles circuit
+let run circuit = errors circuit @ dangling circuit
+
+let assert_well_formed circuit =
+  match errors circuit with
+  | [] -> ()
+  | problem :: _ ->
+    failwith
+      (Printf.sprintf "Circuit %s: %s" (Circuit.name circuit)
+         (problem_to_string problem))

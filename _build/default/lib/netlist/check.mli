@@ -1,0 +1,21 @@
+(** Structural validation of a circuit. *)
+
+type problem =
+  | Undriven_net of Circuit.net * string
+      (** A net read by some cell but neither driven nor a primary input. *)
+  | Combinational_cycle of Circuit.cell_id list
+      (** Cells forming a cycle that contains no flip-flop. *)
+  | Dangling_output of Circuit.net * string
+      (** A cell output with no reader that is not a primary output. *)
+
+val problem_to_string : problem -> string
+
+val run : Circuit.t -> problem list
+(** All problems found. Dangling outputs are reported but benign (e.g. an
+    unused carry); undriven nets and cycles make simulation meaningless. *)
+
+val errors : Circuit.t -> problem list
+(** Only the fatal subset (undriven nets, combinational cycles). *)
+
+val assert_well_formed : Circuit.t -> unit
+(** @raise Failure describing the first fatal problem, if any. *)

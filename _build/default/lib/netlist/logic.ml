@@ -1,0 +1,57 @@
+type value = Zero | One | X
+
+let of_bool b = if b then One else Zero
+
+let to_bool = function
+  | Zero -> Some false
+  | One -> Some true
+  | X -> None
+
+let is_known = function Zero | One -> true | X -> false
+
+let equal a b =
+  match (a, b) with
+  | Zero, Zero | One, One | X, X -> true
+  | (Zero | One | X), _ -> false
+
+let to_char = function Zero -> '0' | One -> '1' | X -> 'x'
+let pp ppf v = Format.pp_print_char ppf (to_char v)
+
+let lnot = function Zero -> One | One -> Zero | X -> X
+
+let land_ a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | (One | X), _ -> X
+
+let lor_ a b =
+  match (a, b) with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | (Zero | X), _ -> X
+
+let lxor_ a b =
+  match (a, b) with
+  | X, _ | _, X -> X
+  | Zero, Zero | One, One -> Zero
+  | (Zero | One), _ -> One
+
+let mux ~sel d0 d1 =
+  match sel with
+  | Zero -> d0
+  | One -> d1
+  | X -> if equal d0 d1 && is_known d0 then d0 else X
+
+let full_add a b cin =
+  let sum = lxor_ (lxor_ a b) cin in
+  (* Majority: known as soon as two inputs agree. *)
+  let carry =
+    match (a, b, cin) with
+    | Zero, Zero, _ | Zero, _, Zero | _, Zero, Zero -> Zero
+    | One, One, _ | One, _, One | _, One, One -> One
+    | (Zero | One | X), (Zero | One | X), (Zero | One | X) -> X
+  in
+  (sum, carry)
+
+let half_add a b = (lxor_ a b, land_ a b)

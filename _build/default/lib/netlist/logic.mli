@@ -1,0 +1,28 @@
+(** Three-valued logic: 0, 1 and unknown (X).
+
+    Unknowns model uninitialised state; gate evaluation is "optimistic":
+    an output is X only when the known inputs do not already determine it. *)
+
+type value = Zero | One | X
+
+val of_bool : bool -> value
+val to_bool : value -> bool option
+val is_known : value -> bool
+val equal : value -> value -> bool
+val to_char : value -> char
+val pp : Format.formatter -> value -> unit
+
+val lnot : value -> value
+val land_ : value -> value -> value
+val lor_ : value -> value -> value
+val lxor_ : value -> value -> value
+
+val mux : sel:value -> value -> value -> value
+(** [mux ~sel d0 d1] selects [d0] when [sel] is 0, [d1] when 1. When the
+    select is X the result is known only if both data inputs agree. *)
+
+val full_add : value -> value -> value -> value * value
+(** [(sum, carry)] of three inputs; each output is X only when genuinely
+    undetermined (e.g. carry is known when two inputs already agree). *)
+
+val half_add : value -> value -> value * value

@@ -1,0 +1,308 @@
+type stats = {
+  cells_before : int;
+  cells_after : int;
+  folded_constants : int;
+  aliased : int;
+  downgraded : int;
+  removed_dead : int;
+}
+
+type result = {
+  circuit : Circuit.t;
+  map : Circuit.net -> Circuit.net;
+  stats : stats;
+}
+
+(* What analysis concluded about each original net. *)
+type binding = Opaque | Known of Logic.value | Alias of Circuit.net
+
+(* What to do with each original cell at rebuild time. *)
+type action =
+  | Emit  (** Re-instantiate as-is (with resolved inputs). *)
+  | Emit_ha of Circuit.net * Circuit.net
+      (** Full adder downgraded: the two live addends. *)
+  | Fold  (** All outputs bound; no cell needed. *)
+
+let run source =
+  let nets = Circuit.net_count source in
+  let bindings = Array.make nets Opaque in
+  (* Resolve through alias chains and pick up constants. *)
+  let rec resolve net =
+    match bindings.(net) with
+    | Opaque -> `Net net
+    | Known v -> `Const v
+    | Alias target -> resolve target
+  in
+  let value_of net =
+    match resolve net with `Const v -> Some v | `Net _ -> None
+  in
+  let canonical net =
+    match resolve net with `Net n -> n | `Const _ -> net
+  in
+  let folded = ref 0 and aliased = ref 0 and downgraded = ref 0 in
+  let bind_known net v =
+    incr folded;
+    bindings.(net) <- Known v
+  in
+  let bind_alias net target =
+    incr aliased;
+    bindings.(net) <- Alias target
+  in
+  let actions = Array.make (Circuit.cell_count source) Emit in
+  (* Ties are constants by definition. *)
+  Circuit.iter_cells
+    (fun cell ->
+      match cell.kind with
+      | Cell.Tie0 ->
+        bindings.(cell.outputs.(0)) <- Known Logic.Zero;
+        actions.(cell.id) <- Fold
+      | Cell.Tie1 ->
+        bindings.(cell.outputs.(0)) <- Known Logic.One;
+        actions.(cell.id) <- Fold
+      | Cell.Inv | Cell.Buf | Cell.Nand2 | Cell.Nor2 | Cell.And2 | Cell.Or2
+      | Cell.Xor2 | Cell.Xnor2 | Cell.Mux2 | Cell.Half_adder
+      | Cell.Full_adder | Cell.Dff ->
+        ())
+    source;
+  let analyze (cell : Circuit.cell) =
+    let input i = cell.inputs.(i) in
+    let const i = value_of (input i) in
+    let same i j = canonical (input i) = canonical (input j) && const i = None in
+    let out o = cell.outputs.(o) in
+    (* Full constant evaluation first. *)
+    let all_known =
+      Array.for_all (fun n -> value_of n <> None) cell.inputs
+      && Array.length cell.inputs > 0
+    in
+    if all_known then begin
+      let values =
+        Array.map
+          (fun n ->
+            match value_of n with Some v -> v | None -> assert false)
+          cell.inputs
+      in
+      let outputs = Cell.eval cell.kind values in
+      Array.iteri (fun o _ -> bind_known (out o) outputs.(o)) cell.outputs;
+      actions.(cell.id) <- Fold
+    end
+    else begin
+      match (cell.kind, const 0) with
+      | Cell.Buf, _ ->
+        bind_alias (out 0) (input 0);
+        actions.(cell.id) <- Fold
+      | Cell.And2, _ when const 0 = Some Logic.Zero || const 1 = Some Logic.Zero
+        ->
+        bind_known (out 0) Logic.Zero;
+        actions.(cell.id) <- Fold
+      | Cell.And2, _ when const 0 = Some Logic.One ->
+        bind_alias (out 0) (input 1);
+        actions.(cell.id) <- Fold
+      | Cell.And2, _ when const 1 = Some Logic.One || same 0 1 ->
+        bind_alias (out 0) (input 0);
+        actions.(cell.id) <- Fold
+      | Cell.Or2, _ when const 0 = Some Logic.One || const 1 = Some Logic.One
+        ->
+        bind_known (out 0) Logic.One;
+        actions.(cell.id) <- Fold
+      | Cell.Or2, _ when const 0 = Some Logic.Zero ->
+        bind_alias (out 0) (input 1);
+        actions.(cell.id) <- Fold
+      | Cell.Or2, _ when const 1 = Some Logic.Zero || same 0 1 ->
+        bind_alias (out 0) (input 0);
+        actions.(cell.id) <- Fold
+      | Cell.Xor2, _ when same 0 1 ->
+        bind_known (out 0) Logic.Zero;
+        actions.(cell.id) <- Fold
+      | Cell.Xor2, _ when const 0 = Some Logic.Zero ->
+        bind_alias (out 0) (input 1);
+        actions.(cell.id) <- Fold
+      | Cell.Xor2, _ when const 1 = Some Logic.Zero ->
+        bind_alias (out 0) (input 0);
+        actions.(cell.id) <- Fold
+      | Cell.Xnor2, _ when same 0 1 ->
+        bind_known (out 0) Logic.One;
+        actions.(cell.id) <- Fold
+      | Cell.Xnor2, _ when const 0 = Some Logic.One ->
+        bind_alias (out 0) (input 1);
+        actions.(cell.id) <- Fold
+      | Cell.Xnor2, _ when const 1 = Some Logic.One ->
+        bind_alias (out 0) (input 0);
+        actions.(cell.id) <- Fold
+      | Cell.Nand2, _
+        when const 0 = Some Logic.Zero || const 1 = Some Logic.Zero ->
+        bind_known (out 0) Logic.One;
+        actions.(cell.id) <- Fold
+      | Cell.Nor2, _ when const 0 = Some Logic.One || const 1 = Some Logic.One
+        ->
+        bind_known (out 0) Logic.Zero;
+        actions.(cell.id) <- Fold
+      | Cell.Mux2, _ -> begin
+        match value_of (input 2) with
+        | Some Logic.Zero ->
+          bind_alias (out 0) (input 0);
+          actions.(cell.id) <- Fold
+        | Some Logic.One ->
+          bind_alias (out 0) (input 1);
+          actions.(cell.id) <- Fold
+        | Some Logic.X | None ->
+          if same 0 1 then begin
+            bind_alias (out 0) (input 0);
+            actions.(cell.id) <- Fold
+          end
+      end
+      | Cell.Half_adder, _ -> begin
+        match (const 0, const 1) with
+        | Some Logic.Zero, _ ->
+          bind_alias (out 0) (input 1);
+          bind_known (out 1) Logic.Zero;
+          actions.(cell.id) <- Fold
+        | _, Some Logic.Zero ->
+          bind_alias (out 0) (input 0);
+          bind_known (out 1) Logic.Zero;
+          actions.(cell.id) <- Fold
+        | (Some (Logic.One | Logic.X) | None), _ -> ()
+      end
+      | Cell.Full_adder, _ -> begin
+        let zeros =
+          List.filter (fun i -> const i = Some Logic.Zero) [ 0; 1; 2 ]
+        in
+        let live =
+          List.filter (fun i -> const i <> Some Logic.Zero) [ 0; 1; 2 ]
+        in
+        match (zeros, live) with
+        | [ _; _ ], [ k ] ->
+          bind_alias (out 0) (input k);
+          bind_known (out 1) Logic.Zero;
+          actions.(cell.id) <- Fold
+        | [ _ ], [ i; j ] -> begin
+          incr downgraded;
+          actions.(cell.id) <- Emit_ha (input i, input j)
+        end
+        | _, _ -> ()
+      end
+      | (Cell.Inv | Cell.Nand2 | Cell.Nor2 | Cell.And2 | Cell.Or2
+        | Cell.Xor2 | Cell.Xnor2 | Cell.Dff | Cell.Tie0 | Cell.Tie1), _ ->
+        ()
+    end
+  in
+  List.iter
+    (fun id -> analyze (Circuit.get_cell source id))
+    (Topo.combinational source);
+  (* Liveness: a cell is live if any output (transitively, through kept
+     cells) reaches a primary output or a flip-flop D input. Walk backwards
+     from the observable roots over canonical nets. *)
+  let cell_count = Circuit.cell_count source in
+  let live = Array.make cell_count false in
+  let rec mark_net net =
+    match resolve net with
+    | `Const _ -> ()
+    | `Net n -> begin
+      match Circuit.driver source n with
+      | None -> ()
+      | Some (id, _) -> mark_cell id
+    end
+  and mark_cell id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      let cell = Circuit.get_cell source id in
+      match actions.(id) with
+      | Fold -> ()
+      | Emit_ha (a, b) ->
+        mark_net a;
+        mark_net b
+      | Emit -> Array.iter mark_net cell.inputs
+    end
+  in
+  List.iter (fun (n, _) -> mark_net n) (Circuit.primary_outputs source);
+  (* Registers: marking a live flip-flop recursively marks its D cone (the
+     Emit branch walks the inputs), so state cones follow observability
+     automatically; registers feeding nothing observable stay dead. *)
+  (* Rebuild. *)
+  let target = Circuit.create (Circuit.name source) in
+  let net_map = Array.make nets (-1) in
+  let map_new old_net new_net = net_map.(old_net) <- new_net in
+  List.iter
+    (fun n -> map_new n (Circuit.add_input target (Circuit.net_name source n)))
+    (Circuit.primary_inputs source);
+  let mapped net =
+    match resolve net with
+    | `Const Logic.Zero -> Circuit.tie0 target
+    | `Const Logic.One -> Circuit.tie1 target
+    | `Const Logic.X ->
+      (* Known-X cannot arise from 0/1 seeds; keep a safe fallback. *)
+      Circuit.tie0 target
+    | `Net n ->
+      if net_map.(n) >= 0 then net_map.(n)
+      else failwith "Optimize: unmapped net during rebuild"
+  in
+  (* Flip-flops first (Q feeds combinational logic; D patched last). *)
+  let dff_patches = ref [] in
+  Circuit.iter_cells
+    (fun cell ->
+      if cell.kind = Cell.Dff && live.(cell.id) then begin
+        let q = Circuit.add_dff ~init:(Circuit.dff_init source cell.id) target
+            (Circuit.tie0 target)
+        in
+        map_new cell.outputs.(0) q;
+        dff_patches := (q, cell.inputs.(0)) :: !dff_patches
+      end)
+    source;
+  (* Combinational cells in dependency order. *)
+  List.iter
+    (fun id ->
+      let cell = Circuit.get_cell source id in
+      if live.(id) then begin
+        match actions.(id) with
+        | Fold -> ()
+        | Emit_ha (a, b) ->
+          (match
+             Circuit.add_cell target Cell.Half_adder
+               [| mapped a; mapped b |]
+           with
+          | [| sum; carry |] ->
+            map_new cell.outputs.(0) sum;
+            map_new cell.outputs.(1) carry
+          | _ -> assert false)
+        | Emit ->
+          let new_outputs =
+            Circuit.add_cell target cell.kind (Array.map mapped cell.inputs)
+          in
+          Array.iteri (fun o _ -> map_new cell.outputs.(o) new_outputs.(o))
+            cell.outputs
+      end)
+    (Topo.combinational source);
+  (* Patch flip-flop D inputs. *)
+  List.iter
+    (fun (q, old_d) ->
+      match Circuit.driver target q with
+      | Some (id, _) -> Circuit.rewire_input target id 0 (mapped old_d)
+      | None -> assert false)
+    !dff_patches;
+  (* Primary outputs. *)
+  List.iter
+    (fun (n, name) -> Circuit.mark_output target (mapped n) name)
+    (Circuit.primary_outputs source);
+  let removed_dead =
+    Circuit.fold_cells
+      (fun acc (cell : Circuit.cell) ->
+        if (not live.(cell.id)) && actions.(cell.id) <> Fold then acc + 1
+        else acc)
+      0 source
+  in
+  {
+    circuit = target;
+    map =
+      (fun net ->
+        if net < 0 || net >= nets then
+          invalid_arg "Optimize.map: dangling net handle";
+        mapped net);
+    stats =
+      {
+        cells_before = Circuit.cell_count source;
+        cells_after = Circuit.cell_count target;
+        folded_constants = !folded;
+        aliased = !aliased;
+        downgraded = !downgraded;
+        removed_dead;
+      };
+  }

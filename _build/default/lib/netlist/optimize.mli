@@ -1,0 +1,38 @@
+(** Netlist clean-up passes: constant folding, wire aliasing, adder
+    downgrading and dead-cell elimination.
+
+    The structural generators occasionally feed gates from constant nets
+    (e.g. the zero-padded columns of a reduction tree). A synthesis tool
+    would sweep those away; this pass does the same so extracted N, C and
+    leakage reflect the logic that would actually be placed:
+
+    - gates with fully known inputs fold to constants;
+    - identities collapse to wires (AND(x,1) = x, XOR(x,x) = 0,
+      MUX with a constant select, BUF, ...);
+    - a full adder with a known-zero input downgrades to a half adder;
+    - cells whose outputs reach no primary output or flip-flop are removed.
+
+    The result is a fresh circuit plus a net map; functional behaviour is
+    preserved cycle-for-cycle (property-tested against the reference
+    evaluator). *)
+
+type stats = {
+  cells_before : int;
+  cells_after : int;
+  folded_constants : int;  (** Cell outputs resolved to 0/1. *)
+  aliased : int;  (** Cell outputs collapsed to existing nets. *)
+  downgraded : int;  (** Full adders turned into half adders. *)
+  removed_dead : int;  (** Live-but-unobservable cells swept. *)
+}
+
+type result = {
+  circuit : Circuit.t;
+  map : Circuit.net -> Circuit.net;
+      (** Old net → equivalent new net (constants map to the new tie
+          nets). *)
+  stats : stats;
+}
+
+val run : Circuit.t -> result
+(** @raise Failure on a combinational cycle. (The spec-level wrapper that
+    remaps a multiplier's port buses lives in [Multipliers.Spec_optimize].) *)

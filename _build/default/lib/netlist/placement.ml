@@ -1,0 +1,182 @@
+type t = {
+  circuit : Circuit.t;
+  xs : float array;  (* per cell, um *)
+  ys : float array;
+}
+
+let wire_cap_per_um = 0.2e-15
+
+(* Signal-flow order: BFS from the cells driven by primary inputs, so
+   connected logic lands in nearby rows — a crude but honest seed for a
+   row-major standard-cell placement. *)
+let flow_order circuit =
+  let count = Circuit.cell_count circuit in
+  let fanout = Circuit.fanout circuit in
+  let seen = Array.make count false in
+  let order = ref [] in
+  let queue = Queue.create () in
+  let enqueue id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      Queue.add id queue
+    end
+  in
+  List.iter
+    (fun n -> List.iter (fun (id, _) -> enqueue id) fanout.(n))
+    (Circuit.primary_inputs circuit);
+  (* Sources with no primary-input fanin (ties, some registers). *)
+  Circuit.iter_cells
+    (fun cell -> if Array.length cell.inputs = 0 then enqueue cell.id)
+    circuit;
+  let drain () =
+    while not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      order := id :: !order;
+      let cell = Circuit.get_cell circuit id in
+      Array.iter
+        (fun n -> List.iter (fun (reader, _) -> enqueue reader) fanout.(n))
+        cell.outputs
+    done
+  in
+  drain ();
+  (* Anything unreachable (isolated subgraphs) goes last, in id order. *)
+  Circuit.iter_cells (fun cell -> enqueue cell.id) circuit;
+  drain ();
+  List.rev !order
+
+let grid_geometry circuit =
+  let total_area =
+    Circuit.fold_cells
+      (fun acc (cell : Circuit.cell) -> acc +. Cell.area cell.kind)
+      0.0 circuit
+  in
+  (* Rows of equal height; a site is an average-cell-width slot. *)
+  let side = Float.max 1.0 (sqrt total_area) in
+  let count = max 1 (Circuit.cell_count circuit) in
+  let avg_width = total_area /. float_of_int count /. 3.0 in
+  let sites_per_row = max 1 (int_of_float (side /. Float.max 0.1 avg_width)) in
+  (sites_per_row, Float.max 0.1 avg_width, 3.0)
+
+let positions_of_order circuit order =
+  let count = Circuit.cell_count circuit in
+  let xs = Array.make count 0.0 and ys = Array.make count 0.0 in
+  let sites_per_row, site_width, row_height = grid_geometry circuit in
+  List.iteri
+    (fun slot id ->
+      let row = slot / sites_per_row and col = slot mod sites_per_row in
+      xs.(id) <- (float_of_int col +. 0.5) *. site_width;
+      ys.(id) <- (float_of_int row +. 0.5) *. row_height)
+    order;
+  (xs, ys)
+
+let hpwl circuit xs ys fanout net =
+  let points = ref [] in
+  (match Circuit.driver circuit net with
+  | Some (id, _) -> points := (xs.(id), ys.(id)) :: !points
+  | None -> ());
+  List.iter (fun (id, _) -> points := (xs.(id), ys.(id)) :: !points) fanout;
+  match !points with
+  | [] | [ _ ] -> 0.0
+  | (x0, y0) :: rest ->
+    let fold f init sel = List.fold_left (fun a p -> f a (sel p)) init rest in
+    let x_min = fold Float.min x0 fst and x_max = fold Float.max x0 fst in
+    let y_min = fold Float.min y0 snd and y_max = fold Float.max y0 snd in
+    x_max -. x_min +. (y_max -. y_min)
+
+(* Sum of HPWL over the nets touching a cell — the quantity a swap of two
+   cells can change. *)
+let cell_cost circuit xs ys fanout nets_of_cell id =
+  Numerics.Kahan.sum_by (fun n -> hpwl circuit xs ys fanout.(n) n)
+    nets_of_cell.(id)
+
+let place ?(seed = 1) ?(improvement_passes = 2) circuit =
+  let order = flow_order circuit in
+  let xs, ys = positions_of_order circuit order in
+  let fanout = Circuit.fanout circuit in
+  let count = Circuit.cell_count circuit in
+  (* Nets touching each cell (driver or sink), deduplicated. *)
+  let nets_of_cell = Array.make count [] in
+  Circuit.iter_cells
+    (fun cell ->
+      let add n =
+        if not (List.mem n nets_of_cell.(cell.id)) then
+          nets_of_cell.(cell.id) <- n :: nets_of_cell.(cell.id)
+      in
+      Array.iter add cell.inputs;
+      Array.iter add cell.outputs)
+    circuit;
+  let rng = Numerics.Rng.create seed in
+  let swap a b =
+    let x = xs.(a) and y = ys.(a) in
+    xs.(a) <- xs.(b);
+    ys.(a) <- ys.(b);
+    xs.(b) <- x;
+    ys.(b) <- y
+  in
+  if count > 1 then
+    for _ = 1 to improvement_passes do
+      for _ = 1 to count do
+        let a = Numerics.Rng.int rng count in
+        let b = Numerics.Rng.int rng count in
+        if a <> b then begin
+          let before =
+            cell_cost circuit xs ys fanout nets_of_cell a
+            +. cell_cost circuit xs ys fanout nets_of_cell b
+          in
+          swap a b;
+          let after =
+            cell_cost circuit xs ys fanout nets_of_cell a
+            +. cell_cost circuit xs ys fanout nets_of_cell b
+          in
+          if after > before then swap a b
+        end
+      done
+    done;
+  { circuit; xs; ys }
+
+let position t id = (t.xs.(id), t.ys.(id))
+
+let net_length t net =
+  let fanout = Circuit.fanout t.circuit in
+  hpwl t.circuit t.xs t.ys fanout.(net) net
+
+let total_wirelength t =
+  let fanout = Circuit.fanout t.circuit in
+  let acc = Numerics.Kahan.create () in
+  for net = 0 to Circuit.net_count t.circuit - 1 do
+    Numerics.Kahan.add acc (hpwl t.circuit t.xs t.ys fanout.(net) net)
+  done;
+  Numerics.Kahan.sum acc
+
+let wire_cap ?(cap_per_um = wire_cap_per_um) t net =
+  cap_per_um *. net_length t net
+
+type refined_stats = {
+  base : Stats.t;
+  total_wire_cap : float;
+  avg_cap_with_wires : float;
+  wire_cap_share : float;
+  avg_net_length : float;
+}
+
+let refine_stats ?(cap_per_um = wire_cap_per_um) circuit t =
+  let base = Stats.compute circuit in
+  let fanout = Circuit.fanout circuit in
+  let wire = Numerics.Kahan.create () in
+  let length = Numerics.Kahan.create () in
+  let nets = Circuit.net_count circuit in
+  for net = 0 to nets - 1 do
+    let l = hpwl circuit t.xs t.ys fanout.(net) net in
+    Numerics.Kahan.add length l;
+    Numerics.Kahan.add wire (cap_per_um *. l)
+  done;
+  let total_wire_cap = Numerics.Kahan.sum wire in
+  let n = float_of_int (max 1 base.cell_total) in
+  let cell_cap_total = base.avg_switched_cap *. n in
+  {
+    base;
+    total_wire_cap;
+    avg_cap_with_wires = (cell_cap_total +. total_wire_cap) /. n;
+    wire_cap_share = total_wire_cap /. (cell_cap_total +. total_wire_cap);
+    avg_net_length = Numerics.Kahan.sum length /. float_of_int (max 1 nets);
+  }

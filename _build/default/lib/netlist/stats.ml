@@ -1,0 +1,62 @@
+type t = {
+  cell_total : int;
+  area : float;
+  avg_switched_cap : float;
+  avg_leak_factor : float;
+  dff_count : int;
+  by_kind : (Cell.kind * int) list;
+}
+
+let is_tie = function
+  | Cell.Tie0 | Cell.Tie1 -> true
+  | Cell.Inv | Cell.Buf | Cell.Nand2 | Cell.Nor2 | Cell.And2 | Cell.Or2
+  | Cell.Xor2 | Cell.Xnor2 | Cell.Mux2 | Cell.Half_adder | Cell.Full_adder
+  | Cell.Dff ->
+    false
+
+let compute circuit =
+  let counts = Hashtbl.create 16 in
+  let bump kind =
+    Hashtbl.replace counts kind (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind))
+  in
+  let area = Numerics.Kahan.create () in
+  let cap = Numerics.Kahan.create () in
+  let leak = Numerics.Kahan.create () in
+  let total = ref 0 and dffs = ref 0 in
+  Circuit.iter_cells
+    (fun cell ->
+      bump cell.kind;
+      if not (is_tie cell.kind) then begin
+        incr total;
+        Numerics.Kahan.add area (Cell.area cell.kind);
+        Numerics.Kahan.add cap (Cell.switched_cap cell.kind);
+        Numerics.Kahan.add leak (Cell.leak_factor cell.kind);
+        if Cell.is_sequential cell.kind then incr dffs
+      end)
+    circuit;
+  let n = float_of_int (max 1 !total) in
+  {
+    cell_total = !total;
+    area = Numerics.Kahan.sum area;
+    avg_switched_cap = Numerics.Kahan.sum cap /. n;
+    avg_leak_factor = Numerics.Kahan.sum leak /. n;
+    dff_count = !dffs;
+    by_kind =
+      List.filter_map
+        (fun kind ->
+          match Hashtbl.find_opt counts kind with
+          | Some c -> Some (kind, c)
+          | None -> None)
+        Cell.all;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>N=%d cells, area=%.0f um^2, C_avg=%.1f fF, \
+                      leak_avg=%.2f Io, DFFs=%d@ kinds: %a@]"
+    t.cell_total t.area
+    (t.avg_switched_cap *. 1e15)
+    t.avg_leak_factor t.dff_count
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (kind, c) -> Format.fprintf ppf "%s:%d" (Cell.name kind) c))
+    t.by_kind

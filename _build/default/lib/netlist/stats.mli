@@ -1,0 +1,17 @@
+(** Aggregate physical statistics of a netlist — the architectural
+    parameters N, area, average per-cell capacitance and leakage that feed
+    the power model. *)
+
+type t = {
+  cell_total : int;  (** N — number of cells (ties excluded). *)
+  area : float;  (** Total area, µm². *)
+  avg_switched_cap : float;  (** Average switched capacitance per cell, F. *)
+  avg_leak_factor : float;
+      (** Average per-cell off-current in units of the technology Io. *)
+  dff_count : int;
+  by_kind : (Cell.kind * int) list;  (** Instance count per kind, in
+      {!Cell.all} order, zero-count kinds omitted. *)
+}
+
+val compute : Circuit.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,163 @@
+type report = {
+  logical_depth : float;
+  critical_path : Circuit.cell_id list;
+  endpoint : Circuit.net;
+  arrivals : float array;
+}
+
+(* Topological order of combinational cells (flip-flops and ties are
+   sources; their outputs carry fixed arrivals). *)
+let topo_order circuit =
+  let count = Circuit.cell_count circuit in
+  let indegree = Array.make count 0 in
+  let fanout = Circuit.fanout circuit in
+  let is_source (cell : Circuit.cell) =
+    Cell.is_sequential cell.kind || Cell.arity cell.kind = 0
+  in
+  Circuit.iter_cells
+    (fun cell ->
+      if not (is_source cell) then
+        Array.iter
+          (fun n ->
+            match Circuit.driver circuit n with
+            | Some (d, _)
+              when not (is_source (Circuit.get_cell circuit d)) ->
+              indegree.(cell.id) <- indegree.(cell.id) + 1
+            | Some _ | None -> ())
+          cell.inputs)
+    circuit;
+  let queue = Queue.create () in
+  Circuit.iter_cells
+    (fun cell ->
+      if is_source cell || indegree.(cell.id) = 0 then
+        Queue.add cell.id queue)
+    circuit;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    incr visited;
+    order := id :: !order;
+    let cell = Circuit.get_cell circuit id in
+    Array.iter
+      (fun n ->
+        List.iter
+          (fun (reader, _) ->
+            let reader_cell = Circuit.get_cell circuit reader in
+            if not (Cell.is_sequential reader_cell.kind) then begin
+              indegree.(reader) <- indegree.(reader) - 1;
+              if indegree.(reader) = 0 then Queue.add reader queue
+            end)
+          fanout.(n))
+      (if is_source cell then [||] else cell.outputs)
+    (* Source-cell outputs are path starts handled via fixed arrivals, not
+       graph edges; their readers were never given indegree for them. *)
+  done;
+  if !visited < count then failwith "Timing: combinational cycle detected";
+  List.rev !order
+
+let analyze circuit =
+  let order = topo_order circuit in
+  let arrivals = Array.make (Circuit.net_count circuit) 0.0 in
+  (* from.(n) = cell that set the arrival of net n, for path recovery. *)
+  let from = Array.make (Circuit.net_count circuit) (-1) in
+  (* Source-cell outputs (flip-flop Q, ties) carry fixed arrivals and may be
+     read by cells that appear before their driver in the topological order
+     (source edges are not graph edges); set them up front. *)
+  Circuit.iter_cells
+    (fun cell ->
+      if Cell.is_sequential cell.kind || Cell.arity cell.kind = 0 then
+        Array.iteri
+          (fun o n ->
+            arrivals.(n) <- Cell.delay cell.kind ~output:o;
+            from.(n) <- cell.id)
+          cell.outputs)
+    circuit;
+  List.iter
+    (fun id ->
+      let cell = Circuit.get_cell circuit id in
+      let input_arrival =
+        if Cell.is_sequential cell.kind || Cell.arity cell.kind = 0 then 0.0
+        else
+          Array.fold_left
+            (fun acc n -> Float.max acc arrivals.(n))
+            0.0 cell.inputs
+      in
+      Array.iteri
+        (fun o n ->
+          let a = input_arrival +. Cell.delay cell.kind ~output:o in
+          if a > arrivals.(n) then begin
+            arrivals.(n) <- a;
+            from.(n) <- id
+          end)
+        cell.outputs)
+    order;
+  (* Endpoints: primary outputs and D inputs of flip-flops. *)
+  let endpoints = ref (List.map fst (Circuit.primary_outputs circuit)) in
+  Circuit.iter_cells
+    (fun cell ->
+      if Cell.is_sequential cell.kind then
+        Array.iter (fun n -> endpoints := n :: !endpoints) cell.inputs)
+    circuit;
+  let endpoint, logical_depth =
+    List.fold_left
+      (fun (best_n, best_a) n ->
+        if arrivals.(n) > best_a then (n, arrivals.(n)) else (best_n, best_a))
+      (-1, 0.0) !endpoints
+  in
+  let rec trace n acc =
+    if n < 0 || from.(n) < 0 then acc
+    else begin
+      let id = from.(n) in
+      let cell = Circuit.get_cell circuit id in
+      if Cell.is_sequential cell.kind || Cell.arity cell.kind = 0 then
+        id :: acc
+      else begin
+        (* Follow the slowest input backwards. *)
+        let worst =
+          Array.fold_left
+            (fun acc_n m ->
+              if acc_n < 0 || arrivals.(m) > arrivals.(acc_n) then m
+              else acc_n)
+            (-1) cell.inputs
+        in
+        trace worst (id :: acc)
+      end
+    end
+  in
+  let critical_path = if endpoint < 0 then [] else trace endpoint [] in
+  { logical_depth; critical_path; endpoint; arrivals }
+
+let logical_depth circuit = (analyze circuit).logical_depth
+
+let endpoints_arrivals circuit =
+  let report = analyze circuit in
+  let endpoints = ref (List.map fst (Circuit.primary_outputs circuit)) in
+  Circuit.iter_cells
+    (fun cell ->
+      if Cell.is_sequential cell.kind then
+        Array.iter (fun n -> endpoints := n :: !endpoints) cell.inputs)
+    circuit;
+  List.map (fun n -> report.arrivals.(n)) !endpoints
+
+let path_histogram circuit ~bins =
+  if bins < 1 then invalid_arg "Timing.path_histogram: bins < 1";
+  let arrivals = endpoints_arrivals circuit in
+  let top = List.fold_left Float.max 0.0 arrivals in
+  let width = if top = 0.0 then 1.0 else top /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun a ->
+      let i = min (bins - 1) (int_of_float (a /. width)) in
+      counts.(i) <- counts.(i) + 1)
+    arrivals;
+  Array.mapi (fun i c -> (width *. float_of_int (i + 1), c)) counts
+
+let slack_spread circuit =
+  let arrivals = endpoints_arrivals circuit in
+  match arrivals with
+  | [] -> 0.0
+  | first :: _ ->
+    let top = List.fold_left Float.max first arrivals in
+    let median = Numerics.Stats.percentile arrivals 50.0 in
+    if top = 0.0 then 0.0 else (top -. median) /. top

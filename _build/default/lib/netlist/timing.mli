@@ -1,0 +1,30 @@
+(** Static timing analysis in normalised gate-delay units.
+
+    Computes arrival times through the combinational fabric; paths start at
+    primary inputs (arrival 0) and flip-flop outputs (arrival = clk→q) and
+    end at primary outputs and flip-flop data inputs. The maximum endpoint
+    arrival is the circuit's logical depth (LD) — the quantity that, divided
+    by the clock period, yields the χ parameter of Eq. 6. *)
+
+type report = {
+  logical_depth : float;  (** Critical-path length, inverter-delay units. *)
+  critical_path : Circuit.cell_id list;  (** Start to end. *)
+  endpoint : Circuit.net;  (** Net at which the worst arrival occurs. *)
+  arrivals : float array;  (** Per-net arrival time. *)
+}
+
+val analyze : Circuit.t -> report
+(** @raise Failure on a combinational cycle. *)
+
+val logical_depth : Circuit.t -> float
+(** Shorthand for [(analyze c).logical_depth]. *)
+
+val path_histogram : Circuit.t -> bins:int -> (float * int) array
+(** Distribution of endpoint arrival times: [(bin upper edge, count)].
+    A wide spread predicts glitching — the effect that penalises the
+    diagonal pipelines in the paper. *)
+
+val slack_spread : Circuit.t -> float
+(** (max − median) endpoint arrival over max arrival; 0 when half the
+    endpoints are as slow as the critical path (balanced), → 1 when most
+    paths are far faster than the worst (unbalanced — glitch-prone). *)

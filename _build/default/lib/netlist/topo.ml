@@ -1,0 +1,50 @@
+let is_source (cell : Circuit.cell) =
+  Cell.is_sequential cell.kind || Cell.arity cell.kind = 0
+
+let combinational circuit =
+  let count = Circuit.cell_count circuit in
+  let indegree = Array.make count 0 in
+  let fanout = Circuit.fanout circuit in
+  Circuit.iter_cells
+    (fun cell ->
+      if not (is_source cell) then
+        Array.iter
+          (fun n ->
+            match Circuit.driver circuit n with
+            | Some (d, _) when not (is_source (Circuit.get_cell circuit d)) ->
+              indegree.(cell.id) <- indegree.(cell.id) + 1
+            | Some _ | None -> ())
+          cell.inputs)
+    circuit;
+  let queue = Queue.create () in
+  Circuit.iter_cells
+    (fun cell ->
+      if (not (is_source cell)) && indegree.(cell.id) = 0 then
+        Queue.add cell.id queue)
+    circuit;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    incr visited;
+    order := id :: !order;
+    let cell = Circuit.get_cell circuit id in
+    Array.iter
+      (fun n ->
+        List.iter
+          (fun (reader, _) ->
+            if not (is_source (Circuit.get_cell circuit reader)) then begin
+              indegree.(reader) <- indegree.(reader) - 1;
+              if indegree.(reader) = 0 then Queue.add reader queue
+            end)
+          fanout.(n))
+      cell.outputs
+  done;
+  let combinational_count =
+    Circuit.fold_cells
+      (fun acc cell -> if is_source cell then acc else acc + 1)
+      0 circuit
+  in
+  if !visited < combinational_count then
+    failwith "Topo.combinational: combinational cycle detected";
+  List.rev !order

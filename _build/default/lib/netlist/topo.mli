@@ -1,0 +1,11 @@
+(** Topological ordering of the combinational cell graph.
+
+    Sources (flip-flops, ties and other zero-arity cells) are excluded from
+    the order — their outputs carry externally determined values. Shared by
+    static timing, functional evaluation and the optimisation passes. *)
+
+val is_source : Circuit.cell -> bool
+
+val combinational : Circuit.t -> Circuit.cell_id list
+(** Combinational cells in dependency order.
+    @raise Failure on a combinational cycle. *)

@@ -1,0 +1,16 @@
+(** Structural Verilog export.
+
+    Writes a circuit as a synthesisable gate-level Verilog module plus a
+    self-contained primitive library (`optpower_cells.v` semantics inlined
+    as module definitions), so generated multipliers can be inspected,
+    simulated or re-synthesised with standard tools. *)
+
+val module_name : Circuit.t -> string
+(** The circuit name mangled to a legal Verilog identifier. *)
+
+val to_string : Circuit.t -> string
+(** Complete Verilog source: primitive definitions (only the kinds actually
+    used) followed by the top module with the circuit's primary inputs, a
+    [clk] port when flip-flops are present, and its primary outputs. *)
+
+val write_file : path:string -> Circuit.t -> unit

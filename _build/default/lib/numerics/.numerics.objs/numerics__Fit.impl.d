@@ -1,0 +1,1 @@
+lib/numerics/fit.ml: Array Float Fun Kahan List

@@ -1,0 +1,126 @@
+type line = {
+  slope : float;
+  intercept : float;
+  r_squared : float;
+  max_residual : float;
+}
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let fn = float_of_int n in
+  let sx = Kahan.sum_by fst points in
+  let sy = Kahan.sum_by snd points in
+  let mean_x = sx /. fn and mean_y = sy /. fn in
+  let sxx = Kahan.sum_by (fun (x, _) -> (x -. mean_x) ** 2.0) points in
+  let sxy =
+    Kahan.sum_by (fun (x, y) -> (x -. mean_x) *. (y -. mean_y)) points
+  in
+  if sxx = 0.0 then invalid_arg "Fit.linear: degenerate abscissa";
+  let slope = sxy /. sxx in
+  let intercept = mean_y -. (slope *. mean_x) in
+  let ss_tot = Kahan.sum_by (fun (_, y) -> (y -. mean_y) ** 2.0) points in
+  let residual (x, y) = y -. ((slope *. x) +. intercept) in
+  let ss_res = Kahan.sum_by (fun p -> residual p ** 2.0) points in
+  let r_squared = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  let max_residual =
+    List.fold_left (fun m p -> Float.max m (Float.abs (residual p))) 0.0 points
+  in
+  { slope; intercept; r_squared; max_residual }
+
+let linear_on ~f ~lo ~hi ~samples =
+  if samples < 2 then invalid_arg "Fit.linear_on: samples < 2";
+  let step = (hi -. lo) /. float_of_int (samples - 1) in
+  let points =
+    List.init samples (fun i ->
+        let x = lo +. (float_of_int i *. step) in
+        (x, f x))
+  in
+  linear points
+
+(* Nelder-Mead downhill simplex with standard reflection/expansion/
+   contraction/shrink coefficients (1, 2, 0.5, 0.5). *)
+let nelder_mead ?(tol = 1e-12) ?(max_iter = 2000) ?scale ~f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Fit.nelder_mead: empty start point";
+  let scale =
+    match scale with
+    | Some s when Array.length s = n -> s
+    | Some _ -> invalid_arg "Fit.nelder_mead: scale length mismatch"
+    | None ->
+      Array.map (fun x -> if x = 0.0 then 0.1 else 0.1 *. Float.abs x) x0
+  in
+  let simplex =
+    Array.init (n + 1) (fun i ->
+        let p = Array.copy x0 in
+        if i > 0 then p.(i - 1) <- p.(i - 1) +. scale.(i - 1);
+        p)
+  in
+  let values = Array.map f simplex in
+  let order () =
+    let idx = Array.init (n + 1) Fun.id in
+    Array.sort (fun i j -> Float.compare values.(i) values.(j)) idx;
+    idx
+  in
+  let centroid excluding =
+    let c = Array.make n 0.0 in
+    Array.iteri
+      (fun i p ->
+        if i <> excluding then
+          Array.iteri (fun k v -> c.(k) <- c.(k) +. v) p)
+      simplex;
+    Array.map (fun v -> v /. float_of_int n) c
+  in
+  let combine a alpha b beta =
+    Array.init n (fun k -> (alpha *. a.(k)) +. (beta *. b.(k)))
+  in
+  let iter = ref 0 in
+  let spread idx =
+    Float.abs (values.(idx.(n)) -. values.(idx.(0)))
+  in
+  let idx = ref (order ()) in
+  while !iter < max_iter && spread !idx > tol do
+    incr iter;
+    let best = !idx.(0) and worst = !idx.(n) and second = !idx.(n - 1) in
+    let c = centroid worst in
+    let reflected = combine c 2.0 simplex.(worst) (-1.0) in
+    let fr = f reflected in
+    if fr < values.(best) then begin
+      let expanded = combine c 3.0 simplex.(worst) (-2.0) in
+      let fe = f expanded in
+      if fe < fr then begin
+        simplex.(worst) <- expanded;
+        values.(worst) <- fe
+      end
+      else begin
+        simplex.(worst) <- reflected;
+        values.(worst) <- fr
+      end
+    end
+    else if fr < values.(second) then begin
+      simplex.(worst) <- reflected;
+      values.(worst) <- fr
+    end
+    else begin
+      let contracted = combine c 0.5 simplex.(worst) 0.5 in
+      let fc = f contracted in
+      if fc < values.(worst) then begin
+        simplex.(worst) <- contracted;
+        values.(worst) <- fc
+      end
+      else begin
+        (* Shrink toward the best vertex. *)
+        let b = simplex.(best) in
+        Array.iteri
+          (fun i p ->
+            if i <> best then begin
+              simplex.(i) <- combine b 0.5 p 0.5;
+              values.(i) <- f simplex.(i)
+            end)
+          simplex
+      end
+    end;
+    idx := order ()
+  done;
+  let best = !idx.(0) in
+  (Array.copy simplex.(best), values.(best))

@@ -1,0 +1,35 @@
+(** Curve fitting: linear least squares and a derivative-free non-linear
+    minimiser.
+
+    Two fits matter in the paper: the linearisation of Vdd^(1/α) (Eq. 7,
+    producing the A and B constants) is an ordinary least-squares line; the
+    extraction of technology parameters (α, ζ, Io, n) from simulated
+    ring-oscillator and I-V data is a small non-linear fit. *)
+
+type line = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** Coefficient of determination. *)
+  max_residual : float;  (** Largest absolute residual over the data. *)
+}
+
+val linear : (float * float) list -> line
+(** Ordinary least-squares line through [(x, y)] samples.
+    @raise Invalid_argument on fewer than two points or degenerate x. *)
+
+val linear_on :
+  f:(float -> float) -> lo:float -> hi:float -> samples:int -> line
+(** [linear_on ~f ~lo ~hi ~samples] fits a line to [f] sampled uniformly on
+    [\[lo, hi\]] — exactly how the paper obtains A and B for a given fitting
+    range. *)
+
+val nelder_mead :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?scale:float array ->
+  f:(float array -> float) ->
+  float array ->
+  float array * float
+(** [nelder_mead ~f x0] minimises [f] starting from [x0] with a downhill
+    simplex; returns (argmin, min). [scale] sets the initial simplex extent
+    per coordinate (default: 10 % of each coordinate, or 0.1). *)

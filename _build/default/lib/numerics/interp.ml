@@ -1,0 +1,49 @@
+type t = { xs : float array; ys : float array }
+
+let of_points pts =
+  if List.length pts < 2 then invalid_arg "Interp.of_points: need >= 2 points";
+  let xs = Array.of_list (List.map fst pts) in
+  let ys = Array.of_list (List.map snd pts) in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) <= xs.(i - 1) then
+      invalid_arg "Interp.of_points: abscissae must be strictly increasing"
+  done;
+  { xs; ys }
+
+let of_function ~f ~lo ~hi ~samples =
+  if samples < 2 then invalid_arg "Interp.of_function: samples < 2";
+  let step = (hi -. lo) /. float_of_int (samples - 1) in
+  of_points
+    (List.init samples (fun i ->
+         let x = lo +. (float_of_int i *. step) in
+         (x, f x)))
+
+let eval t x =
+  let n = Array.length t.xs in
+  (* Binary search for the segment containing x. *)
+  let rec find lo hi =
+    if hi - lo <= 1 then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.xs.(mid) <= x then find mid hi else find lo mid
+    end
+  in
+  let i =
+    if x <= t.xs.(0) then 0
+    else if x >= t.xs.(n - 1) then n - 2
+    else find 0 (n - 1)
+  in
+  let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+  let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+  y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+
+let domain t = (t.xs.(0), t.xs.(Array.length t.xs - 1))
+
+let argmin t =
+  let best = ref 0 in
+  Array.iteri (fun i y -> if y < t.ys.(!best) then best := i) t.ys;
+  (t.xs.(!best), t.ys.(!best))
+
+let points t = Array.to_list (Array.map2 (fun x y -> (x, y)) t.xs t.ys)
+
+let map_y f t = { xs = Array.copy t.xs; ys = Array.map f t.ys }

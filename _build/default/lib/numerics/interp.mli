@@ -1,0 +1,22 @@
+(** Piecewise-linear interpolation over tabulated samples. *)
+
+type t
+(** An interpolant over strictly increasing abscissae. *)
+
+val of_points : (float * float) list -> t
+(** @raise Invalid_argument on fewer than two points or non-increasing x. *)
+
+val of_function : f:(float -> float) -> lo:float -> hi:float -> samples:int -> t
+
+val eval : t -> float -> float
+(** Linear interpolation inside the domain, linear extrapolation outside. *)
+
+val domain : t -> float * float
+
+val argmin : t -> float * float
+(** Sample point with the smallest ordinate (x, y). *)
+
+val points : t -> (float * float) list
+
+val map_y : (float -> float) -> t -> t
+(** Transform every ordinate. *)

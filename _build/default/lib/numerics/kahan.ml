@@ -1,0 +1,32 @@
+type t = { mutable total : float; mutable compensation : float }
+
+let create () = { total = 0.0; compensation = 0.0 }
+
+(* Neumaier's variant: also compensates when the running total is smaller
+   than the incoming term. *)
+let add t x =
+  let sum = t.total +. x in
+  let correction =
+    if Float.abs t.total >= Float.abs x
+    then t.total -. sum +. x
+    else x -. sum +. t.total
+  in
+  t.compensation <- t.compensation +. correction;
+  t.total <- sum
+
+let sum t = t.total +. t.compensation
+
+let sum_array xs =
+  let acc = create () in
+  Array.iter (add acc) xs;
+  sum acc
+
+let sum_list xs =
+  let acc = create () in
+  List.iter (add acc) xs;
+  sum acc
+
+let sum_by f xs =
+  let acc = create () in
+  List.iter (fun x -> add acc (f x)) xs;
+  sum acc

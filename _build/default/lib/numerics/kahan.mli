@@ -1,0 +1,24 @@
+(** Compensated (Kahan-Babuska) floating-point summation.
+
+    Power totals aggregate many small per-cell contributions spanning several
+    orders of magnitude; compensated summation keeps the result independent of
+    accumulation order. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Accumulate one term. *)
+
+val sum : t -> float
+(** Current compensated sum. *)
+
+val sum_array : float array -> float
+(** One-shot compensated sum of an array. *)
+
+val sum_list : float list -> float
+
+val sum_by : ('a -> float) -> 'a list -> float
+(** [sum_by f xs] is the compensated sum of [f x] over [xs]. *)

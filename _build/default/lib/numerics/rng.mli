@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All stochastic parts of the library (stimulus generation, synthetic
+    measurement noise) draw from this generator so that every experiment is
+    reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators created with the
+    same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output of the SplitMix64 stream. *)
+
+val bits : t -> int
+(** [bits t] is a uniformly distributed non-negative [int] (62 bits). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normally distributed sample (Box-Muller). *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator, advancing [t].
+    Used to give each sub-experiment its own stream. *)

@@ -1,0 +1,138 @@
+exception No_bracket of string
+
+let same_sign a b = (a >= 0.0 && b >= 0.0) || (a <= 0.0 && b <= 0.0)
+
+let check_bracket name flo fhi =
+  if flo = 0.0 || fhi = 0.0 then ()
+  else if same_sign flo fhi then
+    raise
+      (No_bracket
+         (Printf.sprintf "%s: f has same sign at both ends (%g, %g)" name flo
+            fhi))
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
+  let flo = f lo and fhi = f hi in
+  check_bracket "Rootfind.bisect" flo fhi;
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    let rec loop lo hi flo iter =
+      let mid = 0.5 *. (lo +. hi) in
+      if hi -. lo < tol || iter >= max_iter then mid
+      else begin
+        let fmid = f mid in
+        if fmid = 0.0 then mid
+        else if same_sign flo fmid then loop mid hi fmid (iter + 1)
+        else loop lo mid flo (iter + 1)
+      end
+    in
+    loop lo hi flo 0
+  end
+
+(* Brent's method, following the classical Brent (1973) formulation. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
+  let fa = f lo and fb = f hi in
+  check_bracket "Rootfind.brent" fa fb;
+  if fa = 0.0 then lo
+  else if fb = 0.0 then hi
+  else begin
+    let a = ref lo and b = ref hi and fa = ref fa and fb = ref fb in
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) in
+    let mflag = ref true in
+    let iter = ref 0 in
+    while Float.abs !fb > 0.0 && Float.abs (!b -. !a) > tol && !iter < max_iter
+    do
+      incr iter;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* Inverse quadratic interpolation. *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo_bound = (3.0 *. !a +. !b) /. 4.0 and hi_bound = !b in
+      let out_of_range =
+        if lo_bound < hi_bound then s < lo_bound || s > hi_bound
+        else s < hi_bound || s > lo_bound
+      in
+      let s =
+        if
+          out_of_range
+          || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0)
+          || ((not !mflag) && Float.abs (s -. !b) >= Float.abs !d /. 2.0)
+          || (!mflag && Float.abs (!b -. !c) < tol)
+          || ((not !mflag) && Float.abs !d < tol)
+        then begin
+          mflag := true;
+          0.5 *. (!a +. !b)
+        end
+        else begin
+          mflag := false;
+          s
+        end
+      in
+      let fs = f s in
+      d := !b -. !c;
+      c := !b;
+      fc := !fb;
+      if same_sign !fa fs then begin
+        a := s;
+        fa := fs
+      end
+      else begin
+        b := s;
+        fb := fs
+      end;
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in
+        a := !b;
+        b := t;
+        let t = !fa in
+        fa := !fb;
+        fb := t
+      end
+    done;
+    !b
+  end
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+  let rec loop x iter =
+    if iter >= max_iter then x
+    else begin
+      let fx = f x in
+      if Float.abs fx = 0.0 then x
+      else begin
+        let dfx = df x in
+        if dfx = 0.0 then failwith "Rootfind.newton: zero derivative";
+        let x' = x -. (fx /. dfx) in
+        if not (Float.is_finite x') then failwith "Rootfind.newton: diverged";
+        if Float.abs (x' -. x) < tol then x' else loop x' (iter + 1)
+      end
+    end
+  in
+  loop x0 0
+
+let expand_bracket ?(factor = 1.6) ?(max_iter = 50) ~f lo hi =
+  let rec loop lo hi flo fhi iter =
+    if not (same_sign flo fhi) then Some (lo, hi)
+    else if iter >= max_iter then None
+    else if Float.abs flo < Float.abs fhi then begin
+      let lo' = lo -. (factor *. (hi -. lo)) in
+      loop lo' hi (f lo') fhi (iter + 1)
+    end
+    else begin
+      let hi' = hi +. (factor *. (hi -. lo)) in
+      loop lo hi' flo (f hi') (iter + 1)
+    end
+  in
+  loop lo hi (f lo) (f hi) 0

@@ -1,0 +1,33 @@
+(** One-dimensional root finding.
+
+    Used to invert the timing constraint (Eq. 5) — finding the threshold
+    voltage that makes the critical path exactly meet the clock period — and
+    inside parameter extraction. *)
+
+exception No_bracket of string
+(** Raised when the supplied interval does not bracket a sign change. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] finds [x] in [\[lo, hi\]] with [f x = 0] by bisection.
+    [f lo] and [f hi] must have opposite signs.
+    @param tol absolute tolerance on [x] (default [1e-12]).
+    @raise No_bracket if the interval does not bracket a root. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [brent ~f lo hi] — Brent's method (inverse quadratic interpolation with
+    bisection fallback). Same contract as {!bisect}, converges
+    super-linearly on smooth functions. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int ->
+  f:(float -> float) -> df:(float -> float) -> float -> float
+(** [newton ~f ~df x0] — Newton-Raphson from [x0]. Diverging steps raise
+    [Failure]. Prefer {!brent} when a bracket is available. *)
+
+val expand_bracket :
+  ?factor:float -> ?max_iter:int ->
+  f:(float -> float) -> float -> float -> (float * float) option
+(** [expand_bracket ~f lo hi] geometrically grows the interval outward until
+    it brackets a sign change, or returns [None]. *)

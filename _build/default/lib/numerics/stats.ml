@@ -1,0 +1,53 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min_value : float;
+  max_value : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> Kahan.sum_list xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let ss = Kahan.sum_by (fun x -> (x -. m) ** 2.0) xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | first :: _ ->
+    let count = List.length xs in
+    let min_value = List.fold_left Float.min first xs in
+    let max_value = List.fold_left Float.max first xs in
+    { count; mean = mean xs; stddev = stddev xs; min_value; max_value }
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | _ ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+    let sorted = List.sort Float.compare xs in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+
+let relative_error ~reference value =
+  if reference = 0.0 then invalid_arg "Stats.relative_error: zero reference";
+  (value -. reference) /. reference
+
+let max_abs_relative_error pairs =
+  List.fold_left
+    (fun acc (reference, value) ->
+      Float.max acc (Float.abs (relative_error ~reference value)))
+    0.0 pairs

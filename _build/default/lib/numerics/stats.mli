@@ -1,0 +1,26 @@
+(** Descriptive statistics over float sequences. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** Sample standard deviation (n-1 denominator). *)
+  min_value : float;
+  max_value : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]]; linear interpolation between
+    order statistics. *)
+
+val relative_error : reference:float -> float -> float
+(** [(value - reference) / reference]; signed, as in the paper's "Eq.13 Err"
+    columns. @raise Invalid_argument when [reference = 0]. *)
+
+val max_abs_relative_error : (float * float) list -> float
+(** Largest |relative error| over (reference, value) pairs. *)

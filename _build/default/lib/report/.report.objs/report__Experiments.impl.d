@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Ascii_plot Buffer Device List Multipliers Power_core Printf Spice Table

@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Device Multipliers Power_core

@@ -1,0 +1,1 @@
+lib/report/studies.ml: Ascii_plot Device Float List Multipliers Power_core Printf Table

@@ -1,0 +1,1 @@
+lib/report/studies.mli: Device Power_core

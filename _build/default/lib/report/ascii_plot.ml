@@ -1,0 +1,83 @@
+type series = {
+  label : string;
+  points : (float * float) list;
+  marker : char;
+}
+
+let default_markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let series ?(marker = '*') ~label points = { label; points; marker }
+
+let render ?(width = 72) ?(height = 24) ?(log_y = false) ?(x_label = "x")
+    ?(y_label = "y") series_list =
+  let transform (x, y) =
+    if log_y then if y > 0.0 then Some (x, Float.log10 y) else None
+    else Some (x, y)
+  in
+  let all_points =
+    List.concat_map (fun s -> List.filter_map transform s.points) series_list
+  in
+  match all_points with
+  | [] -> "(empty plot)\n"
+  | (x0, y0) :: rest ->
+    let fold f init = List.fold_left f init rest in
+    let x_min = fold (fun acc (x, _) -> Float.min acc x) x0 in
+    let x_max = fold (fun acc (x, _) -> Float.max acc x) x0 in
+    let y_min = fold (fun acc (_, y) -> Float.min acc y) y0 in
+    let y_max = fold (fun acc (_, y) -> Float.max acc y) y0 in
+    let x_span = if x_max = x_min then 1.0 else x_max -. x_min in
+    let y_span = if y_max = y_min then 1.0 else y_max -. y_min in
+    let canvas = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let marker =
+          if s.marker = '*' && si > 0 then
+            default_markers.(si mod Array.length default_markers)
+          else s.marker
+        in
+        List.iter
+          (fun p ->
+            match transform p with
+            | None -> ()
+            | Some (x, y) ->
+              let col =
+                int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+              in
+              let row =
+                height - 1
+                - int_of_float
+                    ((y -. y_min) /. y_span *. float_of_int (height - 1))
+              in
+              if row >= 0 && row < height && col >= 0 && col < width then
+                canvas.(row).(col) <- marker)
+          s.points)
+      series_list;
+    let buffer = Buffer.create (width * height * 2) in
+    let y_caption v =
+      if log_y then Printf.sprintf "%.3g" (10.0 ** v)
+      else Printf.sprintf "%.3g" v
+    in
+    Buffer.add_string buffer
+      (Printf.sprintf "%s (top=%s, bottom=%s)%s\n" y_label (y_caption y_max)
+         (y_caption y_min)
+         (if log_y then " [log scale]" else ""));
+    Array.iter
+      (fun row ->
+        Buffer.add_string buffer "  |";
+        Buffer.add_string buffer (String.init width (fun i -> row.(i)));
+        Buffer.add_char buffer '\n')
+      canvas;
+    Buffer.add_string buffer ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buffer
+      (Printf.sprintf "   %s: %.3g .. %.3g\n" x_label x_min x_max);
+    List.iteri
+      (fun si s ->
+        let marker =
+          if s.marker = '*' && si > 0 then
+            default_markers.(si mod Array.length default_markers)
+          else s.marker
+        in
+        Buffer.add_string buffer
+          (Printf.sprintf "   %c = %s\n" marker s.label))
+      series_list;
+    Buffer.contents buffer

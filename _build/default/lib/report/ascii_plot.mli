@@ -1,0 +1,17 @@
+(** Terminal line plots — enough to eyeball Figures 1 and 2. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;
+  marker : char;
+}
+
+val series : ?marker:char -> label:string -> (float * float) list -> series
+
+val render :
+  ?width:int -> ?height:int -> ?log_y:bool ->
+  ?x_label:string -> ?y_label:string ->
+  series list -> string
+(** Scatter the series on one canvas (default 72×24). [log_y] plots
+    log10 of the ordinates — Figure 1 spans decades. Points with
+    non-positive ordinates are dropped in log mode. *)

@@ -1,0 +1,27 @@
+let needs_quotes s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quotes s then begin
+    let buffer = Buffer.create (String.length s + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\""
+        else Buffer.add_char buffer c)
+      s;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+  else s
+
+let line fields = String.concat "," (List.map escape fields)
+
+let render ~header ~rows =
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let write_file ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ~header ~rows))

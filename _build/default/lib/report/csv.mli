@@ -1,0 +1,10 @@
+(** Minimal CSV writer (RFC-4180 quoting) for exporting experiment data. *)
+
+val escape : string -> string
+(** Quote a field if it contains commas, quotes or newlines. *)
+
+val line : string list -> string
+
+val render : header:string list -> rows:string list list -> string
+
+val write_file : path:string -> header:string list -> rows:string list list -> unit

@@ -1,0 +1,336 @@
+module P = Power_core.Paper_data
+
+(* Table 1 *)
+
+type table1_row = {
+  label : string;
+  vdd : float;
+  vth : float;
+  pdyn : float;
+  pstat : float;
+  ptot : float;
+  eq13 : float;
+  err_pct : float;
+  paper : P.table1_row;
+}
+
+let table1 () =
+  let tech = Device.Technology.ll in
+  let f = P.frequency in
+  let lin = Device.Linearization.fit ~alpha:tech.alpha () in
+  let run (paper : P.table1_row) =
+    let problem = Power_core.Calibration.problem_of_row tech ~f paper in
+    let opt = Power_core.Numerical_opt.optimum problem in
+    let cf = Power_core.Closed_form.evaluate ~lin problem in
+    {
+      label = paper.label;
+      vdd = opt.vdd;
+      vth = opt.vth;
+      pdyn = opt.dynamic;
+      pstat = opt.static;
+      ptot = opt.total;
+      eq13 = cf.ptot;
+      err_pct = 100.0 *. (cf.ptot -. opt.total) /. opt.total;
+      paper;
+    }
+  in
+  List.map run P.table1
+
+let render_table1 rows =
+  let columns =
+    Table.column ~align:Table.Left "Architecture"
+    :: List.map Table.column
+         [
+           "Vdd"; "Vth"; "Pdyn"; "Pstat"; "Ptot"; "Eq13"; "Err%"; "|";
+           "paper Ptot"; "paper Eq13"; "paper Err%";
+         ]
+  in
+  let row r =
+    [
+      r.label;
+      Table.fmt_f r.vdd;
+      Table.fmt_f r.vth;
+      Table.fmt_uw r.pdyn;
+      Table.fmt_uw r.pstat;
+      Table.fmt_uw r.ptot;
+      Table.fmt_uw r.eq13;
+      Table.fmt_pct r.err_pct;
+      "|";
+      Table.fmt_uw r.paper.ptot;
+      Table.fmt_uw r.paper.ptot_eq13;
+      Table.fmt_pct r.paper.err_pct;
+    ]
+  in
+  "Table 1 - optimal working points, 16-bit multipliers, STM LL, f=31.25 MHz \
+   (power in uW)\n"
+  ^ Table.render ~columns ~rows:(List.map row rows)
+
+(* Tables 3 / 4 *)
+
+type wallace_row = {
+  w_label : string;
+  w_vdd : float;
+  w_vth : float;
+  w_ptot : float;
+  w_eq13 : float;
+  w_err_pct : float;
+  w_paper : P.wallace_row;
+}
+
+type wallace_table = {
+  tech : Device.Technology.t;
+  cap_scale : float;
+  rows : wallace_row list;
+}
+
+let table_wallace which =
+  let tech, targets =
+    match which with
+    | `Ull -> (Device.Technology.ull, P.table3_ull)
+    | `Hs -> (Device.Technology.hs, P.table4_hs)
+  in
+  let f = P.frequency in
+  let pairs =
+    List.map (fun (t : P.wallace_row) -> (P.table1_find t.w_label, t)) targets
+  in
+  let cap_scale = Power_core.Calibration.fit_cap_scale tech ~f ~rows:pairs in
+  let lin = Device.Linearization.fit ~alpha:tech.alpha () in
+  let run ((ll_row : P.table1_row), (target : P.wallace_row)) =
+    let problem =
+      Power_core.Calibration.problem_of_wallace_row tech ~f ~ll_row ~target
+        ~cap_scale
+    in
+    let opt = Power_core.Numerical_opt.optimum problem in
+    let cf = Power_core.Closed_form.evaluate ~lin problem in
+    {
+      w_label = target.w_label;
+      w_vdd = opt.vdd;
+      w_vth = opt.vth;
+      w_ptot = opt.total;
+      w_eq13 = cf.ptot;
+      w_err_pct = 100.0 *. (cf.ptot -. opt.total) /. opt.total;
+      w_paper = target;
+    }
+  in
+  { tech; cap_scale; rows = List.map run pairs }
+
+let render_wallace t =
+  let columns =
+    Table.column ~align:Table.Left "Architecture"
+    :: List.map Table.column
+         [ "Vdd"; "Vth"; "Ptot"; "Eq13"; "Err%"; "|"; "paper Ptot"; "paper Err%" ]
+  in
+  let row r =
+    [
+      r.w_label;
+      Table.fmt_f r.w_vdd;
+      Table.fmt_f r.w_vth;
+      Table.fmt_uw r.w_ptot;
+      Table.fmt_uw r.w_eq13;
+      Table.fmt_pct r.w_err_pct;
+      "|";
+      Table.fmt_uw r.w_paper.w_ptot;
+      Table.fmt_pct r.w_paper.w_err_pct;
+    ]
+  in
+  Printf.sprintf
+    "Wallace family on %s (fitted capacitance scale %.3f, power in uW)\n"
+    (Device.Technology.name t.tech)
+    t.cap_scale
+  ^ Table.render ~columns ~rows:(List.map row t.rows)
+
+(* Figure 1 *)
+
+type figure1_curve = {
+  activity : float;
+  points : Power_core.Numerical_opt.point list;
+  optimum : Power_core.Numerical_opt.point;
+  dyn_static_ratio : float;
+}
+
+let figure1 ?activities () =
+  let tech = Device.Technology.ll in
+  let f = P.frequency in
+  let rca = P.table1_find "RCA" in
+  let activities =
+    match activities with
+    | Some l -> l
+    | None -> [ 1.0; rca.activity; 0.1; 0.01 ]
+  in
+  let base = Power_core.Calibration.params_of_row tech ~f rca in
+  let curve activity =
+    let params = { base with Power_core.Arch_params.activity } in
+    let problem =
+      Power_core.Power_law.make_calibrated tech params ~f ~vdd_ref:rca.vdd
+        ~vth_ref:rca.vth
+    in
+    let points =
+      Power_core.Numerical_opt.sweep_vdd ~samples:120 ~vdd_lo:0.25 ~vdd_hi:1.2
+        problem
+    in
+    let optimum = Power_core.Numerical_opt.optimum problem in
+    {
+      activity;
+      points;
+      optimum;
+      dyn_static_ratio = Power_core.Numerical_opt.dyn_static_ratio optimum;
+    }
+  in
+  List.map curve activities
+
+let render_figure1 curves =
+  let plot =
+    Ascii_plot.render ~log_y:true ~x_label:"Vdd [V]" ~y_label:"Ptot [W]"
+      (List.map
+         (fun c ->
+           Ascii_plot.series
+             ~label:(Printf.sprintf "a = %.4g" c.activity)
+             (List.map
+                (fun (p : Power_core.Numerical_opt.point) -> (p.vdd, p.total))
+                c.points))
+         curves)
+  in
+  let columns =
+    List.map Table.column
+      [ "a"; "Vdd*"; "Vth*"; "Ptot* [uW]"; "Pdyn/Pstat" ]
+  in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          Printf.sprintf "%.4g" c.activity;
+          Table.fmt_f c.optimum.vdd;
+          Table.fmt_f c.optimum.vth;
+          Table.fmt_uw c.optimum.total;
+          Printf.sprintf "%.2f" c.dyn_static_ratio;
+        ])
+      curves
+  in
+  "Figure 1 - total power vs Vdd (Vth from the timing constraint), 16-bit \
+   RCA, STM LL\n" ^ plot ^ "\nOptimal working points:\n"
+  ^ Table.render ~columns ~rows
+
+(* Figure 2 *)
+
+let figure2 ?(alpha = 1.5) () = Device.Linearization.fit ~alpha ()
+
+let render_figure2 (lin : Device.Linearization.t) =
+  let samples = Device.Linearization.figure2_series lin ~samples:60 in
+  let exact = List.map (fun (x, e, _) -> (x, e)) samples in
+  let linear = List.map (fun (x, _, l) -> (x, l)) samples in
+  Printf.sprintf
+    "Figure 2 - Vdd^(1/alpha) vs its linear fit, alpha = %.2f\n\
+     A = %.4f, B = %.4f, max |error| = %.5f over [%.2f, %.2f] V\n"
+    lin.alpha lin.a lin.b lin.max_error lin.lo lin.hi
+  ^ Ascii_plot.render ~height:18 ~x_label:"Vdd [V]" ~y_label:"Vdd^(1/alpha)"
+      [
+        Ascii_plot.series ~marker:'*' ~label:"exact" exact;
+        Ascii_plot.series ~marker:'.' ~label:"A*Vdd + B" linear;
+      ]
+
+(* Table 2 re-characterisation *)
+
+type table2_row = {
+  flavor : string;
+  published_alpha : float;
+  fitted_alpha : float;
+  fitted_zeta : float;
+  fit_rms : float;
+}
+
+let table2 () =
+  List.map
+    (fun (tech : Device.Technology.t) ->
+      let fit = Spice.Param_extract.characterize tech in
+      {
+        flavor = Device.Technology.name tech;
+        published_alpha = tech.alpha;
+        fitted_alpha = fit.alpha;
+        fitted_zeta = fit.zeta;
+        fit_rms = fit.rms_error;
+      })
+    Device.Technology.all
+
+let render_table2 rows =
+  let columns =
+    Table.column ~align:Table.Left "Flavor"
+    :: List.map Table.column
+         [ "alpha (Table 2)"; "alpha (refit)"; "zeta_gate [fF]"; "rel. RMS" ]
+  in
+  let row r =
+    [
+      r.flavor;
+      Table.fmt_f ~decimals:2 r.published_alpha;
+      Table.fmt_f ~decimals:2 r.fitted_alpha;
+      Table.fmt_f ~decimals:1 (r.fitted_zeta *. 1e15);
+      Printf.sprintf "%.4f" r.fit_rms;
+    ]
+  in
+  "Table 2 - technology re-characterisation by ring-oscillator simulation \
+   and fitting\n"
+  ^ Table.render ~columns ~rows:(List.map row rows)
+
+(* Figures 3 / 4 *)
+
+let pipeline_sketch ~bits ~stages ~cut =
+  let grid = Multipliers.Rca.cut_preview ~bits ~stages ~cut in
+  let buffer = Buffer.create 512 in
+  let kind =
+    match cut with
+    | Multipliers.Rca.Horizontal -> "horizontal (Figure 3)"
+    | Multipliers.Rca.Diagonal -> "diagonal (Figure 4)"
+  in
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "%d-bit RCA, %d-stage %s cut - stage index per array cell\n\
+        (columns = partial-product column, last line = final merge row)\n"
+       bits stages kind);
+  Array.iteri
+    (fun row stages_of_col ->
+      Buffer.add_string buffer
+        (if row < Array.length grid - 1 then
+           Printf.sprintf "  row %2d  " row
+         else "  merge   ");
+      Array.iter
+        (fun s -> Buffer.add_string buffer (Printf.sprintf "%d " s))
+        stages_of_col;
+      Buffer.add_char buffer '\n')
+    grid;
+  Buffer.contents buffer
+
+(* From-scratch pipeline *)
+
+let scratch ?(tech = Device.Technology.ll) ?(cycles = 160) () =
+  Power_core.Scratch_pipeline.run_all ~cycles tech ~f:P.frequency ()
+
+let render_scratch rows =
+  let columns =
+    Table.column ~align:Table.Left "Architecture"
+    :: List.map Table.column
+         [
+           "N"; "a"; "glitch"; "LDeff"; "Vdd*"; "Vth*"; "Ptot [uW]";
+           "Eq13 [uW]"; "Err%";
+         ]
+  in
+  let row (r : Power_core.Scratch_pipeline.row) =
+    let eq13, err =
+      match (r.eq13, Power_core.Scratch_pipeline.eq13_error_pct r) with
+      | Some cf, Some e -> (Table.fmt_uw cf.ptot, Table.fmt_pct e)
+      | _ -> ("n/a", "n/a")
+    in
+    [
+      r.params.label;
+      Printf.sprintf "%.0f" r.params.n_cells;
+      Printf.sprintf "%.4f" r.params.activity;
+      Printf.sprintf "%.3f" r.glitch_ratio;
+      Printf.sprintf "%.1f" r.params.ld_eff;
+      Table.fmt_f r.numerical.vdd;
+      Table.fmt_f r.numerical.vth;
+      Table.fmt_uw r.numerical.total;
+      eq13;
+      err;
+    ]
+  in
+  "From-scratch reproduction - own netlists, simulated activity, STA depth \
+   (absolute values differ from the paper; compare the ordering)\n"
+  ^ Table.render ~columns ~rows:(List.map row rows)

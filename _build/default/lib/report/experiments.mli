@@ -1,0 +1,94 @@
+(** One driver per paper artifact (see DESIGN.md §4): each function computes
+    the data, each [render_*] produces the human-readable reproduction. *)
+
+(** {1 Table 1 — thirteen multipliers, LL technology} *)
+
+type table1_row = {
+  label : string;
+  vdd : float;
+  vth : float;
+  pdyn : float;
+  pstat : float;
+  ptot : float;  (** Numerical optimum, W. *)
+  eq13 : float;  (** Closed form, W. *)
+  err_pct : float;  (** (eq13 − ptot)/ptot, %. *)
+  paper : Power_core.Paper_data.table1_row;
+}
+
+val table1 : unit -> table1_row list
+(** Calibrated mode: parameters inverted from the published rows, then the
+    numerical optimiser and Eq. 13 re-run independently. *)
+
+val render_table1 : table1_row list -> string
+
+(** {1 Tables 3 and 4 — Wallace family on ULL / HS} *)
+
+type wallace_row = {
+  w_label : string;
+  w_vdd : float;
+  w_vth : float;
+  w_ptot : float;
+  w_eq13 : float;
+  w_err_pct : float;
+  w_paper : Power_core.Paper_data.wallace_row;
+}
+
+type wallace_table = {
+  tech : Device.Technology.t;
+  cap_scale : float;  (** Fitted per-technology capacitance multiplier. *)
+  rows : wallace_row list;
+}
+
+val table_wallace : [ `Ull | `Hs ] -> wallace_table
+val render_wallace : wallace_table -> string
+
+(** {1 Figure 1 — Ptot(Vdd) for several activities} *)
+
+type figure1_curve = {
+  activity : float;
+  points : Power_core.Numerical_opt.point list;
+  optimum : Power_core.Numerical_opt.point;
+  dyn_static_ratio : float;
+}
+
+val figure1 : ?activities:float list -> unit -> figure1_curve list
+(** RCA parameters (calibrated), LL technology; default activities
+    1.0, 0.5056 (the RCA's own), 0.1, 0.01. *)
+
+val render_figure1 : figure1_curve list -> string
+
+(** {1 Figure 2 — Vdd^(1/α) linearisation} *)
+
+val figure2 : ?alpha:float -> unit -> Device.Linearization.t
+(** Default α = 1.5, as in the published figure. *)
+
+val render_figure2 : Device.Linearization.t -> string
+
+(** {1 Table 2 — technology re-characterisation} *)
+
+type table2_row = {
+  flavor : string;
+  published_alpha : float;
+  fitted_alpha : float;
+  fitted_zeta : float;
+  fit_rms : float;
+}
+
+val table2 : unit -> table2_row list
+(** Re-derive α by ring-oscillator simulation + fitting per flavor — the
+    paper's ELDO flow on our synthetic device. *)
+
+val render_table2 : table2_row list -> string
+
+(** {1 Figures 3 and 4 — pipeline cut sketches} *)
+
+val pipeline_sketch : bits:int -> stages:int -> cut:Multipliers.Rca.cut -> string
+(** Stage digit per array cell — the register-bank placement picture. *)
+
+(** {1 From-scratch reproduction} *)
+
+val scratch :
+  ?tech:Device.Technology.t -> ?cycles:int -> unit ->
+  Power_core.Scratch_pipeline.row list
+
+val render_scratch : Power_core.Scratch_pipeline.row list -> string

@@ -1,0 +1,28 @@
+(** Renderers for the ablation / extension studies (beyond the paper's own
+    tables — see {!Power_core.Ablation}). *)
+
+val render_dibl : Power_core.Ablation.dibl_row list -> string
+val render_glitch : Power_core.Ablation.glitch_row list -> string
+val render_lin_range : Power_core.Ablation.lin_range_row list -> string
+val render_frequency : Power_core.Ablation.freq_point list -> string
+val render_width : Power_core.Ablation.width_row list -> string
+
+val render_extensions :
+  ?cycles:int -> Device.Technology.t -> f:float -> string
+(** Score the extension architectures (Booth, Dadda, parallel versions)
+    with the from-scratch pipeline next to their paper-set baselines. *)
+
+val render_exploration : ?cycles:int -> f:float -> unit -> string
+(** Full design-space sweep: every catalog architecture (paper set +
+    extensions) on every technology flavor, from scratch; per-architecture
+    best flavor and the global winner. The "use the reproduction as a
+    design tool" showcase. *)
+
+val render_variation : Power_core.Variation.result -> string
+
+val render_energy :
+  Power_core.Energy.sweep_point list -> Power_core.Energy.mep -> string
+
+val render_thermal :
+  (float * Device.Thermal.equilibrium) list -> string
+(** Rows of (thermal resistance, equilibrium). *)

@@ -1,0 +1,44 @@
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+let column ?(align = Right) header = { header; align }
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else begin
+    let fill = String.make (width - len) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ~columns ~rows =
+  let ncols = List.length columns in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length col.header)
+          rows)
+      columns
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2
+         (fun (col, width) cell -> pad col.align width cell)
+         (List.combine columns widths)
+         cells)
+  in
+  let header = line (List.map (fun c -> c.header) columns) in
+  let rule = String.make (String.length header) '-' in
+  String.concat "\n" (header :: rule :: List.map line rows) ^ "\n"
+
+let fmt_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+let fmt_uw watts = Printf.sprintf "%.2f" (watts *. 1e6)
+let fmt_pct x = Printf.sprintf "%+.2f" x

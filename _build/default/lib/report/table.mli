@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment output. *)
+
+type align = Left | Right
+
+type column = {
+  header : string;
+  align : align;
+}
+
+val column : ?align:align -> string -> column
+(** Right-aligned by default (most cells are numbers). *)
+
+val render : columns:column list -> rows:string list list -> string
+(** Box-drawing-free ASCII table with a header rule. Rows shorter than the
+    column list are padded with empty cells. *)
+
+val fmt_f : ?decimals:int -> float -> string
+(** Fixed-point float formatting (default 3 decimals). *)
+
+val fmt_uw : float -> string
+(** Watts rendered as µW with 2 decimals — the paper's power unit. *)
+
+val fmt_pct : float -> string
+(** Percentage with 2 decimals and sign. *)

@@ -1,0 +1,1 @@
+lib/spice/param_extract.ml: Array Device Float List Numerics Ring_oscillator

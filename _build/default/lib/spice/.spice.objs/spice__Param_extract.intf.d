@@ -1,0 +1,1 @@
+lib/spice/param_extract.mli: Device Numerics Ring_oscillator

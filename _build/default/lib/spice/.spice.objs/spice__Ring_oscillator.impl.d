@@ -1,0 +1,1 @@
+lib/spice/ring_oscillator.ml: Array Device Float List Transient Waveform

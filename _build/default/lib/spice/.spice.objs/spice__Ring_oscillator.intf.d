@@ -1,0 +1,1 @@
+lib/spice/ring_oscillator.mli: Device Transient

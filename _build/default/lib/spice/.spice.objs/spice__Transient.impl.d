@@ -1,0 +1,1 @@
+lib/spice/transient.ml: Array Device Float Waveform

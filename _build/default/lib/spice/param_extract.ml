@@ -1,0 +1,87 @@
+type delay_fit = { alpha : float; zeta : float; rms_error : float }
+type leakage_fit = { io : float; n : float }
+
+let model_delay (tech : Device.Technology.t) ~alpha ~zeta ~vdd ~vth =
+  let scaled = { tech with alpha } in
+  zeta *. vdd /. Device.Alpha_power.on_current scaled ~vdd ~vth
+
+let fit_delay (tech : Device.Technology.t)
+    (measurements : Ring_oscillator.measurement list) =
+  if List.length measurements < 3 then
+    invalid_arg "Param_extract.fit_delay: need >= 3 measurements";
+  let cost params =
+    let alpha = params.(0) and log_zeta = params.(1) in
+    if alpha < 0.8 || alpha > 3.0 then 1e12
+    else begin
+      let zeta = Float.exp log_zeta in
+      let term (m : Ring_oscillator.measurement) =
+        if m.vdd <= m.vth then 1e12
+        else begin
+          let predicted = model_delay tech ~alpha ~zeta ~vdd:m.vdd ~vth:m.vth in
+          let rel = (predicted -. m.stage_delay) /. m.stage_delay in
+          rel *. rel
+        end
+      in
+      Numerics.Kahan.sum_by term measurements
+    end
+  in
+  let start = [| tech.alpha; Float.log (Device.Technology.gate_zeta tech) |] in
+  let best, residual = Numerics.Fit.nelder_mead ~max_iter:4000 ~f:cost start in
+  let count = float_of_int (List.length measurements) in
+  {
+    alpha = best.(0);
+    zeta = Float.exp best.(1);
+    rms_error = sqrt (residual /. count);
+  }
+
+let leakage_samples (tech : Device.Technology.t) ~rng ~noise ~vths =
+  let sample vth =
+    let ideal = Device.Alpha_power.off_current tech ~vth in
+    let jitter = Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:noise in
+    (vth, ideal *. Float.exp jitter)
+  in
+  List.map sample vths
+
+let fit_leakage ~ut pairs =
+  if List.length pairs < 2 then
+    invalid_arg "Param_extract.fit_leakage: need >= 2 points";
+  (* ln I = ln Io - vth / (n * Ut): a line in (vth, ln I). *)
+  let line =
+    Numerics.Fit.linear (List.map (fun (vth, i) -> (vth, Float.log i)) pairs)
+  in
+  if line.slope >= 0.0 then
+    invalid_arg "Param_extract.fit_leakage: non-decreasing leakage";
+  { io = Float.exp line.intercept; n = -1.0 /. (line.slope *. ut) }
+
+let iv_samples (tech : Device.Technology.t) ~rng ~noise ~vth ~vdds =
+  List.map
+    (fun vdd ->
+      let ideal = Device.Alpha_power.on_current tech ~vdd ~vth in
+      let jitter = Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:noise in
+      (vdd, ideal *. Float.exp jitter))
+    vdds
+
+type iv_fit = { alpha_iv : float; io_drive : float; r_squared : float }
+
+let fit_alpha_iv ~vth pairs =
+  let log_points =
+    List.filter_map
+      (fun (vdd, ion) ->
+        if vdd > vth && ion > 0.0 then
+          Some (Float.log (vdd -. vth), Float.log ion)
+        else None)
+      pairs
+  in
+  if List.length log_points < 2 then
+    invalid_arg "Param_extract.fit_alpha_iv: need >= 2 points above Vth";
+  let line = Numerics.Fit.linear log_points in
+  {
+    alpha_iv = line.slope;
+    io_drive = Float.exp line.intercept;
+    r_squared = line.r_squared;
+  }
+
+let characterize ?(stages = 7) ?(load_cap = 30e-15)
+    ?(vdds = [ 0.7; 0.8; 0.9; 1.0; 1.1; 1.2 ]) tech =
+  let measurements = Ring_oscillator.sweep_vdd tech ~load_cap ~stages ~vdds in
+  fit_delay tech measurements

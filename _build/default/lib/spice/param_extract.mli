@@ -1,0 +1,68 @@
+(** Technology-parameter extraction from simulated measurements.
+
+    Mirrors the paper's characterisation flow: (α, ζ) come from fitting the
+    delay model t = ζ·Vdd/Ion to ring-oscillator stage delays measured over a
+    supply sweep; (Io, n) come from the sub-threshold leakage slope,
+    ln I_off = ln Io − Vth/(n·Ut). *)
+
+type delay_fit = {
+  alpha : float;
+  zeta : float;  (** Per-gate delay coefficient, F. *)
+  rms_error : float;  (** Relative RMS of the fit over the measurements. *)
+}
+
+type leakage_fit = {
+  io : float;  (** Off-current at Vgs = Vth, A. *)
+  n : float;  (** Weak-inversion slope factor. *)
+}
+
+val fit_delay :
+  Device.Technology.t -> Ring_oscillator.measurement list -> delay_fit
+(** Least-squares fit of (α, ζ) to measured stage delays; Io and n are taken
+    from the technology record (as the paper fixes them from I-V data).
+    @raise Invalid_argument on fewer than three measurements. *)
+
+val leakage_samples :
+  Device.Technology.t ->
+  rng:Numerics.Rng.t ->
+  noise:float ->
+  vths:float list ->
+  (float * float) list
+(** Synthetic leakage "measurements": (Vth, I_off) with multiplicative
+    log-normal noise of relative magnitude [noise]. *)
+
+val fit_leakage : ut:float -> (float * float) list -> leakage_fit
+(** Fit (Io, n) from (Vth, I_off) pairs via the log-linear sub-threshold
+    slope. @raise Invalid_argument on fewer than two points. *)
+
+val iv_samples :
+  Device.Technology.t ->
+  rng:Numerics.Rng.t ->
+  noise:float ->
+  vth:float ->
+  vdds:float list ->
+  (float * float) list
+(** Synthetic on-current I-V "measurements": (Vdd, Ion) at a fixed
+    effective threshold, with multiplicative log-normal noise. *)
+
+type iv_fit = {
+  alpha_iv : float;
+  io_drive : float;  (** The current prefactor Io·(α/(e·n·Ut))^α, A/V^α. *)
+  r_squared : float;
+}
+
+val fit_alpha_iv : vth:float -> (float * float) list -> iv_fit
+(** Recover α from I-V data by the log-log slope:
+    ln Ion = ln(prefactor) + α·ln(Vdd − Vth) is a line in ln overdrive.
+    @raise Invalid_argument on fewer than two valid points or points with
+    Vdd ≤ Vth. *)
+
+val characterize :
+  ?stages:int ->
+  ?load_cap:float ->
+  ?vdds:float list ->
+  Device.Technology.t ->
+  delay_fit
+(** End-to-end re-characterisation: simulate rings over a default supply
+    sweep and fit. Recovers the golden technology's α within a few percent —
+    asserted by the test suite. *)

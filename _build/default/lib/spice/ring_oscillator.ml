@@ -1,0 +1,66 @@
+type measurement = {
+  vdd : float;
+  vth : float;
+  period : float;
+  stage_delay : float;
+}
+
+let stage_delay_fast (config : Transient.config) =
+  let ion =
+    Device.Alpha_power.on_current config.tech ~vdd:config.vdd ~vth:config.vth
+  in
+  config.load_cap *. config.vdd /. ion
+
+let simulate (config : Transient.config) ~stages =
+  if stages < 3 || stages mod 2 = 0 then
+    invalid_arg "Ring_oscillator.simulate: stages must be odd and >= 3";
+  let estimate = stage_delay_fast config in
+  let stop_time = 12.0 *. estimate *. float_of_int stages in
+  let time_step = Float.min config.time_step (estimate /. 40.0) in
+  (* Ring state: node k driven by inverter whose input is node (k-1) mod n.
+     Start near a travelling transition to kick off oscillation. *)
+  let node =
+    Array.init stages (fun k -> if k mod 2 = 0 then config.vdd else 0.0)
+  in
+  let wave = Waveform.create () in
+  let steps = int_of_float (Float.ceil (stop_time /. time_step)) in
+  let record_every = max 1 (steps / 20000) in
+  Waveform.append wave ~time:0.0 ~value:node.(0);
+  for step = 1 to steps do
+    let time = float_of_int step *. time_step in
+    let previous = Array.copy node in
+    for k = 0 to stages - 1 do
+      let input = previous.((k + stages - 1) mod stages) in
+      let out = previous.(k) in
+      let dv =
+        if input > config.vdd /. 2.0 then
+          -.Transient.device_current config ~vds:out *. time_step
+          /. config.load_cap
+        else
+          Transient.device_current config ~vds:(config.vdd -. out)
+          *. time_step /. config.load_cap
+      in
+      node.(k) <- Float.min config.vdd (Float.max 0.0 (out +. dv))
+    done;
+    if step mod record_every = 0 then
+      Waveform.append wave ~time ~value:node.(0)
+  done;
+  match Waveform.period wave ~level:(config.vdd /. 2.0) with
+  | None -> failwith "Ring_oscillator.simulate: ring did not oscillate"
+  | Some period ->
+    {
+      vdd = config.vdd;
+      vth = config.vth;
+      period;
+      stage_delay = period /. (2.0 *. float_of_int stages);
+    }
+
+let sweep_vdd (tech : Device.Technology.t) ~load_cap ~stages ~vdds =
+  let measure vdd =
+    let vth = Device.Alpha_power.vth_effective tech ~vth0:tech.vth0_nom ~vdd in
+    let config =
+      { (Transient.default_config tech) with vdd; vth; load_cap }
+    in
+    simulate config ~stages
+  in
+  List.map measure vdds

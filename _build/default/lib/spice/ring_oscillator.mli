@@ -1,0 +1,33 @@
+(** Ring-oscillator "measurement" — how the paper characterised delay.
+
+    An odd-length chain of inverters closed into a loop oscillates with
+    period [2 * stages * t_stage]. Simulating the ring at several supply
+    voltages yields the delay-vs-voltage curve from which
+    {!Param_extract} recovers ζ and α, exactly mirroring the paper's
+    "fitting delays on inverter chains ring oscillators". *)
+
+type measurement = {
+  vdd : float;
+  vth : float;  (** Effective threshold at this supply. *)
+  period : float;  (** Oscillation period, s. *)
+  stage_delay : float;  (** period / (2 * stages), s. *)
+}
+
+val simulate :
+  Transient.config -> stages:int -> measurement
+(** Simulate the ring at the config's operating point. [stages] must be odd
+    and >= 3. Uses the transient solver until the period stabilises. *)
+
+val stage_delay_fast :
+  Transient.config -> float
+(** Closed-form slew-based stage delay estimate
+    [C * Vdd / Ion] — used to size simulation windows and as a cheap
+    cross-check of {!simulate}. *)
+
+val sweep_vdd :
+  Device.Technology.t ->
+  load_cap:float ->
+  stages:int ->
+  vdds:float list ->
+  measurement list
+(** One ring simulation per supply point, thresholds tracking DIBL. *)

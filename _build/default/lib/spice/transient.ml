@@ -1,0 +1,84 @@
+type config = {
+  tech : Device.Technology.t;
+  vdd : float;
+  vth : float;
+  load_cap : float;
+  time_step : float;
+}
+
+let default_config (tech : Device.Technology.t) =
+  {
+    tech;
+    vdd = tech.vdd_nom;
+    vth = Device.Technology.vth_nom_effective tech;
+    load_cap = 30e-15;
+    time_step = 1e-12;
+  }
+
+let device_current config ~vds =
+  if vds <= 0.0 then 0.0
+  else begin
+    let ion =
+      Device.Alpha_power.on_current config.tech ~vdd:config.vdd ~vth:config.vth
+    in
+    (* Smooth saturation/linear transition: full drive in saturation,
+       tanh roll-off below Vdsat. *)
+    let vdsat = Float.max 0.05 (0.5 *. (config.vdd -. config.vth)) in
+    ion *. Float.tanh (2.0 *. vds /. vdsat)
+  end
+
+let inverter_chain config ~stages ~stop_time =
+  if stages < 1 then invalid_arg "Transient.inverter_chain: stages < 1";
+  if config.vdd <= config.vth then
+    invalid_arg "Transient.inverter_chain: vdd <= vth";
+  (* Stage outputs alternate between Vdd and 0 at rest: input starts low, so
+     stage 0 output starts high, stage 1 low, ... *)
+  let node = Array.init stages (fun k -> if k mod 2 = 0 then config.vdd else 0.0) in
+  let waves = Array.init stages (fun _ -> Waveform.create ()) in
+  let record time =
+    Array.iteri (fun k w -> Waveform.append w ~time ~value:node.(k)) waves
+  in
+  let steps = int_of_float (Float.ceil (stop_time /. config.time_step)) in
+  let record_every = max 1 (steps / 4000) in
+  record 0.0;
+  for step = 1 to steps do
+    let time = float_of_int step *. config.time_step in
+    (* Evaluate all stages against the previous state (Jacobi update). *)
+    let previous = Array.copy node in
+    for k = 0 to stages - 1 do
+      let input = if k = 0 then config.vdd else previous.(k - 1) in
+      let out = previous.(k) in
+      let dv =
+        if input > config.vdd /. 2.0 then
+          (* NMOS on: discharge the output toward 0. *)
+          -.device_current config ~vds:out *. config.time_step /. config.load_cap
+        else
+          (* PMOS on: charge the output toward Vdd. *)
+          device_current config ~vds:(config.vdd -. out)
+          *. config.time_step /. config.load_cap
+      in
+      node.(k) <- Float.min config.vdd (Float.max 0.0 (out +. dv))
+    done;
+    if step mod record_every = 0 then record time
+  done;
+  waves
+
+let chain_delay config ~stages =
+  (* Rough upper bound on total settle time from the slew estimate. *)
+  let ion =
+    Device.Alpha_power.on_current config.tech ~vdd:config.vdd ~vth:config.vth
+  in
+  let slew = config.load_cap *. config.vdd /. ion in
+  let stop_time = 8.0 *. slew *. float_of_int (stages + 2) in
+  let waves = inverter_chain config ~stages ~stop_time in
+  let level = config.vdd /. 2.0 in
+  (* Stage 0 output falls (input rose); alternating after that. *)
+  let crossing k =
+    let rising = k mod 2 = 1 in
+    match Waveform.crossings waves.(k) ~level ~rising with
+    | t :: _ -> t
+    | [] -> failwith "Transient.chain_delay: stage did not switch"
+  in
+  let first = crossing 0 and last = crossing (stages - 1) in
+  if stages = 1 then first
+  else (last -. first) /. float_of_int (stages - 1)

@@ -1,0 +1,33 @@
+(** Fixed-step transient solver for CMOS inverter chains.
+
+    This is the repository's stand-in for the ELDO simulations the paper used
+    to characterise the technology. Each inverter drives a lumped load
+    capacitance; the pull-up / pull-down device is the alpha-power-law
+    current source of {!Device.Alpha_power} with a smooth linear-region
+    roll-off near the rail. Solved with forward Euler at a step small
+    against the stage delay. *)
+
+type config = {
+  tech : Device.Technology.t;
+  vdd : float;  (** Supply, V. *)
+  vth : float;  (** Effective threshold (DIBL applied by the caller), V. *)
+  load_cap : float;  (** Per-stage load capacitance, F. *)
+  time_step : float;  (** Integration step, s. *)
+}
+
+val default_config : Device.Technology.t -> config
+(** Nominal supply, effective nominal threshold, 30 fF load, 1 ps step. *)
+
+val device_current : config -> vds:float -> float
+(** Magnitude of the switching device current for a drain-source drop [vds]
+    (saturation value with smooth roll-off as [vds -> 0]). *)
+
+val inverter_chain :
+  config -> stages:int -> stop_time:float -> Waveform.t array
+(** Simulate [stages] cascaded inverters driven by a step at t = 0 (input
+    rises from 0 to Vdd). Stage k's output starts at its static level.
+    Returns one waveform per stage output. *)
+
+val chain_delay : config -> stages:int -> float
+(** Average per-stage propagation delay (50 % crossing to 50 % crossing)
+    through a [stages]-long chain. *)

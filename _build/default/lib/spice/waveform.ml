@@ -1,0 +1,77 @@
+type t = {
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create () = { times = Array.make 1024 0.0; values = Array.make 1024 0.0; len = 0 }
+
+let grow t =
+  let capacity = Array.length t.times in
+  if t.len = capacity then begin
+    let times = Array.make (2 * capacity) 0.0 in
+    let values = Array.make (2 * capacity) 0.0 in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.values 0 values 0 t.len;
+    t.times <- times;
+    t.values <- values
+  end
+
+let append t ~time ~value =
+  if t.len > 0 && time <= t.times.(t.len - 1) then
+    invalid_arg "Waveform.append: times must be strictly increasing";
+  grow t;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- value;
+  t.len <- t.len + 1
+
+let length t = t.len
+let times t = Array.sub t.times 0 t.len
+let values t = Array.sub t.values 0 t.len
+
+let value_at t time =
+  if t.len = 0 then invalid_arg "Waveform.value_at: empty waveform";
+  if time <= t.times.(0) then t.values.(0)
+  else if time >= t.times.(t.len - 1) then t.values.(t.len - 1)
+  else begin
+    let rec find lo hi =
+      if hi - lo <= 1 then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if t.times.(mid) <= time then find mid hi else find lo mid
+      end
+    in
+    let i = find 0 (t.len - 1) in
+    let t0 = t.times.(i) and t1 = t.times.(i + 1) in
+    let v0 = t.values.(i) and v1 = t.values.(i + 1) in
+    v0 +. ((v1 -. v0) *. (time -. t0) /. (t1 -. t0))
+  end
+
+let crossings t ~level ~rising =
+  let acc = ref [] in
+  for i = 0 to t.len - 2 do
+    let v0 = t.values.(i) and v1 = t.values.(i + 1) in
+    let crosses =
+      if rising then v0 < level && v1 >= level else v0 > level && v1 <= level
+    in
+    if crosses then begin
+      let frac = (level -. v0) /. (v1 -. v0) in
+      let time = t.times.(i) +. (frac *. (t.times.(i + 1) -. t.times.(i))) in
+      acc := time :: !acc
+    end
+  done;
+  List.rev !acc
+
+let period t ~level =
+  let rising = crossings t ~level ~rising:true in
+  (* Use the last half of the crossings so start-up transients are ignored. *)
+  let n = List.length rising in
+  if n < 3 then None
+  else begin
+    let tail = List.filteri (fun i _ -> i >= n / 2) rising in
+    match tail with
+    | first :: (_ :: _ as rest) ->
+      let last = List.nth rest (List.length rest - 1) in
+      Some ((last -. first) /. float_of_int (List.length rest))
+    | _ -> None
+  end

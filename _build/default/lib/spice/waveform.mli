@@ -1,0 +1,22 @@
+(** Sampled analog waveforms produced by the transient solver. *)
+
+type t
+(** A waveform: strictly increasing times with one voltage per time. *)
+
+val create : unit -> t
+val append : t -> time:float -> value:float -> unit
+val length : t -> int
+val times : t -> float array
+val values : t -> float array
+
+val value_at : t -> float -> float
+(** Linear interpolation; clamps outside the recorded span. *)
+
+val crossings : t -> level:float -> rising:bool -> float list
+(** Interpolated times at which the waveform crosses [level] in the given
+    direction, in chronological order. *)
+
+val period : t -> level:float -> float option
+(** Average spacing of the last few rising crossings of [level] — the
+    oscillation period once the waveform has settled. [None] when fewer than
+    three rising crossings exist. *)

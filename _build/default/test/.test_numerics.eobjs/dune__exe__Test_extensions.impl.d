@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Device Filename Float Format Fun List Logicsim Multipliers Netlist Numerics Power_core Printf QCheck QCheck_alcotest String Sys

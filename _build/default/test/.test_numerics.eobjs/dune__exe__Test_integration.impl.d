@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Device Float Lazy List Power_core Printf Report

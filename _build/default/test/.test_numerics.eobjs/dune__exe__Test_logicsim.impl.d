@@ -1,0 +1,1 @@
+test/test_logicsim.ml: Alcotest Array Gen List Logicsim Multipliers Netlist Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_multipliers.ml: Alcotest Array List Logicsim Multipliers Netlist Numerics Power_core Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Hashtbl List Logicsim Multipliers Netlist Numerics Printf QCheck QCheck_alcotest

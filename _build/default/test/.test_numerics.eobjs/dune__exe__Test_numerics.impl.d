@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Fun List Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Device Float List Option Power_core Printf QCheck QCheck_alcotest

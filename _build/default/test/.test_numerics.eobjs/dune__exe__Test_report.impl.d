@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Device Filename Fun List Multipliers Power_core Report String Sys

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Device Float List Numerics Power_core Printf

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Device Float List Numerics Printf Spice

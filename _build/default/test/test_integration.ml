@@ -1,0 +1,288 @@
+(* Paper-level integration tests: every table and figure reproduced within
+   tolerance, and the from-scratch pipeline preserving the paper's
+   qualitative findings. *)
+
+module P = Power_core.Paper_data
+
+let find_row label rows =
+  List.find
+    (fun (r : Report.Experiments.table1_row) -> r.label = label)
+    rows
+
+(* TAB1 *)
+
+let table1_rows = lazy (Report.Experiments.table1 ())
+
+let test_table1_ptot_matches_paper () =
+  List.iter
+    (fun (r : Report.Experiments.table1_row) ->
+      let err = Float.abs ((r.ptot -. r.paper.ptot) /. r.paper.ptot) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s numerical Ptot within 1%% (%.3f%%)" r.label
+           (100.0 *. err))
+        true (err < 0.01))
+    (Lazy.force table1_rows)
+
+let test_table1_vdd_vth_match_paper () =
+  List.iter
+    (fun (r : Report.Experiments.table1_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s Vdd* within 5 mV" r.label)
+        true
+        (Float.abs (r.vdd -. r.paper.vdd) < 0.005);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s Vth* within 5 mV" r.label)
+        true
+        (Float.abs (r.vth -. r.paper.vth) < 0.005))
+    (Lazy.force table1_rows)
+
+let test_table1_eq13_error_band () =
+  List.iter
+    (fun (r : Report.Experiments.table1_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s |Eq13 err| = %.2f%% < 3%%" r.label r.err_pct)
+        true
+        (Float.abs r.err_pct < 3.0))
+    (Lazy.force table1_rows)
+
+let test_table1_architecture_ordering () =
+  let rows = Lazy.force table1_rows in
+  let ptot label = (find_row label rows).ptot in
+  Alcotest.(check bool) "Wallace < RCA" true (ptot "Wallace" < ptot "RCA");
+  Alcotest.(check bool)
+    "pipelining helps RCA" true
+    (ptot "RCA hor.pipe2" < ptot "RCA" && ptot "RCA hor.pipe4" < ptot "RCA hor.pipe2");
+  Alcotest.(check bool)
+    "parallelisation helps RCA" true
+    (ptot "RCA parallel" < ptot "RCA" && ptot "RCA parallel 4" < ptot "RCA parallel");
+  Alcotest.(check bool)
+    "Wallace par4 overhead cancels the gain" true
+    (ptot "Wallace par4" > ptot "Wallace parallel");
+  Alcotest.(check bool)
+    "sequential is hopeless" true
+    (ptot "Sequential" > 5.0 *. ptot "RCA");
+  Alcotest.(check bool)
+    "4x16 rescues the sequential" true
+    (ptot "Seq4_16" < 0.25 *. ptot "Sequential")
+
+(* TAB3 / TAB4 *)
+
+let test_wallace_tables () =
+  let check which expected_better_than_basic =
+    let t = Report.Experiments.table_wallace which in
+    Alcotest.(check int) "three rows" 3 (List.length t.rows);
+    List.iter
+      (fun (r : Report.Experiments.wallace_row) ->
+        let err = Float.abs ((r.w_ptot -. r.w_paper.w_ptot) /. r.w_paper.w_ptot) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s %s Ptot within 5%% (%.2f%%)"
+             (Device.Technology.name t.tech)
+             r.w_label (100.0 *. err))
+          true (err < 0.05))
+      t.rows;
+    let ptot label =
+      (List.find (fun (r : Report.Experiments.wallace_row) -> r.w_label = label) t.rows).w_ptot
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: parallel %s basic"
+         (Device.Technology.name t.tech)
+         (if expected_better_than_basic then "beats" else "loses to"))
+      expected_better_than_basic
+      (ptot "Wallace parallel" < ptot "Wallace")
+  in
+  (* The paper's reversal: parallelisation pays on ULL, not on HS. *)
+  check `Ull true;
+  check `Hs false
+
+let test_ll_beats_both_extremes () =
+  (* Compare Wallace basic across the three flavors (Tables 1, 3, 4). *)
+  let ll = (find_row "Wallace" (Lazy.force table1_rows)).ptot in
+  let ull_t = Report.Experiments.table_wallace `Ull in
+  let hs_t = Report.Experiments.table_wallace `Hs in
+  let first (t : Report.Experiments.wallace_table) =
+    (List.find (fun (r : Report.Experiments.wallace_row) -> r.w_label = "Wallace") t.rows).w_ptot
+  in
+  Alcotest.(check bool) "LL < ULL" true (ll < first ull_t);
+  Alcotest.(check bool) "LL < HS" true (ll < first hs_t)
+
+(* FIG1 *)
+
+let test_figure1_trends () =
+  let curves = Report.Experiments.figure1 () in
+  Alcotest.(check int) "four curves" 4 (List.length curves);
+  let sorted =
+    List.sort
+      (fun (a : Report.Experiments.figure1_curve) b ->
+        Float.compare b.activity a.activity)
+      curves
+  in
+  let rec pairwise = function
+    | (a : Report.Experiments.figure1_curve)
+      :: (b : Report.Experiments.figure1_curve) :: rest ->
+      (* Lower activity: lower optimal power, higher optimal Vdd and Vth —
+         exactly the migration Figure 1 annotates. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "Ptot(a=%.3g) > Ptot(a=%.3g)" a.activity b.activity)
+        true
+        (a.optimum.total > b.optimum.total);
+      Alcotest.(check bool) "optimal Vdd rises" true (a.optimum.vdd < b.optimum.vdd);
+      Alcotest.(check bool) "optimal Vth rises" true (a.optimum.vth < b.optimum.vth);
+      pairwise (b :: rest)
+    | [ _ ] | [] -> ()
+  in
+  pairwise sorted;
+  List.iter
+    (fun (c : Report.Experiments.figure1_curve) ->
+      Alcotest.(check bool)
+        "dyn/stat ratio in the paper's 2-8 band" true
+        (c.dyn_static_ratio > 2.0 && c.dyn_static_ratio < 8.0);
+      (* The marked optimum lies on (or below) its own curve. *)
+      List.iter
+        (fun (p : Power_core.Numerical_opt.point) ->
+          Alcotest.(check bool) "optimum minimal" true
+            (c.optimum.total <= p.total +. 1e-12))
+        c.points)
+    curves
+
+(* FIG2 *)
+
+let test_figure2_paper_constants () =
+  let lin = Report.Experiments.figure2 ~alpha:1.86 () in
+  Alcotest.(check (float 5e-3)) "A" 0.671 lin.a;
+  Alcotest.(check (float 5e-3)) "B" 0.347 lin.b
+
+(* TAB2 *)
+
+let test_table2_recharacterisation () =
+  let rows = Report.Experiments.table2 () in
+  Alcotest.(check int) "three flavors" 3 (List.length rows);
+  List.iter
+    (fun (r : Report.Experiments.table2_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s refit alpha %.2f near published %.2f" r.flavor
+           r.fitted_alpha r.published_alpha)
+        true
+        (Float.abs (r.fitted_alpha -. r.published_alpha) < 0.5);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rms %.3f small" r.flavor r.fit_rms)
+        true (r.fit_rms < 0.1))
+    rows
+
+(* SCRATCH — the from-scratch shape reproduction. *)
+
+let scratch_rows =
+  lazy
+    (Power_core.Scratch_pipeline.run_all ~cycles:100 Device.Technology.ll
+       ~f:P.frequency ())
+
+let scratch label =
+  List.find
+    (fun (r : Power_core.Scratch_pipeline.row) -> r.params.label = label)
+    (Lazy.force scratch_rows)
+
+let test_scratch_shape_orderings () =
+  let ptot label = (scratch label).numerical.total in
+  Alcotest.(check bool) "Wallace < RCA" true (ptot "Wallace" < ptot "RCA");
+  Alcotest.(check bool)
+    "pipelining helps" true
+    (ptot "RCA hor.pipe2" < ptot "RCA");
+  Alcotest.(check bool)
+    "parallelisation helps RCA" true
+    (ptot "RCA parallel" < ptot "RCA");
+  Alcotest.(check bool)
+    "sequential worst of all" true
+    (List.for_all
+       (fun (r : Power_core.Scratch_pipeline.row) ->
+         r.params.label = "Sequential"
+         || r.numerical.total <= ptot "Sequential")
+       (Lazy.force scratch_rows))
+
+let test_scratch_glitch_story () =
+  (* Diagonal pipelines: shorter LD, more glitching — both measured from
+     our own netlists. *)
+  let hor2 = scratch "RCA hor.pipe2" and diag2 = scratch "RCA diagpipe2" in
+  let hor4 = scratch "RCA hor.pipe4" and diag4 = scratch "RCA diagpipe4" in
+  Alcotest.(check bool)
+    "diag4 LD < hor4 LD" true
+    (diag4.params.ld_eff < hor4.params.ld_eff);
+  Alcotest.(check bool)
+    "diag2 activity > hor2" true
+    (diag2.params.activity > hor2.params.activity);
+  Alcotest.(check bool)
+    "diag4 activity > hor4" true
+    (diag4.params.activity > hor4.params.activity)
+
+let test_scratch_activity_scale () =
+  (* Sequential activity >> 1 when measured against the data clock;
+     parallelisation roughly halves activity. *)
+  Alcotest.(check bool)
+    "sequential a > 1" true
+    ((scratch "Sequential").params.activity > 1.0);
+  let basic = (scratch "RCA").params.activity in
+  let par = (scratch "RCA parallel").params.activity in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel halves activity (%.3f vs %.3f)" par basic)
+    true
+    (par < 0.65 *. basic && par > 0.35 *. basic)
+
+let test_scratch_eq13_consistency () =
+  (* On our own parameters the closed form still tracks the numerical
+     optimum (the model property, independent of calibration). *)
+  List.iter
+    (fun (r : Power_core.Scratch_pipeline.row) ->
+      match Power_core.Scratch_pipeline.eq13_error_pct r with
+      | Some err ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s |err| = %.1f%% < 12%%" r.params.label
+             (Float.abs err))
+          true
+          (Float.abs err < 12.0)
+      | None -> Alcotest.fail (r.params.label ^ ": Eq.13 infeasible"))
+    (Lazy.force scratch_rows)
+
+let test_scratch_n_cells_scale () =
+  (* Cell counts land in the same range as the paper's synthesis. *)
+  let pairs =
+    [ ("RCA", 608); ("Wallace", 729); ("Sequential", 290); ("RCA parallel", 1256) ]
+  in
+  List.iter
+    (fun (label, paper_n) ->
+      let n = (scratch label).params.n_cells in
+      let ratio = n /. float_of_int paper_n in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s N=%.0f within 2x of paper's %d" label n paper_n)
+        true
+        (ratio > 0.5 && ratio < 2.0))
+    pairs
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "Ptot matches paper" `Quick test_table1_ptot_matches_paper;
+          Alcotest.test_case "Vdd/Vth match paper" `Quick test_table1_vdd_vth_match_paper;
+          Alcotest.test_case "Eq13 < 3%" `Quick test_table1_eq13_error_band;
+          Alcotest.test_case "architecture ordering" `Quick
+            test_table1_architecture_ordering;
+        ] );
+      ( "tables3-4",
+        [
+          Alcotest.test_case "ULL/HS reproduction + reversal" `Slow test_wallace_tables;
+          Alcotest.test_case "LL beats both extremes" `Slow test_ll_beats_both_extremes;
+        ] );
+      ( "figure1",
+        [ Alcotest.test_case "optimum migration" `Quick test_figure1_trends ] );
+      ( "figure2",
+        [ Alcotest.test_case "paper constants" `Quick test_figure2_paper_constants ] );
+      ( "table2",
+        [ Alcotest.test_case "re-characterisation" `Slow test_table2_recharacterisation ] );
+      ( "scratch",
+        [
+          Alcotest.test_case "orderings" `Slow test_scratch_shape_orderings;
+          Alcotest.test_case "glitch story" `Slow test_scratch_glitch_story;
+          Alcotest.test_case "activity scale" `Slow test_scratch_activity_scale;
+          Alcotest.test_case "eq13 consistency" `Slow test_scratch_eq13_consistency;
+          Alcotest.test_case "cell counts" `Slow test_scratch_n_cells_scale;
+        ] );
+    ]

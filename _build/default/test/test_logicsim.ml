@@ -1,0 +1,406 @@
+(* Event-driven simulator: queue ordering, propagation, inertial glitch
+   handling, clocking, buses, activity extraction. *)
+
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+module Logic = Netlist.Logic
+module Sim = Logicsim.Simulator
+
+let value_t =
+  Alcotest.testable (fun ppf v -> Logic.pp ppf v) Logic.equal
+
+(* Event_queue *)
+
+let test_queue_ordering () =
+  let q = Logicsim.Event_queue.create () in
+  Logicsim.Event_queue.push q ~time:3.0 "c";
+  Logicsim.Event_queue.push q ~time:1.0 "a";
+  Logicsim.Event_queue.push q ~time:2.0 "b";
+  let pop () =
+    match Logicsim.Event_queue.pop q with
+    | Some (_, x) -> x
+    | None -> Alcotest.fail "queue empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Logicsim.Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Logicsim.Event_queue.create () in
+  List.iter (fun s -> Logicsim.Event_queue.push q ~time:1.0 s) [ "x"; "y"; "z" ];
+  let order =
+    List.init 3 (fun _ ->
+        match Logicsim.Event_queue.pop q with
+        | Some (_, s) -> s
+        | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order on ties" [ "x"; "y"; "z" ] order
+
+let test_queue_peek () =
+  let q = Logicsim.Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "empty peek" None
+    (Logicsim.Event_queue.peek_time q);
+  Logicsim.Event_queue.push q ~time:5.0 ();
+  Alcotest.(check (option (float 0.0))) "peek" (Some 5.0)
+    (Logicsim.Event_queue.peek_time q)
+
+let prop_queue_sorts =
+  QCheck.Test.make ~name:"pops are time-sorted" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 50) (float_range 0.0 100.0))
+    (fun times ->
+      let q = Logicsim.Event_queue.create () in
+      List.iter (fun t -> Logicsim.Event_queue.push q ~time:t ()) times;
+      let rec drain last =
+        match Logicsim.Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* Simulator *)
+
+let inverter_chain n =
+  let c = C.create "chain" in
+  let a = C.add_input c "a" in
+  let rec build net k = if k = 0 then net else build (C.add_gate c Cell.Inv [| net |]) (k - 1) in
+  let y = build a n in
+  C.mark_output c y "y";
+  (c, a, y)
+
+let test_propagation () =
+  let c, a, y = inverter_chain 3 in
+  let sim = Sim.create c in
+  Sim.set_input sim a Logic.Zero;
+  Sim.settle sim;
+  Alcotest.check value_t "three inversions of 0" Logic.One (Sim.value sim y);
+  Sim.set_input sim a Logic.One;
+  Sim.settle sim;
+  Alcotest.check value_t "three inversions of 1" Logic.Zero (Sim.value sim y)
+
+let test_toggle_counting () =
+  let c, a, _ = inverter_chain 2 in
+  let sim = Sim.create c in
+  Sim.set_input sim a Logic.Zero;
+  Sim.settle sim;
+  Sim.reset_toggles sim;
+  Sim.set_input sim a Logic.One;
+  Sim.settle sim;
+  (* Both inverters toggle once. *)
+  Alcotest.(check int) "two toggles" 2 (Sim.total_toggles sim);
+  Sim.reset_toggles sim;
+  Alcotest.(check int) "reset" 0 (Sim.total_toggles sim)
+
+let test_set_input_validation () =
+  let c, a, y = inverter_chain 1 in
+  ignore a;
+  let sim = Sim.create c in
+  Alcotest.(check bool)
+    "driving an internal net rejected" true
+    (match Sim.set_input sim y Logic.One with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* Glitch semantics: a -> XOR(a, INV(INV(a))) pulses when [a] toggles: the
+   two XOR inputs change at different times (0 vs 2 inverter delays), and
+   the 2.0-wide pulse survives the XOR's 1.9 inertial delay as a glitch. *)
+let xor_glitch_circuit () =
+  let c = C.create "glitch" in
+  let a = C.add_input c "a" in
+  let d1 = C.add_gate c Cell.Inv [| a |] in
+  let d2 = C.add_gate c Cell.Inv [| d1 |] in
+  let y = C.add_gate c Cell.Xor2 [| a; d2 |] in
+  C.mark_output c y "y";
+  (c, a, y)
+
+let test_glitch_propagates () =
+  let c, a, y = xor_glitch_circuit () in
+  let sim = Sim.create c in
+  Sim.set_input sim a Logic.Zero;
+  Sim.settle sim;
+  Alcotest.check value_t "steady low" Logic.Zero (Sim.value sim y);
+  Sim.reset_toggles sim;
+  Sim.set_input sim a Logic.One;
+  Sim.settle sim;
+  Alcotest.check value_t "back to low" Logic.Zero (Sim.value sim y);
+  (* XOR output pulsed up and back down: 2 toggles, plus 2 inverters. *)
+  let toggles = Sim.cell_toggles sim in
+  let xor_id = match C.driver c y with Some (i, _) -> i | None -> -1 in
+  Alcotest.(check int) "xor glitched" 2 toggles.(xor_id)
+
+let test_short_pulse_swallowed () =
+  (* Same structure but only ONE inverter between the reconvergent paths:
+     skew 1.0 < XOR delay 1.9, so inertial filtering swallows the pulse. *)
+  let c = C.create "pulse" in
+  let a = C.add_input c "a" in
+  let d1 = C.add_gate c Cell.Inv [| a |] in
+  let y = C.add_gate c Cell.Xnor2 [| a; d1 |] in
+  C.mark_output c y "y";
+  let sim = Sim.create c in
+  Sim.set_input sim a Logic.Zero;
+  Sim.settle sim;
+  Sim.reset_toggles sim;
+  Sim.set_input sim a Logic.One;
+  Sim.settle sim;
+  let xor_id = match C.driver c y with Some (i, _) -> i | None -> -1 in
+  Alcotest.(check int) "pulse swallowed" 0 (Sim.cell_toggles sim).(xor_id)
+
+let test_dff_capture_and_init () =
+  let c = C.create "reg" in
+  let d = C.add_input c "d" in
+  let q = C.add_dff ~init:Logic.One c d in
+  C.mark_output c q "q";
+  let sim = Sim.create c in
+  Alcotest.check value_t "power-up value" Logic.One (Sim.value sim q);
+  Sim.set_input sim d Logic.Zero;
+  Sim.settle sim;
+  Alcotest.check value_t "holds before clock" Logic.One (Sim.value sim q);
+  Sim.clock_tick sim;
+  Sim.settle sim;
+  Alcotest.check value_t "captures on tick" Logic.Zero (Sim.value sim q)
+
+let test_dff_chain_shifts () =
+  let c = C.create "shift" in
+  let d = C.add_input c "d" in
+  let q1 = C.add_dff c d in
+  let q2 = C.add_dff c q1 in
+  C.mark_output c q2 "q2";
+  let sim = Sim.create c in
+  Sim.set_input sim d Logic.One;
+  Sim.settle sim;
+  Sim.clock_tick sim;
+  Sim.settle sim;
+  Alcotest.check value_t "one tick: not yet" Logic.Zero (Sim.value sim q2);
+  Sim.clock_tick sim;
+  Sim.settle sim;
+  Alcotest.check value_t "two ticks: arrived" Logic.One (Sim.value sim q2)
+
+let test_determinism () =
+  let run () =
+    let spec = Multipliers.Wallace.basic ~bits:8 in
+    let sim = Sim.create spec.circuit in
+    let rng = Numerics.Rng.create 17 in
+    for _ = 1 to 10 do
+      Logicsim.Bus.drive sim spec.a_bus (Numerics.Rng.int rng 256);
+      Logicsim.Bus.drive sim spec.b_bus (Numerics.Rng.int rng 256);
+      Sim.settle sim;
+      Sim.clock_tick sim;
+      Sim.settle sim
+    done;
+    (Sim.total_toggles sim, Sim.events_processed sim)
+  in
+  let t1, e1 = run () and t2, e2 = run () in
+  Alcotest.(check int) "same toggles" t1 t2;
+  Alcotest.(check int) "same events" e1 e2
+
+(* Bus *)
+
+let test_bus_roundtrip () =
+  let values = Logicsim.Bus.to_values ~width:8 0xA5 in
+  Alcotest.(check (option int)) "roundtrip" (Some 0xA5)
+    (Logicsim.Bus.of_values values)
+
+let test_bus_x_is_none () =
+  let values = [| Logic.One; Logic.X |] in
+  Alcotest.(check (option int)) "x bit" None (Logicsim.Bus.of_values values)
+
+let test_bus_validation () =
+  Alcotest.(check bool)
+    "overflow rejected" true
+    (match Logicsim.Bus.to_values ~width:4 16 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "negative rejected" true
+    (match Logicsim.Bus.to_values ~width:4 (-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_bus_roundtrip =
+  QCheck.Test.make ~name:"bus to/of roundtrip" ~count:500
+    QCheck.(int_range 0 65535)
+    (fun v ->
+      Logicsim.Bus.of_values (Logicsim.Bus.to_values ~width:16 v) = Some v)
+
+(* Activity *)
+
+let test_activity_bounds () =
+  let spec = Multipliers.Wallace.basic ~bits:8 in
+  let sim = Sim.create spec.circuit in
+  let rng = Numerics.Rng.create 23 in
+  let drive = Logicsim.Activity.random_drive ~rng ~buses:[ spec.a_bus; spec.b_bus ] in
+  let r = Logicsim.Activity.measure ~warmup:2 ~cycles:30 ~drive sim in
+  Alcotest.(check bool) "activity positive" true (r.activity > 0.0);
+  Alcotest.(check bool) "activity sane" true (r.activity < 4.0);
+  Alcotest.(check bool)
+    "glitch ratio in [0,1)" true
+    (r.glitch_ratio >= 0.0 && r.glitch_ratio < 1.0);
+  Alcotest.(check int) "cycles recorded" 30 r.cycles;
+  Alcotest.(check int)
+    "per-cell length" (C.cell_count spec.circuit)
+    (Array.length r.per_cell)
+
+let test_activity_validation () =
+  let c, a, _ = inverter_chain 1 in
+  ignore a;
+  let sim = Sim.create c in
+  Alcotest.(check bool)
+    "zero cycles rejected" true
+    (match
+       Logicsim.Activity.measure ~cycles:0 ~drive:(fun _ ~cycle:_ -> ()) sim
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_activity_constant_input_quiesces () =
+  let c, a, _ = inverter_chain 4 in
+  let sim = Sim.create c in
+  Sim.set_input sim a Logic.One;
+  Sim.settle sim;
+  let drive sim ~cycle:_ = Sim.set_input sim a Logic.One in
+  let r = Logicsim.Activity.measure ~warmup:1 ~cycles:10 ~drive sim in
+  Alcotest.(check (float 1e-9)) "no switching" 0.0 r.activity
+
+(* Faults *)
+
+let and_gate_circuit () =
+  let c = C.create "and" in
+  let a = C.add_input c "a" and b = C.add_input c "b" in
+  let y = C.add_gate c Cell.And2 [| a; b |] in
+  C.mark_output c y "y";
+  (c, a, b, y)
+
+let test_faults_enumerate () =
+  let c, _, _, _ = and_gate_circuit () in
+  (* 3 nets (a, b, y) x 2 polarities. *)
+  Alcotest.(check int) "six faults" 6 (List.length (Logicsim.Faults.enumerate c))
+
+let test_faults_detection_logic () =
+  let c, a, b, y = and_gate_circuit () in
+  (* Vector (1,1) detects y stuck-at-0; vector (0,1) detects a stuck-at-1. *)
+  let vec11 = [ (a, Logic.One); (b, Logic.One) ] in
+  let vec01 = [ (a, Logic.Zero); (b, Logic.One) ] in
+  let outputs = [ y ] in
+  let detected fault vectors =
+    let cov =
+      Logicsim.Faults.coverage c ~faults:[ fault ] ~vectors ~outputs
+    in
+    cov.detected = 1
+  in
+  Alcotest.(check bool) "sa0 on y found by 11" true
+    (detected { Logicsim.Faults.net = y; polarity = Logicsim.Faults.Stuck_at_0 } [ vec11 ]);
+  Alcotest.(check bool) "sa0 on y missed by 01" false
+    (detected { Logicsim.Faults.net = y; polarity = Logicsim.Faults.Stuck_at_0 } [ vec01 ]);
+  Alcotest.(check bool) "sa1 on a found by 01" true
+    (detected { Logicsim.Faults.net = a; polarity = Logicsim.Faults.Stuck_at_1 } [ vec01 ])
+
+let test_faults_full_coverage_and_gate () =
+  let c, a, b, y = and_gate_circuit () in
+  (* The classic minimal AND test set {11, 01, 10} covers all six faults. *)
+  let vectors =
+    [
+      [ (a, Logic.One); (b, Logic.One) ];
+      [ (a, Logic.Zero); (b, Logic.One) ];
+      [ (a, Logic.One); (b, Logic.Zero) ];
+    ]
+  in
+  let cov = Logicsim.Faults.coverage c ~vectors ~outputs:[ y ] in
+  Alcotest.(check (float 1e-9)) "100%" 100.0 cov.coverage_pct
+
+let test_faults_undetectable_redundancy () =
+  (* y = OR(a, AND(a, b)) absorbs the AND: its output stuck-at-0 is
+     undetectable — a textbook redundant fault. *)
+  let c = C.create "redundant" in
+  let a = C.add_input c "a" and b = C.add_input c "b" in
+  let inner = C.add_gate c Cell.And2 [| a; b |] in
+  let y = C.add_gate c Cell.Or2 [| a; inner |] in
+  C.mark_output c y "y";
+  let all_vectors =
+    List.concat_map
+      (fun va -> List.map (fun vb -> [ (a, va); (b, vb) ]) [ Logic.Zero; Logic.One ])
+      [ Logic.Zero; Logic.One ]
+  in
+  let cov =
+    Logicsim.Faults.coverage c
+      ~faults:[ { Logicsim.Faults.net = inner; polarity = Logicsim.Faults.Stuck_at_0 } ]
+      ~vectors:all_vectors ~outputs:[ y ]
+  in
+  Alcotest.(check int) "redundant fault undetected" 0 cov.detected
+
+let test_faults_coverage_grows_with_vectors () =
+  let c = C.create "w4" in
+  let a = C.add_input_bus c "a" 4 in
+  let b = C.add_input_bus c "b" 4 in
+  let p = Multipliers.Wallace.core c ~a ~b in
+  C.mark_output_bus c p "p";
+  let outputs = Array.to_list p in
+  let cov count seed =
+    let rng = Numerics.Rng.create seed in
+    let vectors = Logicsim.Faults.random_vectors ~rng ~circuit:c ~count in
+    (Logicsim.Faults.coverage c ~vectors ~outputs).coverage_pct
+  in
+  Alcotest.(check bool) "more vectors, no less coverage" true
+    (cov 16 3 >= cov 2 3);
+  Alcotest.(check bool) "16 vectors reach > 60%" true (cov 16 3 > 60.0)
+
+let test_faults_reject_sequential () =
+  let c = C.create "seq" in
+  let d = C.add_input c "d" in
+  let q = C.add_dff c d in
+  C.mark_output c q "q";
+  Alcotest.(check bool)
+    "sequential rejected" true
+    (match Logicsim.Faults.enumerate c with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "logicsim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_queue_peek;
+        ]
+        @ qsuite [ prop_queue_sorts ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "propagation" `Quick test_propagation;
+          Alcotest.test_case "toggle counting" `Quick test_toggle_counting;
+          Alcotest.test_case "input validation" `Quick test_set_input_validation;
+          Alcotest.test_case "glitch propagates" `Quick test_glitch_propagates;
+          Alcotest.test_case "short pulse swallowed" `Quick test_short_pulse_swallowed;
+          Alcotest.test_case "dff capture/init" `Quick test_dff_capture_and_init;
+          Alcotest.test_case "dff chain shifts" `Quick test_dff_chain_shifts;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "bus",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bus_roundtrip;
+          Alcotest.test_case "x is none" `Quick test_bus_x_is_none;
+          Alcotest.test_case "validation" `Quick test_bus_validation;
+        ]
+        @ qsuite [ prop_bus_roundtrip ] );
+      ( "activity",
+        [
+          Alcotest.test_case "bounds" `Quick test_activity_bounds;
+          Alcotest.test_case "validation" `Quick test_activity_validation;
+          Alcotest.test_case "constant input quiesces" `Quick
+            test_activity_constant_input_quiesces;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "enumerate" `Quick test_faults_enumerate;
+          Alcotest.test_case "detection logic" `Quick test_faults_detection_logic;
+          Alcotest.test_case "full coverage AND" `Quick
+            test_faults_full_coverage_and_gate;
+          Alcotest.test_case "undetectable redundancy" `Quick
+            test_faults_undetectable_redundancy;
+          Alcotest.test_case "coverage grows" `Quick
+            test_faults_coverage_grows_with_vectors;
+          Alcotest.test_case "rejects sequential" `Quick test_faults_reject_sequential;
+        ] );
+    ]

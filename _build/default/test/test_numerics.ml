@@ -1,0 +1,390 @@
+(* Unit and property tests for the numerics substrate. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Numerics.Rng.create 123 and b = Numerics.Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same stream" (Numerics.Rng.next_int64 a) (Numerics.Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Numerics.Rng.create 1 and b = Numerics.Rng.create 2 in
+  Alcotest.(check bool)
+    "different seeds diverge" false
+    (Numerics.Rng.next_int64 a = Numerics.Rng.next_int64 b)
+
+let test_rng_copy () =
+  let a = Numerics.Rng.create 5 in
+  ignore (Numerics.Rng.next_int64 a);
+  let b = Numerics.Rng.copy a in
+  Alcotest.(check int64)
+    "copy continues identically" (Numerics.Rng.next_int64 a)
+    (Numerics.Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let a = Numerics.Rng.create 7 in
+  let b = Numerics.Rng.split a in
+  Alcotest.(check bool)
+    "split stream differs" false
+    (Numerics.Rng.next_int64 a = Numerics.Rng.next_int64 b)
+
+let test_rng_int_bounds_raises () =
+  let rng = Numerics.Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Numerics.Rng.int rng 0))
+
+let test_rng_gaussian_moments () =
+  let rng = Numerics.Rng.create 11 in
+  let samples =
+    List.init 20000 (fun _ -> Numerics.Rng.gaussian rng ~mu:2.0 ~sigma:0.5)
+  in
+  let summary = Numerics.Stats.summarize samples in
+  check_close 0.02 "mean" 2.0 summary.mean;
+  check_close 0.02 "stddev" 0.5 summary.stddev
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~name:"Rng.int stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Numerics.Rng.create seed in
+      let v = Numerics.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_in_range =
+  QCheck.Test.make ~name:"Rng.float stays in [0, bound)" ~count:500
+    QCheck.(pair small_int pos_float)
+    (fun (seed, bound) ->
+      QCheck.assume (Float.is_finite bound && bound > 0.0);
+      let rng = Numerics.Rng.create seed in
+      let v = Numerics.Rng.float rng bound in
+      v >= 0.0 && v < bound)
+
+(* Kahan *)
+
+let test_kahan_pathological () =
+  (* 1e16 + 1.0 repeated: naive summation loses every unit. *)
+  let acc = Numerics.Kahan.create () in
+  Numerics.Kahan.add acc 1e16;
+  for _ = 1 to 1000 do
+    Numerics.Kahan.add acc 1.0
+  done;
+  Numerics.Kahan.add acc (-1e16);
+  check_float "compensated" 1000.0 (Numerics.Kahan.sum acc)
+
+let test_kahan_agreement () =
+  let xs = List.init 100 (fun i -> float_of_int i *. 0.1) in
+  check_close 1e-9 "sum_list = sum_array" (Numerics.Kahan.sum_list xs)
+    (Numerics.Kahan.sum_array (Array.of_list xs));
+  check_close 1e-9 "sum_by id" (Numerics.Kahan.sum_list xs)
+    (Numerics.Kahan.sum_by Fun.id xs)
+
+(* Rootfind *)
+
+let test_bisect_sqrt2 () =
+  let root = Numerics.Rootfind.bisect ~f:(fun x -> (x *. x) -. 2.0) 0.0 2.0 in
+  check_close 1e-9 "sqrt 2" (sqrt 2.0) root
+
+let test_brent_cos () =
+  let root = Numerics.Rootfind.brent ~f:(fun x -> cos x -. x) 0.0 1.0 in
+  check_close 1e-9 "dottie number" 0.7390851332151607 root
+
+let test_brent_linear () =
+  let root = Numerics.Rootfind.brent ~f:(fun x -> (2.0 *. x) -. 3.0) 0.0 5.0 in
+  check_close 1e-9 "linear root" 1.5 root
+
+let test_no_bracket () =
+  Alcotest.(check bool)
+    "raises No_bracket" true
+    (match Numerics.Rootfind.bisect ~f:(fun x -> (x *. x) +. 1.0) 0.0 1.0 with
+    | _ -> false
+    | exception Numerics.Rootfind.No_bracket _ -> true)
+
+let test_newton_cbrt () =
+  let root =
+    Numerics.Rootfind.newton
+      ~f:(fun x -> (x ** 3.0) -. 27.0)
+      ~df:(fun x -> 3.0 *. x *. x)
+      2.0
+  in
+  check_close 1e-9 "cbrt 27" 3.0 root
+
+let test_expand_bracket () =
+  match Numerics.Rootfind.expand_bracket ~f:(fun x -> x -. 10.0) 0.0 1.0 with
+  | Some (lo, hi) ->
+    Alcotest.(check bool) "brackets the root" true (lo <= 10.0 && hi >= 10.0)
+  | None -> Alcotest.fail "expected a bracket"
+
+let prop_brent_polynomial_roots =
+  QCheck.Test.make ~name:"brent finds the root of (x - r)^3 + (x - r)"
+    ~count:200
+    QCheck.(float_range (-50.0) 50.0)
+    (fun r ->
+      let f x = ((x -. r) ** 3.0) +. (x -. r) in
+      let root = Numerics.Rootfind.brent ~f (r -. 60.0) (r +. 60.0) in
+      Float.abs (root -. r) < 1e-6)
+
+(* Minimize *)
+
+let test_golden_quadratic () =
+  let r =
+    Numerics.Minimize.golden_section
+      ~f:(fun x -> (x -. Float.pi) ** 2.0)
+      0.0 10.0
+  in
+  check_close 1e-6 "argmin" Float.pi r.x
+
+let test_grid_then_golden_multimodal () =
+  (* Two valleys; the global one is at ~7.1. *)
+  let f x = ((x -. 7.0) ** 2.0) -. (2.0 *. Float.exp (-.((x -. 2.0) ** 2.0))) in
+  let r = Numerics.Minimize.grid_then_golden ~samples:100 ~f 0.0 10.0 in
+  check_close 0.01 "finds global valley" 7.0 r.x
+
+let test_grid2_bowl () =
+  let r =
+    Numerics.Minimize.grid2
+      ~f:(fun x y -> ((x -. 1.0) ** 2.0) +. ((y +. 2.0) ** 2.0))
+      ~x0_range:(-5.0, 5.0) ~x1_range:(-5.0, 5.0) ~samples:101
+  in
+  check_close 0.11 "x0" 1.0 r.x0;
+  check_close 0.11 "x1" (-2.0) r.x1
+
+let prop_minimum_not_above_samples =
+  QCheck.Test.make ~name:"grid_then_golden <= coarse samples" ~count:100
+    QCheck.(pair (float_range (-3.0) 3.0) (float_range 0.2 4.0))
+    (fun (center, width) ->
+      let f x = Float.abs ((x -. center) /. width) ** 1.5 in
+      let r = Numerics.Minimize.grid_then_golden ~samples:32 ~f (-5.0) 5.0 in
+      (* Compare against an independent coarse scan. *)
+      let coarse =
+        List.init 50 (fun i -> f (-5.0 +. (float_of_int i *. 10.0 /. 49.0)))
+      in
+      List.for_all (fun v -> r.fx <= v +. 1e-12) coarse)
+
+(* Fit *)
+
+let test_linear_exact () =
+  let pts = List.init 10 (fun i -> (float_of_int i, (2.5 *. float_of_int i) -. 1.0)) in
+  let line = Numerics.Fit.linear pts in
+  check_close 1e-9 "slope" 2.5 line.slope;
+  check_close 1e-9 "intercept" (-1.0) line.intercept;
+  check_close 1e-9 "r2" 1.0 line.r_squared;
+  check_close 1e-9 "max residual" 0.0 line.max_residual
+
+let test_linear_degenerate () =
+  Alcotest.(check bool)
+    "single point rejected" true
+    (match Numerics.Fit.linear [ (1.0, 1.0) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_nelder_mead_quadratic () =
+  let f v = ((v.(0) -. 3.0) ** 2.0) +. ((v.(1) +. 1.0) ** 2.0) in
+  let best, value = Numerics.Fit.nelder_mead ~f [| 0.0; 0.0 |] in
+  check_close 1e-4 "x" 3.0 best.(0);
+  check_close 1e-4 "y" (-1.0) best.(1);
+  check_close 1e-6 "min" 0.0 value
+
+let prop_linear_recovers_line =
+  QCheck.Test.make ~name:"linear fit recovers exact lines" ~count:200
+    QCheck.(pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))
+    (fun (slope, intercept) ->
+      let pts =
+        List.init 8 (fun i ->
+            let x = float_of_int i in
+            (x, (slope *. x) +. intercept))
+      in
+      let line = Numerics.Fit.linear pts in
+      Float.abs (line.slope -. slope) < 1e-6
+      && Float.abs (line.intercept -. intercept) < 1e-6)
+
+(* Stats *)
+
+let test_summarize () =
+  let s = Numerics.Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.count;
+  check_float "mean" 2.5 s.mean;
+  check_float "min" 1.0 s.min_value;
+  check_float "max" 4.0 s.max_value;
+  check_close 1e-9 "stddev" (sqrt (5.0 /. 3.0)) s.stddev
+
+let test_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check_float "p0" 10.0 (Numerics.Stats.percentile xs 0.0);
+  check_float "p100" 40.0 (Numerics.Stats.percentile xs 100.0);
+  check_float "p50" 25.0 (Numerics.Stats.percentile xs 50.0)
+
+let test_relative_error () =
+  check_float "signed" (-0.1) (Numerics.Stats.relative_error ~reference:10.0 9.0);
+  check_float "max abs" 0.2
+    (Numerics.Stats.max_abs_relative_error [ (10.0, 9.0); (10.0, 12.0) ])
+
+(* Interp *)
+
+let test_interp_eval () =
+  let t = Numerics.Interp.of_points [ (0.0, 0.0); (1.0, 10.0); (2.0, 0.0) ] in
+  check_float "node" 10.0 (Numerics.Interp.eval t 1.0);
+  check_float "midpoint" 5.0 (Numerics.Interp.eval t 0.5);
+  check_float "extrapolation" (-10.0) (Numerics.Interp.eval t 3.0)
+
+let test_interp_argmin_map () =
+  let t = Numerics.Interp.of_function ~f:(fun x -> (x -. 1.0) ** 2.0) ~lo:0.0 ~hi:2.0 ~samples:21 in
+  let x, y = Numerics.Interp.argmin t in
+  check_close 1e-9 "argmin x" 1.0 x;
+  check_close 1e-9 "argmin y" 0.0 y;
+  let t2 = Numerics.Interp.map_y (fun y -> y +. 1.0) t in
+  check_close 1e-9 "map_y" 1.0 (snd (Numerics.Interp.argmin t2))
+
+let test_interp_rejects_unsorted () =
+  Alcotest.(check bool)
+    "unsorted rejected" true
+    (match Numerics.Interp.of_points [ (1.0, 0.0); (0.5, 1.0) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Extra edge cases across the numerics substrate. *)
+
+let test_percentile_validation () =
+  Alcotest.(check bool)
+    "p out of range" true
+    (match Numerics.Stats.percentile [ 1.0 ] 120.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "empty rejected" true
+    (match Numerics.Stats.percentile [] 50.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_relative_error_zero_reference () =
+  Alcotest.(check bool)
+    "zero reference rejected" true
+    (match Numerics.Stats.relative_error ~reference:0.0 1.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_stddev_degenerate () =
+  check_float "single sample" 0.0 (Numerics.Stats.stddev [ 5.0 ]);
+  check_float "empty" 0.0 (Numerics.Stats.stddev [])
+
+let test_nelder_mead_with_scale () =
+  let f v = Float.abs (v.(0) -. 100.0) in
+  let best, _ =
+    Numerics.Fit.nelder_mead ~scale:[| 50.0 |] ~f [| 0.0 |]
+  in
+  check_close 0.01 "large scale reaches far minima" 100.0 best.(0)
+
+let test_nelder_mead_validation () =
+  Alcotest.(check bool)
+    "empty start rejected" true
+    (match Numerics.Fit.nelder_mead ~f:(fun _ -> 0.0) [||] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "scale length mismatch rejected" true
+    (match
+       Numerics.Fit.nelder_mead ~scale:[| 1.0; 2.0 |]
+         ~f:(fun v -> v.(0))
+         [| 0.0 |]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_interp_of_function_bounds () =
+  let t = Numerics.Interp.of_function ~f:sin ~lo:0.0 ~hi:1.0 ~samples:11 in
+  let lo, hi = Numerics.Interp.domain t in
+  check_float "lo" 0.0 lo;
+  check_float "hi" 1.0 hi;
+  Alcotest.(check int) "points" 11 (List.length (Numerics.Interp.points t))
+
+let test_golden_section_iterations_bounded () =
+  let r =
+    Numerics.Minimize.golden_section ~max_iter:10 ~f:(fun x -> x *. x)
+      (-100.0) 100.0
+  in
+  Alcotest.(check bool) "iterations capped" true (r.iterations <= 10)
+
+let test_grid_then_golden_validation () =
+  Alcotest.(check bool)
+    "samples < 3 rejected" true
+    (match
+       Numerics.Minimize.grid_then_golden ~samples:2 ~f:(fun x -> x) 0.0 1.0
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "numerics"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bound validation" `Quick test_rng_int_bounds_raises;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        ]
+        @ qsuite [ prop_rng_int_in_range; prop_rng_float_in_range ] );
+      ( "kahan",
+        [
+          Alcotest.test_case "pathological series" `Quick test_kahan_pathological;
+          Alcotest.test_case "api agreement" `Quick test_kahan_agreement;
+        ] );
+      ( "rootfind",
+        [
+          Alcotest.test_case "bisect sqrt2" `Quick test_bisect_sqrt2;
+          Alcotest.test_case "brent cos" `Quick test_brent_cos;
+          Alcotest.test_case "brent linear" `Quick test_brent_linear;
+          Alcotest.test_case "no bracket" `Quick test_no_bracket;
+          Alcotest.test_case "newton cbrt" `Quick test_newton_cbrt;
+          Alcotest.test_case "expand bracket" `Quick test_expand_bracket;
+        ]
+        @ qsuite [ prop_brent_polynomial_roots ] );
+      ( "minimize",
+        [
+          Alcotest.test_case "golden quadratic" `Quick test_golden_quadratic;
+          Alcotest.test_case "multimodal" `Quick test_grid_then_golden_multimodal;
+          Alcotest.test_case "grid2 bowl" `Quick test_grid2_bowl;
+        ]
+        @ qsuite [ prop_minimum_not_above_samples ] );
+      ( "fit",
+        [
+          Alcotest.test_case "linear exact" `Quick test_linear_exact;
+          Alcotest.test_case "linear degenerate" `Quick test_linear_degenerate;
+          Alcotest.test_case "nelder-mead" `Quick test_nelder_mead_quadratic;
+        ]
+        @ qsuite [ prop_linear_recovers_line ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "relative error" `Quick test_relative_error;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "eval" `Quick test_interp_eval;
+          Alcotest.test_case "argmin/map" `Quick test_interp_argmin_map;
+          Alcotest.test_case "rejects unsorted" `Quick test_interp_rejects_unsorted;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "percentile validation" `Quick test_percentile_validation;
+          Alcotest.test_case "relative error zero ref" `Quick
+            test_relative_error_zero_reference;
+          Alcotest.test_case "stddev degenerate" `Quick test_stddev_degenerate;
+          Alcotest.test_case "nelder-mead scale" `Quick test_nelder_mead_with_scale;
+          Alcotest.test_case "nelder-mead validation" `Quick
+            test_nelder_mead_validation;
+          Alcotest.test_case "interp of_function" `Quick test_interp_of_function_bounds;
+          Alcotest.test_case "golden iterations" `Quick
+            test_golden_section_iterations_bounded;
+          Alcotest.test_case "grid validation" `Quick test_grid_then_golden_validation;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Rendering layer: tables, CSV, ASCII plots, and the experiment drivers'
+   output format. *)
+
+let test_table_render () =
+  let out =
+    Report.Table.render
+      ~columns:
+        [
+          Report.Table.column ~align:Report.Table.Left "name";
+          Report.Table.column "value";
+        ]
+      ~rows:[ [ "alpha"; "1.86" ]; [ "b"; "2" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: _ ->
+    Alcotest.(check bool) "header has both columns" true
+      (String.length header > 0
+      && String.length rule = String.length header);
+    Alcotest.(check bool) "rule is dashes" true
+      (String.for_all (fun c -> c = '-') rule)
+  | _ -> Alcotest.fail "expected at least two lines");
+  Alcotest.(check bool)
+    "right alignment pads numbers" true
+    (let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec search i = i + m <= n && (String.sub s i m = sub || search (i + 1)) in
+       search 0
+     in
+     contains out "    2")
+
+let test_table_pads_short_rows () =
+  let out =
+    Report.Table.render
+      ~columns:[ Report.Table.column "a"; Report.Table.column "b" ]
+      ~rows:[ [ "1" ] ]
+  in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_table_formats () =
+  Alcotest.(check string) "fmt_f" "3.142" (Report.Table.fmt_f 3.14159);
+  Alcotest.(check string) "fmt_uw" "191.44" (Report.Table.fmt_uw 191.44e-6);
+  Alcotest.(check string) "fmt_pct plus" "+1.50" (Report.Table.fmt_pct 1.5);
+  Alcotest.(check string) "fmt_pct minus" "-2.38" (Report.Table.fmt_pct (-2.38))
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Report.Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Report.Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Report.Csv.escape "a\"b");
+  Alcotest.(check string)
+    "line" "x,\"y,z\"" (Report.Csv.line [ "x"; "y,z" ])
+
+let test_csv_render_and_file () =
+  let path = Filename.temp_file "optpower" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Report.Csv.write_file ~path ~header:[ "a"; "b" ]
+        ~rows:[ [ "1"; "2" ]; [ "3"; "4" ] ];
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file contents" "a,b\n1,2\n3,4\n" content)
+
+let test_ascii_plot_markers () =
+  let out =
+    Report.Ascii_plot.render
+      [
+        Report.Ascii_plot.series ~label:"s1" [ (0.0, 0.0); (1.0, 1.0) ];
+        Report.Ascii_plot.series ~label:"s2" [ (0.0, 1.0); (1.0, 0.0) ];
+      ]
+  in
+  (* Legend lines are "   <marker> = <label>". *)
+  Alcotest.(check bool) "legend lists both" true
+    (String.split_on_char '\n' out
+    |> List.filter (fun l ->
+           String.length l > 5 && l.[4] = ' ' && l.[5] = '=')
+    |> List.length = 2)
+
+let test_ascii_plot_log_drops_nonpositive () =
+  let out =
+    Report.Ascii_plot.render ~log_y:true
+      [ Report.Ascii_plot.series ~label:"s" [ (0.0, -1.0); (1.0, 0.0) ] ]
+  in
+  Alcotest.(check string) "all dropped" "(empty plot)\n" out
+
+let test_ascii_plot_empty () =
+  Alcotest.(check string)
+    "empty" "(empty plot)\n"
+    (Report.Ascii_plot.render [])
+
+(* Experiment drivers: format-level checks (numerical assertions live in
+   test_integration). *)
+
+let test_render_table1_shape () =
+  let rows = Report.Experiments.table1 () in
+  Alcotest.(check int) "13 rows" 13 (List.length rows);
+  let out = Report.Experiments.render_table1 rows in
+  List.iter
+    (fun (r : Report.Experiments.table1_row) ->
+      let contains =
+        let n = String.length out and m = String.length r.label in
+        let rec search i =
+          i + m <= n && (String.sub out i m = r.label || search (i + 1))
+        in
+        search 0
+      in
+      Alcotest.(check bool) (r.label ^ " present") true contains)
+    rows
+
+let test_render_figure2_mentions_fit () =
+  let out = Report.Experiments.render_figure2 (Report.Experiments.figure2 ()) in
+  Alcotest.(check bool) "mentions A =" true
+    (let n = String.length out in
+     let rec search i = i + 4 <= n && (String.sub out i 4 = "A = " || search (i + 1)) in
+     search 0)
+
+let test_pipeline_sketch_dimensions () =
+  let out =
+    Report.Experiments.pipeline_sketch ~bits:8 ~stages:2
+      ~cut:Multipliers.Rca.Horizontal
+  in
+  let data_lines =
+    String.split_on_char '\n' out
+    |> List.filter (fun l ->
+           String.length l > 2 && (l.[2] = 'r' || l.[2] = 'm'))
+  in
+  (* 8 array rows + row 0 + merge = 9 grid lines. *)
+  Alcotest.(check int) "9 grid lines" 9 (List.length data_lines)
+
+(* Studies renderers: format-level checks on cheap synthetic data. *)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec search i = i + m <= n && (String.sub haystack i m = needle || search (i + 1)) in
+  search 0
+
+let test_render_dibl () =
+  let rows =
+    [
+      { Power_core.Ablation.eta = 0.0; vth_effective = 0.2;
+        vth0_required = 0.2; ptot = 1e-4 };
+      { Power_core.Ablation.eta = 0.08; vth_effective = 0.2;
+        vth0_required = 0.23; ptot = 1e-4 };
+    ]
+  in
+  let out = Report.Studies.render_dibl rows in
+  Alcotest.(check bool) "mentions eta" true (contains out "eta");
+  Alcotest.(check bool) "has both rows" true
+    (contains out "0.00" && contains out "0.08")
+
+let test_render_lin_range () =
+  let rows =
+    [
+      { Power_core.Ablation.hi = 0.8; max_abs_err_pct = 5.5 };
+      { Power_core.Ablation.hi = 1.0; max_abs_err_pct = 2.4 };
+    ]
+  in
+  let out = Report.Studies.render_lin_range rows in
+  Alcotest.(check bool) "ranges shown" true
+    (contains out "0.30 - 0.80" && contains out "0.30 - 1.00")
+
+let test_render_frequency_handles_infeasible () =
+  let points =
+    [
+      { Power_core.Ablation.f = 1e6;
+        per_tech = [ ("LL", Some 1e-5); ("HS", None) ] };
+    ]
+  in
+  let out = Report.Studies.render_frequency points in
+  Alcotest.(check bool) "infeasible rendered" true (contains out "infeasible");
+  Alcotest.(check bool) "feasible rendered" true (contains out "10.00")
+
+let test_render_thermal () =
+  let out =
+    Report.Studies.render_thermal
+      [ (40.0, { Device.Thermal.temperature = 306.2; ptot = 1.5e-4; iterations = 10 }) ]
+  in
+  Alcotest.(check bool) "temperature shown" true (contains out "306.20");
+  Alcotest.(check bool) "iterations shown" true (contains out "10")
+
+let test_render_energy () =
+  let points =
+    [
+      { Power_core.Energy.f = 1e6; energy = 3e-12; ptot = 3e-6; vdd = 0.4;
+        vth = 0.35 };
+      { Power_core.Energy.f = 1e8; energy = 5e-12; ptot = 5e-4; vdd = 0.5;
+        vth = 0.2 };
+    ]
+  in
+  let mep =
+    { Power_core.Energy.f_mep = 8e6; energy_mep = 2e-12; vdd_mep = 0.35;
+      overhead_at = (fun _ -> 1.0) }
+  in
+  let out = Report.Studies.render_energy points mep in
+  Alcotest.(check bool) "MEP line present" true
+    (contains out "Minimum energy point: 2.00 pJ/op at 8.00 MHz")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "render and file" `Quick test_csv_render_and_file;
+        ] );
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "markers" `Quick test_ascii_plot_markers;
+          Alcotest.test_case "log drops nonpositive" `Quick
+            test_ascii_plot_log_drops_nonpositive;
+          Alcotest.test_case "empty" `Quick test_ascii_plot_empty;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table1 shape" `Quick test_render_table1_shape;
+          Alcotest.test_case "figure2 format" `Quick test_render_figure2_mentions_fit;
+          Alcotest.test_case "sketch dimensions" `Quick test_pipeline_sketch_dimensions;
+        ] );
+      ( "studies",
+        [
+          Alcotest.test_case "dibl" `Quick test_render_dibl;
+          Alcotest.test_case "lin range" `Quick test_render_lin_range;
+          Alcotest.test_case "frequency infeasible" `Quick
+            test_render_frequency_handles_infeasible;
+          Alcotest.test_case "thermal" `Quick test_render_thermal;
+          Alcotest.test_case "energy" `Quick test_render_energy;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Variation Monte Carlo and thermal self-heating extensions. *)
+
+module P = Power_core.Paper_data
+
+let base_problem () =
+  Power_core.Calibration.problem_of_row Device.Technology.ll ~f:P.frequency
+    (P.table1_find "Wallace")
+
+(* Variation *)
+
+let test_variation_deterministic () =
+  let run () =
+    let rng = Numerics.Rng.create 99 in
+    Power_core.Variation.monte_carlo ~samples:50 ~rng (base_problem ())
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (float 1e-12))
+    "same mean" a.ptot_stats.mean b.ptot_stats.mean;
+  Alcotest.(check (float 1e-12)) "same p95" a.ptot_p95 b.ptot_p95
+
+let test_variation_tight_spread_recovers_nominal () =
+  let rng = Numerics.Rng.create 7 in
+  let spread =
+    {
+      Power_core.Variation.sigma_leak = 1e-6;
+      sigma_cap = 1e-6;
+      sigma_speed = 1e-6;
+      sigma_alpha = 1e-6;
+    }
+  in
+  let r =
+    Power_core.Variation.monte_carlo ~spread ~samples:20 ~rng (base_problem ())
+  in
+  Alcotest.(check bool)
+    "mean ~ nominal" true
+    (Float.abs ((r.ptot_stats.mean -. r.nominal.total) /. r.nominal.total)
+    < 1e-3)
+
+let test_variation_spread_grows () =
+  let wide =
+    { Power_core.Variation.default_spread with sigma_leak = 0.6 }
+  in
+  let narrow =
+    { Power_core.Variation.default_spread with sigma_leak = 0.05 }
+  in
+  let run spread seed =
+    let rng = Numerics.Rng.create seed in
+    (Power_core.Variation.monte_carlo ~spread ~samples:120 ~rng
+       (base_problem ()))
+      .ptot_stats
+      .stddev
+  in
+  Alcotest.(check bool)
+    "wider leakage spread -> wider Ptot spread" true
+    (run wide 3 > run narrow 3)
+
+let test_variation_p95_above_mean () =
+  let rng = Numerics.Rng.create 21 in
+  let r = Power_core.Variation.monte_carlo ~samples:150 ~rng (base_problem ()) in
+  Alcotest.(check bool) "p95 > mean" true (r.ptot_p95 > r.ptot_stats.mean);
+  Alcotest.(check bool)
+    "all samples feasible" true
+    (List.for_all
+       (fun (s : Power_core.Variation.sample) ->
+         Float.is_finite s.optimum.total && s.optimum.total > 0.0)
+       r.samples)
+
+let test_vth_absorption () =
+  let problem = base_problem () in
+  let nominal = (Power_core.Numerical_opt.optimum problem).total in
+  List.iter
+    (fun dvth0 ->
+      Alcotest.(check (float 1e-15))
+        (Printf.sprintf "dVth0 = %+.2f V absorbed" dvth0)
+        nominal
+        (Power_core.Variation.vth_absorption problem ~dvth0))
+    [ -0.05; 0.05; 0.1 ]
+
+(* Thermal *)
+
+let test_thermal_temperature_scaling () =
+  let tech = Device.Technology.ll in
+  let hot = Device.Thermal.at_temperature tech ~temperature:360.0 in
+  Alcotest.(check bool) "leakage grows" true (hot.io > tech.io);
+  Alcotest.(check bool) "threshold drops" true (hot.vth0_nom < tech.vth0_nom);
+  Alcotest.(check (float 1e-9)) "temperature set" 360.0 hot.temperature;
+  (* ~11x leakage over +60K with a 25 K e-folding. *)
+  Alcotest.(check bool)
+    "doubling interval honoured" true
+    (Float.abs ((hot.io /. tech.io) -. Float.exp (60.0 /. 25.0)) < 1e-6)
+
+let test_thermal_cold_package_is_inert () =
+  let e =
+    Device.Thermal.self_heating ~r_th:0.0
+      ~optimum_at:(fun _ -> 1.0)
+      Device.Technology.ll
+  in
+  Alcotest.(check (float 1e-6)) "ambient temperature" 300.0 e.temperature
+
+let test_thermal_fixpoint_monotone_in_rth () =
+  let optimum_at (tech : Device.Technology.t) =
+    (* A leakage-dominated toy load: power proportional to Io(T). Kept
+       below the runaway threshold (r_th * dP/dT < 1). *)
+    0.01 *. tech.io /. Device.Technology.ll.io
+  in
+  let temp r_th =
+    (Device.Thermal.self_heating ~r_th ~optimum_at Device.Technology.ll)
+      .temperature
+  in
+  let t0 = temp 0.0 and t1 = temp 100.0 and t2 = temp 200.0 in
+  Alcotest.(check bool) "monotone" true (t0 < t1 && t1 < t2);
+  Alcotest.(check bool) "bounded" true (t2 < 330.0)
+
+let test_thermal_divergence_detected () =
+  (* A pathological load that doubles per iteration cannot converge. *)
+  let power = ref 1.0 in
+  let optimum_at _ =
+    power := !power *. 2.0;
+    !power
+  in
+  Alcotest.(check bool)
+    "failure raised" true
+    (match
+       Device.Thermal.self_heating ~r_th:50.0 ~max_iter:20 ~optimum_at
+         Device.Technology.ll
+     with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "variation",
+        [
+          Alcotest.test_case "deterministic" `Quick test_variation_deterministic;
+          Alcotest.test_case "tight spread = nominal" `Quick
+            test_variation_tight_spread_recovers_nominal;
+          Alcotest.test_case "spread grows" `Slow test_variation_spread_grows;
+          Alcotest.test_case "p95 above mean" `Quick test_variation_p95_above_mean;
+          Alcotest.test_case "vth absorption" `Quick test_vth_absorption;
+        ] );
+      ( "thermal",
+        [
+          Alcotest.test_case "temperature scaling" `Quick
+            test_thermal_temperature_scaling;
+          Alcotest.test_case "cold package inert" `Quick
+            test_thermal_cold_package_is_inert;
+          Alcotest.test_case "fixpoint monotone" `Quick
+            test_thermal_fixpoint_monotone_in_rth;
+          Alcotest.test_case "divergence detected" `Quick
+            test_thermal_divergence_detected;
+        ] );
+    ]

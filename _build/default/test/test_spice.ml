@@ -1,0 +1,242 @@
+(* The analog substrate: waveforms, transient solver, ring oscillators and
+   parameter extraction. *)
+
+let check_close eps = Alcotest.(check (float eps))
+
+(* Waveform *)
+
+let sine_wave () =
+  let w = Spice.Waveform.create () in
+  for i = 0 to 950 do
+    let t = float_of_int i *. 1e-3 in
+    Spice.Waveform.append w ~time:t ~value:(sin (2.0 *. Float.pi *. 5.0 *. t))
+  done;
+  w
+
+let test_waveform_crossings () =
+  let w = sine_wave () in
+  (* 5 Hz over 0.95 s: rising zero crossings at 0.2, 0.4, 0.6, 0.8 (the
+     t = 0 start sits exactly on the level and is not a crossing). *)
+  let rising = Spice.Waveform.crossings w ~level:0.0 ~rising:true in
+  Alcotest.(check int) "rising crossings" 4 (List.length rising)
+
+let test_waveform_period () =
+  let w = sine_wave () in
+  match Spice.Waveform.period w ~level:0.0 with
+  | Some p -> check_close 1e-3 "period 0.2s" 0.2 p
+  | None -> Alcotest.fail "expected a period"
+
+let test_waveform_value_at () =
+  let w = Spice.Waveform.create () in
+  Spice.Waveform.append w ~time:0.0 ~value:0.0;
+  Spice.Waveform.append w ~time:1.0 ~value:10.0;
+  check_close 1e-9 "interpolated" 2.5 (Spice.Waveform.value_at w 0.25);
+  check_close 1e-9 "clamped low" 0.0 (Spice.Waveform.value_at w (-1.0));
+  check_close 1e-9 "clamped high" 10.0 (Spice.Waveform.value_at w 2.0)
+
+let test_waveform_monotonic_times () =
+  let w = Spice.Waveform.create () in
+  Spice.Waveform.append w ~time:1.0 ~value:0.0;
+  Alcotest.(check bool)
+    "non-increasing time rejected" true
+    (match Spice.Waveform.append w ~time:1.0 ~value:1.0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* Transient *)
+
+let test_chain_delay_positive_and_scaling () =
+  let tech = Device.Technology.ll in
+  let config = Spice.Transient.default_config tech in
+  let nominal = Spice.Transient.chain_delay config ~stages:5 in
+  Alcotest.(check bool) "positive" true (nominal > 0.0);
+  let low_vdd =
+    Spice.Transient.chain_delay { config with vdd = 0.8 } ~stages:5
+  in
+  Alcotest.(check bool) "slower at low vdd" true (low_vdd > nominal)
+
+let test_chain_delay_matches_slew_estimate () =
+  let tech = Device.Technology.ll in
+  let config = Spice.Transient.default_config tech in
+  let simulated = Spice.Transient.chain_delay config ~stages:5 in
+  let estimated = Spice.Ring_oscillator.stage_delay_fast config in
+  let ratio = simulated /. estimated in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 3x of slew estimate (ratio %.2f)" ratio)
+    true
+    (ratio > 0.3 && ratio < 3.0)
+
+let test_device_current_clamps () =
+  let config = Spice.Transient.default_config Device.Technology.ll in
+  check_close 1e-15 "zero at vds=0" 0.0
+    (Spice.Transient.device_current config ~vds:0.0);
+  Alcotest.(check bool)
+    "saturates" true
+    (Spice.Transient.device_current config ~vds:1.0
+     <= Device.Alpha_power.on_current config.tech ~vdd:config.vdd
+          ~vth:config.vth)
+
+(* Ring oscillator *)
+
+let test_ring_oscillates () =
+  let config = Spice.Transient.default_config Device.Technology.ll in
+  let m = Spice.Ring_oscillator.simulate config ~stages:5 in
+  Alcotest.(check bool) "period positive" true (m.period > 0.0);
+  let expected = Spice.Ring_oscillator.stage_delay_fast config in
+  let ratio = m.stage_delay /. expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "stage delay near slew estimate (ratio %.2f)" ratio)
+    true
+    (ratio > 0.3 && ratio < 3.0)
+
+let test_ring_rejects_even_stages () =
+  let config = Spice.Transient.default_config Device.Technology.ll in
+  Alcotest.(check bool)
+    "even stage count rejected" true
+    (match Spice.Ring_oscillator.simulate config ~stages:4 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_ring_sweep_monotone () =
+  let measurements =
+    Spice.Ring_oscillator.sweep_vdd Device.Technology.ll ~load_cap:30e-15
+      ~stages:5 ~vdds:[ 0.8; 1.0; 1.2 ]
+  in
+  let delays = List.map (fun (m : Spice.Ring_oscillator.measurement) -> m.stage_delay) measurements in
+  match delays with
+  | [ d08; d10; d12 ] ->
+    Alcotest.(check bool) "faster with vdd" true (d08 > d10 && d10 > d12)
+  | _ -> Alcotest.fail "expected three measurements"
+
+(* Param_extract *)
+
+let test_fit_leakage_clean () =
+  let tech = Device.Technology.ll in
+  let vths = [ 0.15; 0.2; 0.25; 0.3; 0.35; 0.4 ] in
+  let samples =
+    List.map (fun vth -> (vth, Device.Alpha_power.off_current tech ~vth)) vths
+  in
+  let fit = Spice.Param_extract.fit_leakage ~ut:(Device.Technology.ut tech) samples in
+  check_close 1e-8 "Io" tech.io fit.io;
+  check_close 1e-6 "n" tech.n fit.n
+
+let test_fit_leakage_noisy () =
+  let tech = Device.Technology.ll in
+  let rng = Numerics.Rng.create 99 in
+  let vths = List.init 20 (fun i -> 0.1 +. (0.02 *. float_of_int i)) in
+  let samples = Spice.Param_extract.leakage_samples tech ~rng ~noise:0.05 ~vths in
+  let fit = Spice.Param_extract.fit_leakage ~ut:(Device.Technology.ut tech) samples in
+  Alcotest.(check bool)
+    "Io within 10%" true
+    (Float.abs ((fit.io -. tech.io) /. tech.io) < 0.1);
+  Alcotest.(check bool)
+    "n within 5%" true
+    (Float.abs ((fit.n -. tech.n) /. tech.n) < 0.05)
+
+let test_fit_leakage_validation () =
+  Alcotest.(check bool)
+    "too few points" true
+    (match Spice.Param_extract.fit_leakage ~ut:0.026 [ (0.1, 1e-9) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "increasing leakage rejected" true
+    (match
+       Spice.Param_extract.fit_leakage ~ut:0.026 [ (0.1, 1e-9); (0.2, 1e-8) ]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_characterize_recovers_alpha () =
+  (* The end-to-end ELDO-substitute loop: simulate rings, fit the delay
+     model, recover alpha near the golden device's value. *)
+  let tech = Device.Technology.ll in
+  let fit =
+    Spice.Param_extract.characterize ~stages:5 ~vdds:[ 0.8; 1.0; 1.2 ] tech
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "alpha %.2f within 0.45 of %.2f" fit.alpha tech.alpha)
+    true
+    (Float.abs (fit.alpha -. tech.alpha) < 0.45);
+  Alcotest.(check bool)
+    (Printf.sprintf "fit rms %.3f < 0.1" fit.rms_error)
+    true (fit.rms_error < 0.1)
+
+let test_fit_alpha_iv_clean () =
+  let tech = Device.Technology.ll in
+  let vth = 0.3 in
+  let vdds = [ 0.5; 0.7; 0.9; 1.1; 1.2 ] in
+  let pairs =
+    List.map
+      (fun vdd -> (vdd, Device.Alpha_power.on_current tech ~vdd ~vth))
+      vdds
+  in
+  let fit = Spice.Param_extract.fit_alpha_iv ~vth pairs in
+  Alcotest.(check (float 1e-9)) "alpha exact" tech.alpha fit.alpha_iv;
+  Alcotest.(check (float 1e-6)) "r2 = 1" 1.0 fit.r_squared
+
+let test_fit_alpha_iv_noisy () =
+  let tech = Device.Technology.hs in
+  let rng = Numerics.Rng.create 55 in
+  let vdds = List.init 25 (fun i -> 0.5 +. (0.03 *. float_of_int i)) in
+  let pairs =
+    Spice.Param_extract.iv_samples tech ~rng ~noise:0.03 ~vth:0.25 ~vdds
+  in
+  let fit = Spice.Param_extract.fit_alpha_iv ~vth:0.25 pairs in
+  Alcotest.(check bool)
+    (Printf.sprintf "alpha %.3f within 5%% of %.2f" fit.alpha_iv tech.alpha)
+    true
+    (Float.abs ((fit.alpha_iv -. tech.alpha) /. tech.alpha) < 0.05)
+
+let test_fit_alpha_iv_validation () =
+  Alcotest.(check bool)
+    "subthreshold points rejected" true
+    (match Spice.Param_extract.fit_alpha_iv ~vth:0.5 [ (0.4, 1e-6) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_fit_delay_validation () =
+  Alcotest.(check bool)
+    "needs 3 measurements" true
+    (match Spice.Param_extract.fit_delay Device.Technology.ll [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "spice"
+    [
+      ( "waveform",
+        [
+          Alcotest.test_case "crossings" `Quick test_waveform_crossings;
+          Alcotest.test_case "period" `Quick test_waveform_period;
+          Alcotest.test_case "value_at" `Quick test_waveform_value_at;
+          Alcotest.test_case "monotonic times" `Quick test_waveform_monotonic_times;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "chain delay scaling" `Quick
+            test_chain_delay_positive_and_scaling;
+          Alcotest.test_case "matches slew estimate" `Quick
+            test_chain_delay_matches_slew_estimate;
+          Alcotest.test_case "device current clamps" `Quick
+            test_device_current_clamps;
+        ] );
+      ( "ring_oscillator",
+        [
+          Alcotest.test_case "oscillates" `Quick test_ring_oscillates;
+          Alcotest.test_case "rejects even stages" `Quick
+            test_ring_rejects_even_stages;
+          Alcotest.test_case "sweep monotone" `Quick test_ring_sweep_monotone;
+        ] );
+      ( "param_extract",
+        [
+          Alcotest.test_case "leakage clean" `Quick test_fit_leakage_clean;
+          Alcotest.test_case "leakage noisy" `Quick test_fit_leakage_noisy;
+          Alcotest.test_case "leakage validation" `Quick test_fit_leakage_validation;
+          Alcotest.test_case "characterize alpha" `Slow test_characterize_recovers_alpha;
+          Alcotest.test_case "alpha from I-V, clean" `Quick test_fit_alpha_iv_clean;
+          Alcotest.test_case "alpha from I-V, noisy" `Quick test_fit_alpha_iv_noisy;
+          Alcotest.test_case "I-V validation" `Quick test_fit_alpha_iv_validation;
+          Alcotest.test_case "delay fit validation" `Quick test_fit_delay_validation;
+        ] );
+    ]
