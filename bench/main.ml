@@ -1,32 +1,47 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (printed below), and times each regeneration plus the substrate
-   operations with Bechamel. *)
+   operations with Bechamel.
+
+   Flags:
+     --smoke        build-sanity mode: run one fast benchmark and exit
+     --json         also write machine-readable results (name -> ns/run)
+     --out FILE     where --json writes (default BENCH_RESULTS.json)
+     --no-tables    skip the table/figure regeneration printout *)
 
 open Bechamel
 open Toolkit
 
-let make_test name f = Test.make ~name (Staged.stage f)
+(* Each benchmark carries its own Bechamel quota: the slow whole-table
+   regenerations get a handful of long runs instead of burning the default
+   200-iteration budget, the microbenchmarks keep tight statistics. *)
+type bench = { test : Test.t; limit : int; quota : float }
+
+let make_bench ?(limit = 200) ?(quota = 0.6) name f =
+  { test = Test.make ~name (Staged.stage f); limit; quota }
+
+(* Whole-artifact regenerations: a few runs each is plenty. *)
+let slow = make_bench ~limit:12 ~quota:1.2
 
 (* One benchmark per paper artifact. *)
 
 let bench_table1 =
-  make_test "table1:13-multipliers-LL" (fun () ->
+  slow "table1:13-multipliers-LL" (fun () ->
       ignore (Report.Experiments.table1 ()))
 
 let bench_table3 =
-  make_test "table3:wallace-ULL" (fun () ->
+  slow "table3:wallace-ULL" (fun () ->
       ignore (Report.Experiments.table_wallace `Ull))
 
 let bench_table4 =
-  make_test "table4:wallace-HS" (fun () ->
+  slow "table4:wallace-HS" (fun () ->
       ignore (Report.Experiments.table_wallace `Hs))
 
 let bench_fig1 =
-  make_test "fig1:ptot-vs-vdd-sweeps" (fun () ->
+  slow "fig1:ptot-vs-vdd-sweeps" (fun () ->
       ignore (Report.Experiments.figure1 ()))
 
 let bench_fig2 =
-  make_test "fig2:linearization-fit" (fun () ->
+  make_bench "fig2:linearization-fit" (fun () ->
       ignore (Report.Experiments.figure2 ()))
 
 (* Substrate micro-benchmarks. *)
@@ -37,49 +52,67 @@ let calibrated_problem =
     ~f:Power_core.Paper_data.frequency row
 
 let bench_numerical_opt =
-  make_test "core:numerical-optimum" (fun () ->
+  make_bench "core:numerical-optimum" (fun () ->
       ignore (Power_core.Numerical_opt.optimum calibrated_problem))
 
 let bench_closed_form =
-  make_test "core:eq13-closed-form" (fun () ->
+  make_bench "core:eq13-closed-form" (fun () ->
       ignore (Power_core.Closed_form.evaluate calibrated_problem))
 
+let bench_problem_of_row =
+  make_bench "core:problem-of-row-memoized" (fun () ->
+      ignore
+        (Power_core.Calibration.problem_of_row Device.Technology.ll
+           ~f:Power_core.Paper_data.frequency
+           (Power_core.Paper_data.table1_find "RCA")))
+
 let bench_build_rca =
-  make_test "netlist:build-rca16" (fun () ->
+  make_bench "netlist:build-rca16" (fun () ->
       ignore (Multipliers.Rca.basic ~bits:16))
 
 let bench_build_wallace =
-  make_test "netlist:build-wallace16" (fun () ->
+  make_bench "netlist:build-wallace16" (fun () ->
       ignore (Multipliers.Wallace.basic ~bits:16))
+
+let bench_catalog_cached =
+  make_bench "netlist:catalog-build-memoized" (fun () ->
+      ignore (Multipliers.Catalog.build "Wallace"))
 
 let bench_sta =
   let spec = Multipliers.Rca.basic ~bits:16 in
-  make_test "netlist:sta-rca16" (fun () ->
+  make_bench "netlist:sta-rca16" (fun () ->
       ignore (Netlist.Timing.logical_depth spec.circuit))
 
 let bench_activity =
   let spec = Multipliers.Wallace.basic ~bits:16 in
-  make_test "logicsim:activity-wallace16-20cycles" (fun () ->
+  make_bench ~limit:60 "logicsim:activity-wallace16-20cycles" (fun () ->
       ignore (Multipliers.Harness.measure_activity ~cycles:20 spec))
 
+let bench_activity_many =
+  let specs =
+    List.map Multipliers.Catalog.build [ "RCA"; "Wallace"; "Dadda"; "Booth r4" ]
+  in
+  slow "logicsim:activity-4-archs-pooled" (fun () ->
+      ignore (Multipliers.Harness.measure_activity_many ~cycles:20 specs))
+
 let bench_ring_oscillator =
-  make_test "spice:ring-oscillator-7st" (fun () ->
+  make_bench "spice:ring-oscillator-7st" (fun () ->
       let config = Spice.Transient.default_config Device.Technology.ll in
       ignore (Spice.Ring_oscillator.simulate config ~stages:7))
 
 (* Ablation benches (design choices DESIGN.md calls out). *)
 
 let bench_ablation_dibl =
-  make_test "ablation:dibl-invariance" (fun () ->
+  make_bench "ablation:dibl-invariance" (fun () ->
       ignore (Power_core.Ablation.dibl_sweep calibrated_problem))
 
 let bench_ablation_linrange =
-  make_test "ablation:linearization-range" (fun () ->
+  slow "ablation:linearization-range" (fun () ->
       ignore
         (Power_core.Ablation.linearization_range_sweep ~his:[ 0.8; 1.0; 1.2 ] ()))
 
 let bench_ablation_glitch =
-  make_test "ablation:glitch-power-rca" (fun () ->
+  slow "ablation:glitch-power-rca" (fun () ->
       ignore
         (Power_core.Ablation.glitch_ablation ~cycles:40 Device.Technology.ll
            ~f:Power_core.Paper_data.frequency ~labels:[ "RCA" ]))
@@ -90,23 +123,23 @@ let bench_frequency_sweep =
       ~f:Power_core.Paper_data.frequency
       (Power_core.Paper_data.table1_find "Wallace")
   in
-  make_test "extension:frequency-sweep" (fun () ->
+  slow "extension:frequency-sweep" (fun () ->
       ignore (Power_core.Ablation.frequency_sweep ~points:7 params))
 
 let bench_build_booth =
-  make_test "extension:build-booth16" (fun () ->
+  make_bench "extension:build-booth16" (fun () ->
       ignore (Multipliers.Booth.basic ~bits:16))
 
 let bench_build_dadda =
-  make_test "extension:build-dadda16" (fun () ->
+  make_bench "extension:build-dadda16" (fun () ->
       ignore (Multipliers.Dadda.basic ~bits:16))
 
 let bench_energy_mep =
-  make_test "extension:minimum-energy-point" (fun () ->
+  make_bench "extension:minimum-energy-point" (fun () ->
       ignore (Power_core.Energy.minimum_energy_point calibrated_problem))
 
 let bench_variation =
-  make_test "extension:variation-50-dies" (fun () ->
+  slow "extension:variation-50-dies" (fun () ->
       let rng = Numerics.Rng.create 2006 in
       ignore
         (Power_core.Variation.monte_carlo ~samples:50 ~rng calibrated_problem))
@@ -116,14 +149,17 @@ let benchmarks =
     bench_fig2;
     bench_closed_form;
     bench_numerical_opt;
+    bench_problem_of_row;
     bench_fig1;
     bench_table1;
     bench_table3;
     bench_table4;
     bench_build_rca;
     bench_build_wallace;
+    bench_catalog_cached;
     bench_sta;
     bench_activity;
+    bench_activity_many;
     bench_ring_oscillator;
     bench_ablation_dibl;
     bench_ablation_linrange;
@@ -135,18 +171,29 @@ let benchmarks =
     bench_variation;
   ]
 
-let run_benchmarks () =
+let pretty_estimate estimate =
+  if Float.is_nan estimate then "n/a"
+  else if estimate >= 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+  else if estimate >= 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+  else if estimate >= 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
+  else Printf.sprintf "%.0f ns" estimate
+
+(* Runs the benches and returns (name, ns/run) in declaration order. *)
+let run_benchmarks benches =
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.6) () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   Printf.printf "%-42s %16s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 60 '-');
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
+  List.concat_map
+    (fun bench ->
+      let cfg =
+        Benchmark.cfg ~limit:bench.limit ~quota:(Time.second bench.quota) ()
+      in
+      let results = Benchmark.all cfg instances bench.test in
       let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      let rows = ref [] in
       Hashtbl.iter
         (fun name result ->
           let estimate =
@@ -154,20 +201,31 @@ let run_benchmarks () =
             | Some [ e ] -> e
             | Some _ | None -> Float.nan
           in
-          let pretty =
-            if Float.is_nan estimate then "n/a"
-            else if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
-            else if estimate > 1e6 then
-              Printf.sprintf "%.2f ms" (estimate /. 1e6)
-            else if estimate > 1e3 then
-              Printf.sprintf "%.2f us" (estimate /. 1e3)
-            else Printf.sprintf "%.0f ns" estimate
-          in
-          Printf.printf "%-42s %16s\n%!" name pretty)
-        analyzed)
-    benchmarks
+          Printf.printf "%-42s %16s\n%!" name (pretty_estimate estimate);
+          rows := (name, estimate) :: !rows)
+        analyzed;
+      List.rev !rows)
+    benches
 
-let () =
+(* Minimal JSON writer: benchmark names are plain ASCII without quotes or
+   backslashes, so escaping is not needed. *)
+let write_json ~path results =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"optpower-bench/1\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" (Parallel.Pool.default_jobs ());
+  Printf.fprintf oc "  \"unit\": \"ns/run\",\n  \"results\": {\n";
+  List.iteri
+    (fun i (name, estimate) ->
+      Printf.fprintf oc "    %S: %s%s\n" name
+        (if Float.is_nan estimate then "null"
+         else Printf.sprintf "%.3f" estimate)
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\nJSON results written to %s\n" path
+
+let print_tables () =
   print_endline
     "=== Reproduction of Schuster et al. (DATE 2006) - tables and figures ===\n";
   print_string (Report.Experiments.render_figure2 (Report.Experiments.figure2 ()));
@@ -181,6 +239,33 @@ let () =
   print_newline ();
   print_string
     (Report.Experiments.render_wallace (Report.Experiments.table_wallace `Hs));
-  print_newline ();
-  print_endline "=== Timings (Bechamel) ===\n";
-  run_benchmarks ()
+  print_newline ()
+
+let () =
+  let smoke = ref false in
+  let json = ref false in
+  let out = ref "BENCH_RESULTS.json" in
+  let tables = ref true in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " run one fast benchmark and exit (CI sanity)");
+      ("--json", Arg.Set json, " also write machine-readable results");
+      ("--out", Arg.Set_string out, "FILE path for --json (default BENCH_RESULTS.json)");
+      ("--no-tables", Arg.Clear tables, " skip the table/figure regeneration");
+    ]
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "bench [--smoke] [--json] [--out FILE] [--no-tables]";
+  if !smoke then begin
+    print_endline "=== Bench smoke (one fast benchmark) ===\n";
+    let smoke_bench =
+      { bench_fig2 with limit = 20; quota = 0.1 }
+    in
+    let results = run_benchmarks [ smoke_bench ] in
+    if !json then write_json ~path:!out results
+  end
+  else begin
+    if !tables then print_tables ();
+    print_endline "=== Timings (Bechamel) ===\n";
+    let results = run_benchmarks benchmarks in
+    if !json then write_json ~path:!out results
+  end

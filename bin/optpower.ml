@@ -10,8 +10,28 @@ let csv_path_arg =
   let doc = "Also write the raw data to $(docv) as CSV." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel maps (default: $(b,OPTPOWER_JOBS) or the \
+     machine's recommended domain count). Results are bitwise-identical at \
+     any value; 1 forces sequential execution."
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None ->
+          Error (`Msg (Printf.sprintf "invalid value '%s', expected N >= 1" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some positive_int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let set_jobs jobs = Option.iter Parallel.Pool.set_default_jobs jobs
+
 let table1_cmd =
-  let run csv =
+  let run jobs csv =
+    set_jobs jobs;
     let rows = Report.Experiments.table1 () in
     print (Report.Experiments.render_table1 rows);
     Option.iter
@@ -44,13 +64,14 @@ let table1_cmd =
       csv
   in
   let doc = "Reproduce Table 1 (13 multipliers at their optimal point, LL)." in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ csv_path_arg)
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ jobs_arg $ csv_path_arg)
 
 let wallace_cmd name which doc =
-  let run () =
+  let run jobs =
+    set_jobs jobs;
     print (Report.Experiments.render_wallace (Report.Experiments.table_wallace which))
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ jobs_arg)
 
 let table2_cmd =
   let run () = print (Report.Experiments.render_table2 (Report.Experiments.table2 ())) in
@@ -65,11 +86,12 @@ let fig1_cmd =
     let doc = "Comma-separated activity values for the curves." in
     Arg.(value & opt (some (list float)) None & info [ "activities" ] ~doc)
   in
-  let run activities =
+  let run jobs activities =
+    set_jobs jobs;
     print (Report.Experiments.render_figure1 (Report.Experiments.figure1 ?activities ()))
   in
   let doc = "Reproduce Figure 1 (Ptot vs Vdd at several activities)." in
-  Cmd.v (Cmd.info "fig1" ~doc) Term.(const run $ activities)
+  Cmd.v (Cmd.info "fig1" ~doc) Term.(const run $ jobs_arg $ activities)
 
 let fig2_cmd =
   let alpha =
@@ -105,14 +127,15 @@ let scratch_cmd =
   let cycles =
     Arg.(value & opt int 160 & info [ "cycles" ] ~doc:"Simulated data cycles.")
   in
-  let run cycles =
+  let run jobs cycles =
+    set_jobs jobs;
     print (Report.Experiments.render_scratch (Report.Experiments.scratch ~cycles ()))
   in
   let doc =
     "From-scratch run: generate all thirteen netlists, simulate activity, \
      extract parameters and optimise (no published numbers used)."
   in
-  Cmd.v (Cmd.info "scratch" ~doc) Term.(const run $ cycles)
+  Cmd.v (Cmd.info "scratch" ~doc) Term.(const run $ jobs_arg $ cycles)
 
 let sweep_cmd =
   let label =
@@ -301,7 +324,8 @@ let explore_cmd =
   let cycles =
     Arg.(value & opt int 100 & info [ "cycles" ] ~doc:"Simulated data cycles.")
   in
-  let run cycles =
+  let run jobs cycles =
+    set_jobs jobs;
     print
       (Report.Studies.render_exploration ~cycles
          ~f:Power_core.Paper_data.frequency ())
@@ -310,7 +334,7 @@ let explore_cmd =
     "Design-space exploration: all 17 architectures on all three flavors, \
      from scratch."
   in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ cycles)
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ jobs_arg $ cycles)
 
 let export_cmd =
   let arch =
@@ -472,7 +496,8 @@ let variation_cmd =
   let samples =
     Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Monte Carlo dies.")
   in
-  let run label samples =
+  let run jobs label samples =
+    set_jobs jobs;
     let row = Power_core.Paper_data.table1_find label in
     let problem =
       Power_core.Calibration.problem_of_row Device.Technology.ll
@@ -484,7 +509,7 @@ let variation_cmd =
          (Power_core.Variation.monte_carlo ~samples ~rng problem))
   in
   let doc = "Process-variation Monte Carlo on the optimal working point." in
-  Cmd.v (Cmd.info "variation" ~doc) Term.(const run $ arch $ samples)
+  Cmd.v (Cmd.info "variation" ~doc) Term.(const run $ jobs_arg $ arch $ samples)
 
 let thermal_cmd =
   let arch =
@@ -530,7 +555,8 @@ let thermal_cmd =
   Cmd.v (Cmd.info "thermal" ~doc) Term.(const run $ arch $ instances)
 
 let all_cmd =
-  let run () =
+  let run jobs =
+    set_jobs jobs;
     print (Report.Experiments.render_figure2 (Report.Experiments.figure2 ()));
     print_newline ();
     print (Report.Experiments.render_figure1 (Report.Experiments.figure1 ()));
@@ -542,7 +568,7 @@ let all_cmd =
     print (Report.Experiments.render_wallace (Report.Experiments.table_wallace `Hs))
   in
   let doc = "Reproduce every calibrated table and figure in one run." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg)
 
 let main =
   let doc =

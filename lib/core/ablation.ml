@@ -50,7 +50,8 @@ let glitch_ablation ?(cycles = 120) tech ~f ~labels =
         /. row.numerical.Power_law.total;
     }
   in
-  List.map run labels
+  (* One netlist + simulator per label; rows stay in label order. *)
+  Parallel.Pool.map run labels
 
 type lin_range_row = { hi : float; max_abs_err_pct : float }
 

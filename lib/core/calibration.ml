@@ -16,9 +16,16 @@ let params_of_row (tech : Device.Technology.t) ~f (row : Paper_data.table1_row)
     area = row.area;
   }
 
-let problem_of_row tech ~f row =
-  Power_law.make_calibrated tech (params_of_row tech ~f row) ~f
-    ~vdd_ref:row.Paper_data.vdd ~vth_ref:row.vth
+(* Calibrated problems are pure functions of (technology, frequency, row) —
+   all plain records of floats and strings, so structural hashing on the
+   full inputs is a sound cache key. Table and sweep drivers rebuild the
+   same handful of problems on every call; the memo makes that free. *)
+let problem_cache =
+  Memo.create (fun (tech, f, (row : Paper_data.table1_row)) ->
+      Power_law.make_calibrated tech (params_of_row tech ~f row) ~f
+        ~vdd_ref:row.Paper_data.vdd ~vth_ref:row.vth)
+
+let problem_of_row tech ~f row = Memo.find problem_cache (tech, f, row)
 
 let implied_gate_zeta (tech : Device.Technology.t) ~f
     (row : Paper_data.table1_row) =
@@ -56,17 +63,21 @@ let problem_of_wallace_row tech ~f ~(ll_row : Paper_data.table1_row)
 
 let fit_cap_scale tech ~f ~rows =
   if rows = [] then invalid_arg "Calibration.fit_cap_scale: no rows";
+  (* Each row's re-optimisation is independent; the residuals come back in
+     row order and are compensated-summed on the caller, so the cost — and
+     therefore the fitted scale — is bitwise-identical at any pool size. *)
   let cost scale =
-    Numerics.Kahan.sum_by
-      (fun ((ll_row : Paper_data.table1_row), (target : Paper_data.wallace_row))
-      ->
-        let problem =
-          problem_of_wallace_row tech ~f ~ll_row ~target ~cap_scale:scale
-        in
-        let optimum = Numerical_opt.optimum problem in
-        let rel = (optimum.total -. target.w_ptot) /. target.w_ptot in
-        rel *. rel)
-      rows
+    Numerics.Kahan.sum_list
+      (Parallel.Pool.map
+         (fun ((ll_row : Paper_data.table1_row),
+               (target : Paper_data.wallace_row)) ->
+           let problem =
+             problem_of_wallace_row tech ~f ~ll_row ~target ~cap_scale:scale
+           in
+           let optimum = Numerical_opt.optimum problem in
+           let rel = (optimum.total -. target.w_ptot) /. target.w_ptot in
+           rel *. rel)
+         rows)
   in
   let r = Numerics.Minimize.grid_then_golden ~samples:48 ~f:cost 0.3 3.0 in
   r.x

@@ -1,0 +1,6 @@
+(* Re-export of the parallel subsystem's memo table under Power_core, so
+   power-model code and downstream users say [Power_core.Memo] without
+   depending on the parallel library directly. The canonical implementation
+   lives in lib/parallel (it must sit below both power_core and
+   multipliers in the dependency order). *)
+include Parallel.Memo

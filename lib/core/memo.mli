@@ -1,0 +1,8 @@
+(** Keyed, mutex-guarded memo table — alias of {!Parallel.Memo}.
+
+    See {!Parallel.Memo} for the soundness contract (pure compute
+    functions, read-only cached values, race semantics). *)
+
+include module type of struct
+  include Parallel.Memo
+end

@@ -31,9 +31,13 @@ let optimum_grid2 ?(vdd_range = (0.05, 2.0)) ?(vth_range = (-0.2, 0.8))
 let sweep_vdd ?(samples = 200) ~vdd_lo ~vdd_hi problem =
   if samples < 2 then invalid_arg "Numerical_opt.sweep_vdd: samples < 2";
   let step = (vdd_hi -. vdd_lo) /. float_of_int (samples - 1) in
-  List.init samples (fun i ->
+  (* Points are independent evaluations on a fixed grid — mapped through
+     the domain pool; each slot's Vdd depends only on its index. *)
+  Parallel.Pool.map
+    (fun i ->
       let vdd = vdd_lo +. (float_of_int i *. step) in
       Power_law.at problem ~vdd)
+    (List.init samples Fun.id)
 
 let dyn_static_ratio (p : point) =
   if p.static = 0.0 then infinity else p.dynamic /. p.static

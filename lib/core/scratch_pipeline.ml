@@ -54,7 +54,9 @@ let run_label ?seed ?cycles ?wire_caps tech ~f label =
   run_spec ?seed ?cycles ?wire_caps tech ~f (entry.build ())
 
 let run_all ?seed ?cycles ?wire_caps tech ~f () =
-  List.map
+  (* Each architecture builds (or fetches from the catalog cache), places
+     and simulates independently; every task owns its simulator instance. *)
+  Parallel.Pool.map
     (fun (entry : Multipliers.Catalog.entry) ->
       run_spec ?seed ?cycles ?wire_caps tech ~f (entry.build ()))
     Multipliers.Catalog.entries

@@ -58,7 +58,15 @@ let draw_sample spread rng (problem : Power_law.problem) =
 let monte_carlo ?(spread = default_spread) ?(samples = 200) ~rng problem =
   if samples < 2 then invalid_arg "Variation.monte_carlo: samples < 2";
   let nominal = Numerical_opt.optimum problem in
-  let draws = List.init samples (fun _ -> draw_sample spread rng problem) in
+  (* Each die draws from its own stream, split sequentially from the
+     caller's generator before any parallel work starts. The stream a die
+     sees therefore depends only on its index and the caller's seed — never
+     on how the pool schedules the re-optimisations — so the result is
+     bitwise-identical at any pool size. *)
+  let streams = List.init samples (fun _ -> Numerics.Rng.split rng) in
+  let draws =
+    Parallel.Pool.map (fun stream -> draw_sample spread stream problem) streams
+  in
   let ptots = List.map (fun s -> s.optimum.Power_law.total) draws in
   let vdds = List.map (fun s -> s.optimum.Power_law.vdd) draws in
   {

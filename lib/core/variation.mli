@@ -39,7 +39,10 @@ type result = {
 val monte_carlo :
   ?spread:spread -> ?samples:int -> rng:Numerics.Rng.t ->
   Power_law.problem -> result
-(** Default 200 samples. Deterministic for a given generator state. *)
+(** Default 200 samples. Each die re-optimises on its own generator, split
+    deterministically from [rng] before the (parallel) map over dies —
+    results are a pure function of the generator state and bitwise
+    independent of {!Parallel.Pool} size. *)
 
 val vth_absorption :
   Power_law.problem -> dvth0:float -> float

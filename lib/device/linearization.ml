@@ -10,7 +10,7 @@ type t = {
 let default_lo = 0.3
 let default_hi = 1.0
 
-let fit ?(lo = default_lo) ?(hi = default_hi) ?(samples = 201) ~alpha () =
+let fit_uncached ~lo ~hi ~samples ~alpha =
   if alpha <= 0.0 then invalid_arg "Linearization.fit: alpha must be positive";
   if lo <= 0.0 || hi <= lo then
     invalid_arg "Linearization.fit: need 0 < lo < hi";
@@ -24,6 +24,17 @@ let fit ?(lo = default_lo) ?(hi = default_hi) ?(samples = 201) ~alpha () =
     hi;
     max_error = line.max_residual;
   }
+
+(* The fit is a pure function of (alpha, range, samples) and every caller
+   in the hot paths re-fits the same handful of keys, so the results are
+   memoised. Invalid arguments raise on every call (errors are not
+   cached). *)
+let fit_cache =
+  Parallel.Memo.create (fun (lo, hi, samples, alpha) ->
+      fit_uncached ~lo ~hi ~samples ~alpha)
+
+let fit ?(lo = default_lo) ?(hi = default_hi) ?(samples = 201) ~alpha () =
+  Parallel.Memo.find fit_cache (lo, hi, samples, alpha)
 
 let for_technology (tech : Technology.t) = fit ~alpha:tech.alpha ()
 let eval_exact t vdd = vdd ** (1.0 /. t.alpha)

@@ -16,7 +16,7 @@ let parallel_of ~label ~copies core =
           (Parallelize.wrap ~name:label ~bits:default_bits ~copies ~core));
   }
 
-let entries =
+let raw_entries =
   [
     { label = "RCA"; build = (fun () -> rename "RCA" (Rca.basic ~bits:default_bits)) };
     parallel_of ~label:"RCA parallel" ~copies:2 Rca.core;
@@ -74,7 +74,7 @@ let entries =
     };
   ]
 
-let extensions =
+let raw_extensions =
   [
     {
       label = "Booth r4";
@@ -87,6 +87,33 @@ let extensions =
     };
     parallel_of ~label:"Dadda parallel" ~copies:2 Dadda.core;
   ]
+
+(* A built netlist is a pure function of (family label, operand width) and
+   is read-only after the clean-up pass — simulation state lives in the
+   simulator instance, never in the circuit — so every consumer shares one
+   cached build. Keyed on (label, bits) even though the catalog currently
+   only builds at [default_bits], so width-parametric entries can join
+   later without a key change. *)
+let build_cache : (string * int, Spec.t) Parallel.Memo.t =
+  Parallel.Memo.create (fun (label, _bits) ->
+      match
+        List.find_opt
+          (fun (e : entry) -> e.label = label)
+          (raw_entries @ raw_extensions)
+      with
+      | Some e -> e.build ()
+      | None -> raise Not_found)
+
+let build ?(bits = default_bits) label =
+  if bits <> default_bits then
+    invalid_arg "Catalog.build: only default_bits generators are catalogued";
+  Parallel.Memo.find build_cache (label, bits)
+
+let cached (entry : entry) =
+  { entry with build = (fun () -> build entry.label) }
+
+let entries = List.map cached raw_entries
+let extensions = List.map cached raw_extensions
 
 let find label =
   match List.find_opt (fun e -> e.label = label) (entries @ extensions) with

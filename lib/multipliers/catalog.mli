@@ -17,6 +17,13 @@ val find : string -> entry
 (** Lookup by label, searching {!entries} then {!extensions}.
     @raise Not_found. *)
 
+val build : ?bits:int -> string -> Spec.t
+(** Memoised build by label (default width {!default_bits}): the first call
+    generates and cleans the netlist, later calls — from any domain —
+    return the same physically-shared, read-only spec.
+    @raise Not_found on an unknown label.
+    @raise Invalid_argument for a width other than {!default_bits}. *)
+
 val build_all : unit -> Spec.t list
 
 val default_bits : int

@@ -61,3 +61,10 @@ let measure_activity ?(seed = 7) ?(cycles = 160) (spec : Spec.t) =
     glitch_ratio = result.glitch_ratio;
     toggles_per_cycle = result.toggles_per_cycle;
   }
+
+let measure_activity_many ?seed ?cycles specs =
+  (* One simulator (and one stimulus generator, seeded per spec exactly as
+     in the sequential path) per task: the simulator stays single-owner and
+     the per-spec result is identical to a sequential [measure_activity]
+     call whatever the pool size. *)
+  Parallel.Pool.map (fun spec -> measure_activity ?seed ?cycles spec) specs

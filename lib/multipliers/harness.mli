@@ -25,3 +25,9 @@ type measured = {
 val measure_activity :
   ?seed:int -> ?cycles:int -> Spec.t -> measured
 (** Random-stimulus activity over [cycles] (default 160) data periods. *)
+
+val measure_activity_many :
+  ?seed:int -> ?cycles:int -> Spec.t list -> measured list
+(** Measure several architectures concurrently on the {!Parallel.Pool},
+    one private simulator instance per architecture. Element [i] equals
+    [measure_activity spec_i] bit for bit at any pool size. *)

@@ -1,0 +1,53 @@
+type ('k, 'v) t = {
+  table : ('k, 'v) Hashtbl.t;
+  mutex : Mutex.t;
+  compute : 'k -> 'v;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let create ?(size = 16) compute =
+  { table = Hashtbl.create size; mutex = Mutex.create (); compute;
+    hits = 0; misses = 0 }
+
+let find t key =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+    t.hits <- t.hits + 1;
+    Mutex.unlock t.mutex;
+    v
+  | None ->
+    Mutex.unlock t.mutex;
+    (* Compute outside the lock; on a same-key race the first insertion
+       wins so every caller shares one physical value. *)
+    let v = t.compute key in
+    Mutex.lock t.mutex;
+    let v =
+      match Hashtbl.find_opt t.table key with
+      | Some winner ->
+        t.hits <- t.hits + 1;
+        winner
+      | None ->
+        t.misses <- t.misses + 1;
+        Hashtbl.add t.table key v;
+        v
+    in
+    Mutex.unlock t.mutex;
+    v
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { hits = t.hits; misses = t.misses;
+            entries = Hashtbl.length t.table } in
+  Mutex.unlock t.mutex;
+  s
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.mutex

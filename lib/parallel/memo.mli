@@ -1,0 +1,33 @@
+(** Keyed, mutex-guarded memoisation of pure functions.
+
+    A memo table is sound only when the cached function is {e pure}: the
+    value must be fully determined by the key, and the cached value must be
+    treated as read-only by every consumer (all users in this repository
+    cache immutable records — netlists after clean-up, calibrated problems,
+    linearisation fits).
+
+    The compute function runs {e outside} the lock, so distinct keys never
+    serialise on one another and a slow build cannot block cache hits. Two
+    domains racing on the same missing key may both compute it; the first
+    insertion wins and both callers receive the winning (physically
+    identical) value, so [find t k == find t k] holds for boxed values once
+    a key is cached. Exceptions raised by the compute function propagate to
+    the caller and are never cached. *)
+
+type ('k, 'v) t
+
+type stats = { hits : int; misses : int; entries : int }
+(** [misses] counts inserted computations; a lost same-key race counts as a
+    hit for the loser (it received the cached value). *)
+
+val create : ?size:int -> ('k -> 'v) -> ('k, 'v) t
+(** [create compute] builds an empty table over structural key equality.
+    [size] is the initial hash-table capacity (default 16). *)
+
+val find : ('k, 'v) t -> 'k -> 'v
+(** Cached application. *)
+
+val stats : ('k, 'v) t -> stats
+
+val clear : ('k, 'v) t -> unit
+(** Drop every cached entry (counters included). *)

@@ -1,0 +1,211 @@
+type t = {
+  psize : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* Worker domains block here until a task arrives or the pool stops. *)
+let worker_loop pool =
+  let rec take () =
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      match Queue.take_opt pool.tasks with
+      | Some task -> Some task
+      | None ->
+        if pool.stopped then None
+        else begin
+          Condition.wait pool.nonempty pool.mutex;
+          wait ()
+        end
+    in
+    let task = wait () in
+    Mutex.unlock pool.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+      task ();
+      take ()
+  in
+  take ()
+
+let submit pool task =
+  Mutex.lock pool.mutex;
+  Queue.add task pool.tasks;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex
+
+let env_jobs () =
+  match Sys.getenv_opt "OPTPOWER_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Some j
+    | Some _ | None -> None)
+
+let jobs_override = ref None
+
+let default_jobs () =
+  match !jobs_override with
+  | Some j -> j
+  | None -> (
+    match env_jobs () with
+    | Some j -> j
+    | None -> Domain.recommended_domain_count ())
+
+let create ?jobs () =
+  let psize = match jobs with Some j -> j | None -> default_jobs () in
+  if psize < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      psize;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      tasks = Queue.create ();
+      stopped = false;
+      workers = [||];
+    }
+  in
+  if psize > 1 then
+    pool.workers <-
+      Array.init (psize - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.psize
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let was_stopped = pool.stopped in
+  pool.stopped <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  if not was_stopped then Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+(* Shared default pool, created lazily and torn down at exit so worker
+   domains never outlive the main one. *)
+let default_mutex = Mutex.create ()
+let default_pool = ref None
+let exit_hook_installed = ref false
+
+let shutdown_default_locked () =
+  match !default_pool with
+  | None -> ()
+  | Some pool ->
+    default_pool := None;
+    shutdown pool
+
+let get_default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some pool -> pool
+    | None ->
+      let pool = create () in
+      default_pool := Some pool;
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        at_exit (fun () ->
+            Mutex.lock default_mutex;
+            shutdown_default_locked ();
+            Mutex.unlock default_mutex)
+      end;
+      pool
+  in
+  Mutex.unlock default_mutex;
+  pool
+
+let set_default_jobs jobs =
+  if jobs < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Mutex.lock default_mutex;
+  jobs_override := Some jobs;
+  shutdown_default_locked ();
+  Mutex.unlock default_mutex
+
+(* A parallel map is one shared job: an atomic cursor over the input, a
+   slot array for the outputs, and a completion count. Helpers grab chunks
+   until the cursor runs dry; queued helpers that only start after the job
+   has finished see an exhausted cursor and return immediately, so nested
+   maps issued from inside a worker task cannot deadlock — the nested
+   caller simply does the work itself. *)
+let run_job pool f (input : 'a array) : 'b array =
+  let n = Array.length input in
+  let results : 'b option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  (* First failure by item index, kept minimal so the raised exception is
+     independent of scheduling. *)
+  let error :
+      (int * exn * Printexc.raw_backtrace) option Atomic.t =
+    Atomic.make None
+  in
+  let record_error i exn bt =
+    let rec cas () =
+      let current = Atomic.get error in
+      match current with
+      | Some (j, _, _) when j <= i -> ()
+      | _ ->
+        if not (Atomic.compare_and_set error current (Some (i, exn, bt))) then
+          cas ()
+    in
+    cas ()
+  in
+  let done_mutex = Mutex.create () in
+  let done_cond = Condition.create () in
+  let chunk = Int.max 1 (n / (pool.psize * 4)) in
+  let work () =
+    let rec grab () =
+      let lo = Atomic.fetch_and_add next chunk in
+      if lo < n then begin
+        let hi = Int.min n (lo + chunk) in
+        for i = lo to hi - 1 do
+          (if Atomic.get error = None then
+             match f input.(i) with
+             | v -> results.(i) <- Some v
+             | exception exn -> record_error i exn (Printexc.get_raw_backtrace ()));
+          Atomic.incr completed
+        done;
+        grab ()
+      end
+    in
+    grab ();
+    Mutex.lock done_mutex;
+    Condition.broadcast done_cond;
+    Mutex.unlock done_mutex
+  in
+  let helpers = Int.min (pool.psize - 1) (n - 1) in
+  for _ = 1 to helpers do
+    submit pool work
+  done;
+  work ();
+  Mutex.lock done_mutex;
+  while Atomic.get completed < n do
+    Condition.wait done_cond done_mutex
+  done;
+  Mutex.unlock done_mutex;
+  (match Atomic.get error with
+  | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ());
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map_array ?pool f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else
+    let pool = match pool with Some p -> p | None -> get_default () in
+    if pool.psize = 1 || n = 1 then Array.map f input
+    else run_job pool f input
+
+let map ?pool f items =
+  Array.to_list (map_array ?pool f (Array.of_list items))
+
+let mapi ?pool f items =
+  Array.to_list
+    (map_array ?pool (fun (i, x) -> f i x)
+       (Array.of_list (List.mapi (fun i x -> (i, x)) items)))
+
+let map_reduce ?pool ~map:mapper ~reduce ~init items =
+  let mapped = map_array ?pool mapper (Array.of_list items) in
+  Array.fold_left reduce init mapped

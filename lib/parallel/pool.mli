@@ -1,0 +1,65 @@
+(** Reusable domain pool with deterministic-order parallel map.
+
+    The pool owns [size - 1] worker domains blocked on a shared task queue;
+    the caller of {!map} participates as the remaining worker, so a pool of
+    size 1 spawns no domains and degrades to plain sequential iteration.
+
+    {b Determinism contract.} [map f xs] writes [f x] into a slot fixed by
+    the position of [x] in [xs]; work distribution (chunked work-stealing
+    over an atomic index) only decides {e which domain} computes a slot,
+    never the slot itself. As long as [f] is pure, the result — including
+    every floating-point bit — is independent of the pool size and of
+    scheduling. All call sites in this repository rely on that contract
+    (see DESIGN.md, "Parallel execution").
+
+    {b Exceptions.} If one or more applications of [f] raise, the failure
+    with the {e lowest item index} is re-raised on the caller (with its
+    backtrace) once all in-flight work has drained — again independent of
+    scheduling. Remaining items are skipped, not computed. *)
+
+type t
+(** A pool of worker domains. Pools are cheap to keep around and are meant
+    to be reused across many [map] calls. *)
+
+val default_jobs : unit -> int
+(** Pool size used by the shared default pool: the value set with
+    {!set_default_jobs} if any, else the [OPTPOWER_JOBS] environment
+    variable (when it parses as a positive integer), else
+    [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Override the default pool size. Shuts the current default pool down and
+    lazily re-creates it at the new size on the next {!map}.
+    @raise Invalid_argument if the argument is not positive. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (default
+    {!default_jobs}). @raise Invalid_argument if [jobs < 1]. *)
+
+val size : t -> int
+(** Total parallelism of the pool, caller included. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Subsequent [map]s on the pool still
+    return correct results but run entirely on the caller. Idempotent. *)
+
+val get_default : unit -> t
+(** The shared process-wide pool, created on first use and shut down
+    automatically at exit. *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] honouring the determinism contract above.
+    Uses {!get_default} when [?pool] is omitted. *)
+
+val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], same contract. *)
+
+val mapi : ?pool:t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.mapi], same contract. *)
+
+val map_reduce :
+  ?pool:t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a list -> 'acc
+(** [map_reduce ~map ~reduce ~init xs] maps in parallel, then folds the
+    results {e in list order} on the caller — [reduce] need not be
+    associative or commutative for the outcome to be deterministic. *)

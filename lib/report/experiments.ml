@@ -34,7 +34,9 @@ let table1 () =
       paper;
     }
   in
-  List.map run P.table1
+  (* The thirteen (Vdd, Vth) optimisations are independent; slots are fixed
+     by row order, so the table is identical at any pool size. *)
+  Parallel.Pool.map run P.table1
 
 let render_table1 rows =
   let columns =
@@ -112,7 +114,7 @@ let table_wallace which =
       w_paper = target;
     }
   in
-  { tech; cap_scale; rows = List.map run pairs }
+  { tech; cap_scale; rows = Parallel.Pool.map run pairs }
 
 let render_wallace t =
   let columns =
@@ -176,7 +178,9 @@ let figure1 ?activities () =
       dyn_static_ratio = Power_core.Numerical_opt.dyn_static_ratio optimum;
     }
   in
-  List.map curve activities
+  (* Curves run concurrently and each curve's 120-point sweep is itself a
+     pooled map (nested maps are safe — see Parallel.Pool). *)
+  Parallel.Pool.map curve activities
 
 let render_figure1 curves =
   let plot =
@@ -239,7 +243,7 @@ type table2_row = {
 }
 
 let table2 () =
-  List.map
+  Parallel.Pool.map
     (fun (tech : Device.Technology.t) ->
       let fit = Spice.Param_extract.characterize tech in
       {

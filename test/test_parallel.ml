@@ -1,0 +1,316 @@
+(* The parallel subsystem: Pool map semantics, Memo correctness, and the
+   determinism contract of the parallelised paper artifacts — every output
+   must be bitwise-identical at pool sizes 1 and 4. *)
+
+module Pool = Parallel.Pool
+module Memo = Parallel.Memo
+
+(* Pool semantics *)
+
+let test_pool_map_ordering () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let input = List.init 101 (fun i -> i) in
+      Alcotest.(check (list int))
+        "map = List.map" (List.map succ input)
+        (Pool.map ~pool succ input);
+      Alcotest.(check (list int)) "empty" [] (Pool.map ~pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map ~pool succ [ 7 ]))
+
+let test_pool_map_qcheck =
+  QCheck.Test.make ~name:"pool map agrees with List.map"
+    ~count:50
+    QCheck.(list small_int)
+    (fun xs ->
+      let pool = Pool.create ~jobs:3 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let f x = (x * 31) lxor 5 in
+          Pool.map ~pool f xs = List.map f xs))
+
+let test_pool_mapi () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let xs = [ "a"; "b"; "c"; "d"; "e" ] in
+      Alcotest.(check (list string))
+        "mapi = List.mapi"
+        (List.mapi (fun i s -> Printf.sprintf "%d%s" i s) xs)
+        (Pool.mapi ~pool (fun i s -> Printf.sprintf "%d%s" i s) xs))
+
+let test_pool_map_reduce () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let xs = List.init 57 (fun i -> i) in
+      (* Non-commutative reduce: order sensitivity would show instantly. *)
+      let strings =
+        Pool.map_reduce ~pool ~map:string_of_int
+          ~reduce:(fun acc s -> acc ^ "," ^ s)
+          ~init:"" xs
+      in
+      Alcotest.(check string)
+        "reduce in list order"
+        (List.fold_left (fun acc s -> acc ^ "," ^ s) "" (List.map string_of_int xs))
+        strings)
+
+let test_pool_exception_first_index () =
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      (* Every item from 40 on raises; the caller must always observe the
+         failure of the lowest index whatever the scheduling. *)
+      let f i = if i >= 40 then failwith (Printf.sprintf "boom %d" i) else i in
+      (match Pool.map ~pool f (List.init 100 Fun.id) with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg -> Alcotest.(check string) "first failure" "boom 40" msg);
+      (* The pool survives a failed job. *)
+      Alcotest.(check (list int))
+        "pool usable after failure" [ 1; 2; 3 ]
+        (Pool.map ~pool succ [ 0; 1; 2 ]))
+
+let test_pool_sequential_fallback () =
+  let pool = Pool.create ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "size 1" 1 (Pool.size pool);
+      let ran_on = ref [] in
+      let r =
+        Pool.map ~pool
+          (fun i ->
+            ran_on := Domain.self () :: !ran_on;
+            i * 2)
+          [ 1; 2; 3 ]
+      in
+      Alcotest.(check (list int)) "results" [ 2; 4; 6 ] r;
+      Alcotest.(check bool)
+        "all on the caller domain" true
+        (List.for_all (fun d -> d = Domain.self ()) !ran_on))
+
+let test_pool_bad_sizes () =
+  let bad f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "jobs 0" true (bad (fun () -> Pool.create ~jobs:0 ()));
+  Alcotest.(check bool)
+    "set_default_jobs 0" true
+    (bad (fun () -> Pool.set_default_jobs 0))
+
+(* Memo *)
+
+let test_memo_hit () =
+  let calls = Atomic.make 0 in
+  let memo =
+    Memo.create (fun k ->
+        Atomic.incr calls;
+        ref (k * 10))
+  in
+  let a = Memo.find memo 3 in
+  let b = Memo.find memo 3 in
+  Alcotest.(check int) "computed once" 1 (Atomic.get calls);
+  Alcotest.(check bool) "physically shared" true (a == b);
+  Alcotest.(check int) "value" 30 !a;
+  ignore (Memo.find memo 4);
+  Alcotest.(check int) "second key computes" 2 (Atomic.get calls);
+  let s = Memo.stats memo in
+  Alcotest.(check int) "entries" 2 s.entries;
+  Alcotest.(check int) "misses" 2 s.misses;
+  Alcotest.(check int) "hits" 1 s.hits;
+  Memo.clear memo;
+  Alcotest.(check int) "cleared" 0 (Memo.stats memo).entries
+
+let test_memo_concurrent () =
+  let memo = Memo.create (fun k -> ref (k + 1)) in
+  let pool = Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      (* Hammer one key from four domains: all callers must end up with the
+         one cached (physically identical) value. *)
+      let results = Pool.map ~pool (fun _ -> Memo.find memo 7) (List.init 64 Fun.id) in
+      let witness = Memo.find memo 7 in
+      Alcotest.(check bool)
+        "all physically equal" true
+        (List.for_all (fun r -> r == witness) results);
+      Alcotest.(check int) "one entry" 1 (Memo.stats memo).entries)
+
+let test_memo_no_exception_caching () =
+  let calls = Atomic.make 0 in
+  let memo =
+    Memo.create (fun k ->
+        Atomic.incr calls;
+        if k < 0 then invalid_arg "negative";
+        k)
+  in
+  let raises () =
+    match Memo.find memo (-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "raises" true (raises ());
+  Alcotest.(check bool) "raises again" true (raises ());
+  Alcotest.(check int) "recomputed each time" 2 (Atomic.get calls);
+  Alcotest.(check int) "nothing cached" 0 (Memo.stats memo).entries
+
+(* Determinism of the parallelised paper artifacts: pool size 1 vs 4. *)
+
+let with_jobs jobs f =
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) f
+
+let test_table1_pool_invariant () =
+  let seq = with_jobs 1 Report.Experiments.table1 in
+  let par = with_jobs 4 Report.Experiments.table1 in
+  Alcotest.(check int) "same length" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Report.Experiments.table1_row) (b : Report.Experiments.table1_row) ->
+      Alcotest.(check string) "label" a.label b.label;
+      List.iter2
+        (fun x y ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s bitwise" a.label)
+            true
+            (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)))
+        [ a.vdd; a.vth; a.pdyn; a.pstat; a.ptot; a.eq13; a.err_pct ]
+        [ b.vdd; b.vth; b.pdyn; b.pstat; b.ptot; b.eq13; b.err_pct ])
+    seq par
+
+let test_monte_carlo_pool_invariant () =
+  let problem =
+    Power_core.Calibration.problem_of_row Device.Technology.ll
+      ~f:Power_core.Paper_data.frequency
+      (Power_core.Paper_data.table1_find "Wallace")
+  in
+  let run jobs =
+    with_jobs jobs (fun () ->
+        let rng = Numerics.Rng.create 2006 in
+        Power_core.Variation.monte_carlo ~samples:40 ~rng problem)
+  in
+  let seq = run 1 and par = run 4 in
+  let bits = Int64.bits_of_float in
+  Alcotest.(check bool)
+    "mean bitwise" true
+    (Int64.equal (bits seq.ptot_stats.mean) (bits par.ptot_stats.mean));
+  Alcotest.(check bool)
+    "p95 bitwise" true
+    (Int64.equal (bits seq.ptot_p95) (bits par.ptot_p95));
+  List.iter2
+    (fun (a : Power_core.Variation.sample) (b : Power_core.Variation.sample) ->
+      Alcotest.(check bool)
+        "sample optimum bitwise" true
+        (Int64.equal (bits a.optimum.total) (bits b.optimum.total));
+      Alcotest.(check bool)
+        "sample draw bitwise" true
+        (Int64.equal (bits a.leak_factor) (bits b.leak_factor)))
+    seq.samples par.samples
+
+let test_measure_activity_many_pool_invariant () =
+  let specs =
+    List.map Multipliers.Catalog.build [ "RCA"; "Wallace"; "Sequential" ]
+  in
+  let seq =
+    with_jobs 1 (fun () ->
+        Multipliers.Harness.measure_activity_many ~cycles:20 specs)
+  in
+  let par =
+    with_jobs 4 (fun () ->
+        Multipliers.Harness.measure_activity_many ~cycles:20 specs)
+  in
+  let direct =
+    List.map (Multipliers.Harness.measure_activity ~cycles:20) specs
+  in
+  List.iter2
+    (fun (a : Multipliers.Harness.measured) (b : Multipliers.Harness.measured) ->
+      Alcotest.(check bool)
+        "activity bitwise" true
+        (Int64.equal
+           (Int64.bits_of_float a.activity)
+           (Int64.bits_of_float b.activity));
+      Alcotest.(check bool)
+        "glitch bitwise" true
+        (Int64.equal
+           (Int64.bits_of_float a.glitch_ratio)
+           (Int64.bits_of_float b.glitch_ratio)))
+    seq par;
+  List.iter2
+    (fun (a : Multipliers.Harness.measured) (b : Multipliers.Harness.measured) ->
+      Alcotest.(check (float 0.0)) "matches sequential API" a.activity b.activity)
+    par direct
+
+let test_sweep_pool_invariant () =
+  let problem =
+    Power_core.Calibration.problem_of_row Device.Technology.ll
+      ~f:Power_core.Paper_data.frequency
+      (Power_core.Paper_data.table1_find "RCA")
+  in
+  let run jobs =
+    with_jobs jobs (fun () ->
+        Power_core.Numerical_opt.sweep_vdd ~samples:64 ~vdd_lo:0.25 ~vdd_hi:1.2
+          problem)
+  in
+  List.iter2
+    (fun (a : Power_core.Numerical_opt.point) (b : Power_core.Numerical_opt.point) ->
+      Alcotest.(check bool)
+        "sweep point bitwise" true
+        (Int64.equal (Int64.bits_of_float a.total) (Int64.bits_of_float b.total)))
+    (run 1) (run 4)
+
+let test_catalog_build_shared () =
+  let a = Multipliers.Catalog.build "RCA" in
+  let b = Multipliers.Catalog.build "RCA" in
+  Alcotest.(check bool) "same physical spec" true (a == b);
+  let entry = Multipliers.Catalog.find "RCA" in
+  Alcotest.(check bool) "entry.build shares the cache" true (entry.build () == a);
+  Alcotest.(check bool)
+    "unknown label" true
+    (match Multipliers.Catalog.build "no such arch" with
+    | _ -> false
+    | exception Not_found -> true);
+  Alcotest.(check bool)
+    "non-catalog width" true
+    (match Multipliers.Catalog.build ~bits:8 "RCA" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  let qcheck = QCheck_alcotest.to_alcotest in
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map ordering" `Quick test_pool_map_ordering;
+          qcheck test_pool_map_qcheck;
+          Alcotest.test_case "mapi" `Quick test_pool_mapi;
+          Alcotest.test_case "map_reduce order" `Quick test_pool_map_reduce;
+          Alcotest.test_case "first failure wins" `Quick
+            test_pool_exception_first_index;
+          Alcotest.test_case "sequential fallback" `Quick
+            test_pool_sequential_fallback;
+          Alcotest.test_case "bad sizes" `Quick test_pool_bad_sizes;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "hit correctness" `Quick test_memo_hit;
+          Alcotest.test_case "concurrent same key" `Quick test_memo_concurrent;
+          Alcotest.test_case "exceptions not cached" `Quick
+            test_memo_no_exception_caching;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "table1 jobs 1 = jobs 4" `Slow
+            test_table1_pool_invariant;
+          Alcotest.test_case "monte carlo jobs 1 = jobs 4" `Slow
+            test_monte_carlo_pool_invariant;
+          Alcotest.test_case "activity many jobs 1 = jobs 4" `Slow
+            test_measure_activity_many_pool_invariant;
+          Alcotest.test_case "sweep jobs 1 = jobs 4" `Quick
+            test_sweep_pool_invariant;
+          Alcotest.test_case "catalog build shared" `Quick
+            test_catalog_build_shared;
+        ] );
+    ]
