@@ -554,6 +554,38 @@ let thermal_cmd =
   let doc = "Self-heating fixpoint: die temperature vs package R_th." in
   Cmd.v (Cmd.info "thermal" ~doc) Term.(const run $ arch $ instances)
 
+let lint_cmd =
+  let format =
+    let doc = "Output format: $(b,text), $(b,json) or $(b,sarif)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let max_per_rule =
+    let doc =
+      "Cap the text lines printed per (target, rule) pair; the rest are \
+       summarised as a count. JSON and SARIF always carry everything."
+    in
+    Arg.(value & opt int 8 & info [ "max-per-rule" ] ~docv:"N" ~doc)
+  in
+  let run jobs format max_per_rule =
+    set_jobs jobs;
+    let report = Analysis.Engine.run () in
+    (match format with
+    | `Text -> print (Analysis.Render.text ~max_per_rule report)
+    | `Json -> print (Analysis.Render.json report)
+    | `Sarif -> print (Analysis.Render.sarif report));
+    exit (Analysis.Engine.exit_code report)
+  in
+  let doc =
+    "Static analysis: netlist lint over the 13-multiplier catalog plus \
+     model-validity rules over every technology flavor and calibration row. \
+     Exit code 0 when clean, 1 with warnings, 2 with errors."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const run $ jobs_arg $ format $ max_per_rule)
+
 let all_cmd =
   let run jobs =
     set_jobs jobs;
@@ -600,6 +632,7 @@ let main =
       energy_cmd;
       variation_cmd;
       thermal_cmd;
+      lint_cmd;
       all_cmd;
     ]
 

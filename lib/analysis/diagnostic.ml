@@ -1,0 +1,66 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type location =
+  | Circuit_loc of {
+      circuit : string;
+      cell : string option;
+      net : string option;
+    }
+  | Model_loc of {
+      model : string;
+      parameter : string option;
+    }
+
+type t = {
+  rule : string;
+  severity : severity;
+  location : location;
+  message : string;
+  fix_hint : string option;
+}
+
+let make ~rule ~severity ~location ?fix_hint message =
+  { rule; severity; location; message; fix_hint }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let location_to_string = function
+  | Circuit_loc { circuit; cell; net } ->
+    String.concat ":"
+      (circuit :: List.filter_map Fun.id [ cell; net ])
+  | Model_loc { model; parameter } ->
+    String.concat ":" (model :: Option.to_list parameter)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c =
+    String.compare (location_to_string a.location)
+      (location_to_string b.location)
+  in
+  if c <> 0 then c
+  else
+    let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rule b.rule in
+      if c <> 0 then c else String.compare a.message b.message
+
+let count diags =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) diags
+
+let worst_exit_code diags =
+  let e, w, _ = count diags in
+  if e > 0 then 2 else if w > 0 then 1 else 0

@@ -1,0 +1,56 @@
+(** Structured diagnostics — the common currency of the static-analysis
+    engine. Every rule ({!Netlist_rules}, {!Model_rules}) emits values of
+    this type; the renderers ({!Render}) turn them into text, JSON or
+    SARIF without the rules knowing about output formats. *)
+
+type severity =
+  | Error  (** The model output is meaningless (e.g. undriven net,
+               Eq. 13 log domain violated). *)
+  | Warning  (** The output is computable but an assumption is strained
+                (e.g. weak-inversion optimum, unbalanced pipeline). *)
+  | Info  (** Opportunity or notice (e.g. duplicate cells). *)
+
+type location =
+  | Circuit_loc of {
+      circuit : string;  (** Circuit/catalog label, e.g. "RCA diagpipe2". *)
+      cell : string option;  (** Cell label ([Check.cell_label]). *)
+      net : string option;  (** Net label ([Check.net_label]). *)
+    }
+  | Model_loc of {
+      model : string;  (** Technology or "tech/architecture" label. *)
+      parameter : string option;  (** Offending parameter, e.g. "alpha". *)
+    }
+
+type t = {
+  rule : string;  (** Rule id, e.g. "net.undriven" — keys into {!Rule}. *)
+  severity : severity;
+  location : location;
+  message : string;
+  fix_hint : string option;  (** One-line suggested remedy. *)
+}
+
+val make :
+  rule:string ->
+  severity:severity ->
+  location:location ->
+  ?fix_hint:string ->
+  string ->
+  t
+
+val severity_to_string : severity -> string
+(** ["error" | "warning" | "info"]. *)
+
+val location_to_string : location -> string
+(** ["circuit:cell:net"] resp. ["model:parameter"], omitting absent
+    parts — stable, colon-separated, used by the text renderer and tests. *)
+
+val compare : t -> t -> int
+(** Deterministic report order: location, then severity (errors first),
+    then rule id, then message. *)
+
+val count : t list -> int * int * int
+(** (errors, warnings, infos). *)
+
+val worst_exit_code : t list -> int
+(** 2 if any error, 1 if any warning, 0 otherwise — the [optpower lint]
+    exit-code contract. Infos never fail a run. *)

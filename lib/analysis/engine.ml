@@ -1,0 +1,73 @@
+type target = {
+  title : string;
+  diagnostics : Diagnostic.t list;
+}
+
+type report = {
+  targets : target list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+let of_targets targets =
+  let errors, warnings, infos =
+    List.fold_left
+      (fun (e, w, i) t ->
+        let te, tw, ti = Diagnostic.count t.diagnostics in
+        (e + te, w + tw, i + ti))
+      (0, 0, 0) targets
+  in
+  { targets; errors; warnings; infos }
+
+let lint_circuit ?config circuit = Netlist_rules.run ?config circuit
+
+let catalog_labels () =
+  List.map (fun e -> e.Multipliers.Catalog.label) Multipliers.Catalog.entries
+
+let netlist_targets ?config ?labels () =
+  let labels = match labels with Some l -> l | None -> catalog_labels () in
+  (* Catalog builds are memoised process-wide; the pool workers share the
+     physically-shared read-only specs. *)
+  Parallel.Pool.map
+    (fun label ->
+      let spec = Multipliers.Catalog.build label in
+      {
+        title = "netlist " ^ label;
+        diagnostics = Netlist_rules.run ?config spec.Multipliers.Spec.circuit;
+      })
+    labels
+
+let model_targets ?(tech = Device.Technology.ll) () =
+  let technologies =
+    List.map
+      (fun t ->
+        {
+          title = "technology " ^ Device.Technology.name t;
+          diagnostics =
+            List.stable_sort Diagnostic.compare (Model_rules.technology t);
+        })
+      Device.Technology.all
+  in
+  let f = Power_core.Paper_data.frequency in
+  let rows =
+    Parallel.Pool.map
+      (fun (row : Power_core.Paper_data.table1_row) ->
+        let label = Device.Technology.name tech ^ "/" ^ row.label in
+        let problem = Power_core.Calibration.problem_of_row tech ~f row in
+        {
+          title = "model " ^ label;
+          diagnostics =
+            List.stable_sort Diagnostic.compare
+              (Model_rules.calibration_row row
+              @ Model_rules.optimisation ~label problem);
+        })
+      Power_core.Paper_data.table1
+  in
+  technologies @ rows
+
+let run ?config () =
+  of_targets (netlist_targets ?config () @ model_targets ())
+
+let exit_code report =
+  if report.errors > 0 then 2 else if report.warnings > 0 then 1 else 0

@@ -1,0 +1,45 @@
+(** Orchestration: run every registered rule over the full multiplier
+    catalog and the technology/calibration data, in parallel over the
+    domain pool, and aggregate a deterministic report.
+
+    The report groups diagnostics per audited target so renderers can emit
+    per-circuit sections; {b determinism}: targets appear in catalog /
+    Table 1 order and each target's diagnostics are sorted with
+    {!Diagnostic.compare}, independent of the pool size
+    ([Parallel.Pool.map]'s contract). *)
+
+type target = {
+  title : string;  (** e.g. ["netlist RCA"], ["technology LL"],
+                       ["model LL/RCA"]. *)
+  diagnostics : Diagnostic.t list;
+}
+
+type report = {
+  targets : target list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+val of_targets : target list -> report
+
+val lint_circuit :
+  ?config:Netlist_rules.config -> Netlist.Circuit.t -> Diagnostic.t list
+(** All netlist rules over one circuit. *)
+
+val netlist_targets :
+  ?config:Netlist_rules.config -> ?labels:string list -> unit -> target list
+(** One target per catalog label (default: the paper's thirteen), built
+    with [Multipliers.Catalog.build] and linted in parallel. *)
+
+val model_targets : ?tech:Device.Technology.t -> unit -> target list
+(** Technology audits for every flavor, then one target per Table 1 row:
+    calibration-row sanity plus the optimisation audit of the row's
+    calibrated problem on [tech] (default LL), in parallel. *)
+
+val run : ?config:Netlist_rules.config -> unit -> report
+(** [netlist_targets] followed by [model_targets] — everything
+    [optpower lint] checks. *)
+
+val exit_code : report -> int
+(** 2 on errors, 1 on warnings, 0 when clean (infos don't fail). *)

@@ -1,0 +1,22 @@
+(** Model-validity rules — audits of technology descriptions, calibration
+    rows and optimisation results against the operating region in which the
+    paper's equations hold.
+
+    Three entry points, one per auditable object:
+    - {!technology}: a {!Device.Technology.t} in isolation (parameter
+      ranges);
+    - {!calibration_row}: a published Table 1 row before it is inverted
+      into model inputs (units, positivity, Pdyn + Pstat = Ptot);
+    - {!optimisation}: a calibrated {!Power_core.Power_law.problem} — runs
+      the closed form and the numerical optimum and checks Eq. 13's domain,
+      the strong-inversion margin at the optimum, bracket pinning, Newton
+      convergence of the constraint inversion, and that every emitted value
+      is finite. *)
+
+val technology : Device.Technology.t -> Diagnostic.t list
+
+val calibration_row : Power_core.Paper_data.table1_row -> Diagnostic.t list
+
+val optimisation :
+  label:string -> Power_core.Power_law.problem -> Diagnostic.t list
+(** [label] names the audited result in diagnostics, e.g. ["LL/RCA"]. *)

@@ -1,0 +1,294 @@
+module C = Netlist.Circuit
+module Cell = Netlist.Cell
+module Check = Netlist.Check
+
+type config = {
+  fanout_budget : Cell.kind -> int;
+  slack_spread_max : float;
+  glitch_skew_max : float;
+}
+
+let default_config =
+  {
+    fanout_budget =
+      (function
+      | Cell.Tie0 | Cell.Tie1 -> max_int  (* constants distribute freely *)
+      | Cell.Buf | Cell.Inv | Cell.Dff -> 64
+      | _ -> 32);
+    slack_spread_max = 0.99;
+    glitch_skew_max = 0.14;
+  }
+
+let circuit_loc ?cell ?net circuit =
+  Diagnostic.Circuit_loc { circuit = C.name circuit; cell; net }
+
+let diag rule circuit ?severity ?cell ?net ?fix_hint message =
+  let meta = Rule.find rule in
+  let severity = Option.value severity ~default:meta.Rule.severity in
+  Diagnostic.make ~rule ~severity
+    ~location:(circuit_loc ?cell ?net circuit)
+    ?fix_hint message
+
+let is_tie = function Cell.Tie0 | Cell.Tie1 -> true | _ -> false
+
+(* --- Structural well-formedness (the former Netlist.Check findings) --- *)
+
+let undriven circuit =
+  List.filter_map
+    (function
+      | Check.Undriven_net (_, label) ->
+        Some
+          (diag "net.undriven" circuit ~net:label
+             ~fix_hint:"drive the net from a cell output or declare it a \
+                        primary input"
+             (Printf.sprintf "net %s is read but has no driver" label))
+      | _ -> None)
+    (Check.undriven circuit)
+
+let comb_cycle circuit =
+  List.filter_map
+    (function
+      | Check.Combinational_cycle cells ->
+        let labels = List.map (Check.cell_label circuit) cells in
+        Some
+          (diag "net.comb-cycle" circuit
+             ~cell:(match labels with l :: _ -> l | [] -> "?")
+             ~fix_hint:"break the loop with a flip-flop or rewire the \
+                        feedback path"
+             (Printf.sprintf "combinational cycle through [%s]"
+                (String.concat "; " labels)))
+      | _ -> None)
+    (Check.cycles circuit)
+
+let dangling_output circuit =
+  List.filter_map
+    (function
+      | Check.Dangling_output (n, label) ->
+        let driver = C.driver circuit n in
+        let cell =
+          Option.map (fun (id, _) -> Check.cell_label circuit id) driver
+        in
+        (* An unread tie costs nothing (constants never switch): demote to
+           Info so real swept-logic candidates stand out. *)
+        let severity =
+          match driver with
+          | Some (id, _) when is_tie (C.get_cell circuit id).kind ->
+            Some Diagnostic.Info
+          | _ -> None
+        in
+        Some
+          (diag "net.dangling-output" circuit ?severity ?cell ~net:label
+             ~fix_hint:"mark the net as a primary output or sweep the \
+                        driving cell"
+             (Printf.sprintf "cell output %s has no reader" label))
+      | _ -> None)
+    (Check.dangling circuit)
+
+(* --- Cone-of-influence reachability from the primary outputs --- *)
+
+let dead_logic circuit =
+  let live = Array.make (C.cell_count circuit) false in
+  let stack = ref [] in
+  let mark_net n =
+    match C.driver circuit n with
+    | Some (id, _) when not live.(id) ->
+      live.(id) <- true;
+      stack := id :: !stack
+    | Some _ | None -> ()
+  in
+  List.iter (fun (n, _) -> mark_net n) (C.primary_outputs circuit);
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+      stack := rest;
+      Array.iter mark_net (C.get_cell circuit id).inputs;
+      drain ()
+  in
+  drain ();
+  C.fold_cells
+    (fun acc (cell : C.cell) ->
+      (* Ties are constants, not logic: an unread tie is the dangling-output
+         rule's business, and a read one is const-fold's. *)
+      if live.(cell.id) || Cell.arity cell.kind = 0 then acc
+      else
+        diag "net.dead-logic" circuit ~cell:(Check.cell_label circuit cell.id)
+          ~fix_hint:"remove the cell (Netlist.Optimize sweeps dead cones) \
+                     or mark its cone's output"
+          (Printf.sprintf "%s reaches no primary output"
+             (Check.cell_label circuit cell.id))
+        :: acc)
+    [] circuit
+  |> List.rev
+
+(* --- Constant-foldable gates --- *)
+
+let const_fold circuit =
+  C.fold_cells
+    (fun acc (cell : C.cell) ->
+      if is_tie cell.kind then acc
+      else begin
+        let tied =
+          Array.to_list cell.inputs
+          |> List.mapi (fun i n -> (i, n))
+          |> List.filter_map (fun (i, n) ->
+                 match C.driver circuit n with
+                 | Some (id, _) when is_tie (C.get_cell circuit id).kind ->
+                   Some (i, (C.get_cell circuit id).kind)
+                 | Some _ | None -> None)
+        in
+        match tied with
+        | [] -> acc
+        | _ ->
+          let slots =
+            String.concat ", "
+              (List.map
+                 (fun (i, k) ->
+                   Printf.sprintf "input %d = %s" i
+                     (if k = Cell.Tie0 then "0" else "1"))
+                 tied)
+          in
+          diag "net.const-fold" circuit
+            ~cell:(Check.cell_label circuit cell.id)
+            ~fix_hint:"run Netlist.Optimize to fold the constant and \
+                       simplify the gate"
+            (Printf.sprintf "%s has constant %s"
+               (Check.cell_label circuit cell.id) slots)
+          :: acc
+      end)
+    [] circuit
+  |> List.rev
+
+(* --- Structural duplicates (hash-consing sweep) --- *)
+
+let duplicate_cell circuit =
+  let table : (string, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  C.iter_cells
+    (fun (cell : C.cell) ->
+      if Cell.arity cell.kind > 0 then begin
+        let init =
+          if Cell.is_sequential cell.kind then
+            String.make 1 (Netlist.Logic.to_char (C.dff_init circuit cell.id))
+          else ""
+        in
+        let key =
+          Printf.sprintf "%s(%s)%s" (Cell.name cell.kind)
+            (String.concat ","
+               (List.map string_of_int (Array.to_list cell.inputs)))
+            init
+        in
+        match Hashtbl.find_opt table key with
+        | Some ids -> ids := cell.id :: !ids
+        | None ->
+          let ids = ref [ cell.id ] in
+          Hashtbl.add table key ids;
+          order := ids :: !order
+      end)
+    circuit;
+  List.rev !order
+  |> List.filter_map (fun ids ->
+         match List.rev !ids with
+         | first :: (_ :: _ as rest) ->
+           Some
+             (diag "net.duplicate-cell" circuit
+                ~cell:(Check.cell_label circuit first)
+                ~fix_hint:"hash-cons: rewire readers to one instance and \
+                           sweep the rest"
+                (Printf.sprintf "%d cells identical to %s: [%s]"
+                   (1 + List.length rest)
+                   (Check.cell_label circuit first)
+                   (String.concat "; "
+                      (List.map (Check.cell_label circuit) rest))))
+         | _ -> None)
+
+(* --- Fanout ERC --- *)
+
+let fanout_budget ?(config = default_config) circuit =
+  let fanout = C.fanout circuit in
+  let diags = ref [] in
+  Array.iteri
+    (fun n readers ->
+      match C.driver circuit n with
+      | None -> ()  (* primary inputs answer to the testbench, not the ERC *)
+      | Some (id, _) ->
+        let kind = (C.get_cell circuit id).kind in
+        let budget = config.fanout_budget kind in
+        let loads = List.length readers in
+        if loads > budget then
+          diags :=
+            diag "net.fanout-budget" circuit
+              ~cell:(Check.cell_label circuit id)
+              ~net:(Check.net_label circuit n)
+              ~fix_hint:"buffer the net or duplicate the driver"
+              (Printf.sprintf "%s drives %d loads (budget for %s: %d)"
+                 (Check.net_label circuit n) loads (Cell.name kind) budget)
+            :: !diags)
+    fanout;
+  List.rev !diags
+
+(* --- Unused primary inputs --- *)
+
+let unused_input circuit =
+  let fanout = C.fanout circuit in
+  let outputs = C.primary_outputs circuit in
+  List.filter_map
+    (fun n ->
+      if fanout.(n) = [] && not (List.mem_assoc n outputs) then
+        Some
+          (diag "net.unused-input" circuit ~net:(Check.net_label circuit n)
+             ~fix_hint:"drop the port from the generator or wire it into \
+                        the datapath"
+             (Printf.sprintf "primary input %s is never read"
+                (Check.net_label circuit n)))
+      else None)
+    (C.primary_inputs circuit)
+
+(* --- Pipeline balance (glitch-proneness) --- *)
+
+let unbalanced_pipeline ?(config = default_config) circuit =
+  if Check.cycles circuit <> [] then []
+  else begin
+    let spread = Netlist.Timing.slack_spread circuit in
+    let depth = Netlist.Timing.logical_depth circuit in
+    let skew =
+      if depth > 0.0 then Netlist.Timing.input_skew circuit /. depth else 0.0
+    in
+    if skew > config.glitch_skew_max then
+      [
+        diag "net.unbalanced-pipeline" circuit
+          ~fix_hint:"rebalance the stage cuts (horizontal rather than \
+                     diagonal) or retime registers"
+          (Printf.sprintf
+             "mean per-gate input skew is %.0f%% of the stage depth \
+              (budget %.0f%%) - skewed arrivals glitch"
+             (100.0 *. skew)
+             (100.0 *. config.glitch_skew_max));
+      ]
+    else if spread > config.slack_spread_max then
+      [
+        diag "net.unbalanced-pipeline" circuit
+          ~fix_hint:"rebalance the stage cuts (horizontal rather than \
+                     diagonal) or retime registers"
+          (Printf.sprintf
+             "endpoint slack spread %.2f exceeds %.2f - almost every path \
+              is far faster than the critical one"
+             spread config.slack_spread_max);
+      ]
+    else []
+  end
+
+let run ?(config = default_config) circuit =
+  List.concat
+    [
+      undriven circuit;
+      comb_cycle circuit;
+      dangling_output circuit;
+      dead_logic circuit;
+      const_fold circuit;
+      duplicate_cell circuit;
+      fanout_budget ~config circuit;
+      unused_input circuit;
+      unbalanced_pipeline ~config circuit;
+    ]
+  |> List.stable_sort Diagnostic.compare

@@ -1,0 +1,54 @@
+(** Netlist lint rules — structural well-formedness (subsuming
+    [Netlist.Check]) plus power-hygiene checks over a gate-level circuit.
+
+    Every rule is a pure function [Circuit.t -> Diagnostic.t list]; {!run}
+    executes the full set in {!Rule.netlist} order and returns a
+    deterministically sorted report. Rules that need static timing are
+    skipped when the circuit has a combinational cycle (the cycle itself is
+    reported by {!comb_cycle}). *)
+
+module C := Netlist.Circuit
+
+type config = {
+  fanout_budget : Netlist.Cell.kind -> int;
+      (** Max readers of a net per driving-cell kind. *)
+  slack_spread_max : float;
+      (** {!Netlist.Timing.slack_spread} above which a circuit counts as
+          glitch-prone even when its per-gate skew is low (a lone critical
+          path towering over everything else). *)
+  glitch_skew_max : float;
+      (** {!Netlist.Timing.input_skew} / {!Netlist.Timing.logical_depth}
+          above which arrival skew at gate inputs counts as glitch-prone. *)
+}
+
+val default_config : config
+(** Buffers/inverters/flip-flops may drive 64 loads, ties are exempt,
+    everything else 32. Glitch-skew threshold 0.14: on the catalog this
+    flags both diagonal pipeline cuts (0.15–0.19, full-length carry chains
+    inside each stage) and the 2-stage horizontal cut (0.18, whose stages
+    still hold full ripple rows) while passing the flat arrays (≤ 0.12),
+    Wallace trees (≤ 0.06) and sequential designs (≤ 0.08). Slack-spread
+    threshold 0.99 — a backstop no catalog circuit reaches. *)
+
+val undriven : C.t -> Diagnostic.t list
+val comb_cycle : C.t -> Diagnostic.t list
+val dangling_output : C.t -> Diagnostic.t list
+
+val dead_logic : C.t -> Diagnostic.t list
+(** Cells outside the cone of influence of every primary output
+    (backward reachability over driver edges, flip-flops included). *)
+
+val const_fold : C.t -> Diagnostic.t list
+(** Non-tie cells with at least one input wired to a tie. *)
+
+val duplicate_cell : C.t -> Diagnostic.t list
+(** Structural hash-consing sweep: groups of same-kind cells reading the
+    same input nets (same power-up value for flip-flops); one diagnostic
+    per group. *)
+
+val fanout_budget : ?config:config -> C.t -> Diagnostic.t list
+val unused_input : C.t -> Diagnostic.t list
+val unbalanced_pipeline : ?config:config -> C.t -> Diagnostic.t list
+
+val run : ?config:config -> C.t -> Diagnostic.t list
+(** All netlist rules, sorted with {!Diagnostic.compare}. *)

@@ -1,0 +1,264 @@
+(* Minimal JSON tree + printer, enough for the JSON and SARIF outputs
+   (no JSON library in the toolchain image). *)
+type json =
+  | Str of string
+  | Int of int
+  | Obj of (string * json) list
+  | Arr of json list
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string root =
+  let buf = Buffer.create 4096 in
+  let pad depth = Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let rec emit depth = function
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_json s);
+      Buffer.add_char buf '"'
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (depth + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_json k);
+          Buffer.add_string buf "\": ";
+          emit (depth + 1) v)
+        fields;
+      Buffer.add_char buf '\n';
+      pad depth;
+      Buffer.add_char buf '}'
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (depth + 1);
+          emit (depth + 1) v)
+        items;
+      Buffer.add_char buf '\n';
+      pad depth;
+      Buffer.add_char buf ']'
+  in
+  emit 0 root;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- Text --- *)
+
+let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
+
+let text ?(max_per_rule = max_int) (report : Engine.report) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (t : Engine.target) ->
+      let e, w, i = Diagnostic.count t.diagnostics in
+      Buffer.add_string buf
+        (Printf.sprintf "== %s: %s, %s, %s\n" t.title (plural e "error")
+           (plural w "warning") (plural i "info"));
+      let shown : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let suppressed = ref [] in
+      List.iter
+        (fun (d : Diagnostic.t) ->
+          let count =
+            Option.value ~default:0 (Hashtbl.find_opt shown d.rule)
+          in
+          Hashtbl.replace shown d.rule (count + 1);
+          if count < max_per_rule then
+            Buffer.add_string buf
+              (Printf.sprintf "  %-7s %-24s %s: %s%s\n"
+                 (Diagnostic.severity_to_string d.severity)
+                 d.rule
+                 (Diagnostic.location_to_string d.location)
+                 d.message
+                 (match d.fix_hint with
+                 | Some hint -> " (fix: " ^ hint ^ ")"
+                 | None -> ""))
+          else if not (List.mem_assoc d.rule !suppressed) then
+            suppressed := (d.rule, ref 1) :: !suppressed
+          else incr (List.assoc d.rule !suppressed))
+        t.diagnostics;
+      List.iter
+        (fun (rule, n) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  ... %s suppressed\n"
+               (plural !n (rule ^ " finding"))))
+        (List.rev !suppressed))
+    report.targets;
+  Buffer.add_string buf
+    (Printf.sprintf "lint: %s, %s, %s, %s\n"
+       (plural (List.length report.targets) "target")
+       (plural report.errors "error")
+       (plural report.warnings "warning")
+       (plural report.infos "info"));
+  Buffer.contents buf
+
+(* --- JSON --- *)
+
+let location_json = function
+  | Diagnostic.Circuit_loc { circuit; cell; net } ->
+    Obj
+      (("kind", Str "circuit") :: ("circuit", Str circuit)
+      :: List.filter_map
+           (fun (k, v) -> Option.map (fun v -> (k, Str v)) v)
+           [ ("cell", cell); ("net", net) ])
+  | Diagnostic.Model_loc { model; parameter } ->
+    Obj
+      (("kind", Str "model") :: ("model", Str model)
+      ::
+      (match parameter with
+      | Some p -> [ ("parameter", Str p) ]
+      | None -> []))
+
+let diagnostic_json (d : Diagnostic.t) =
+  Obj
+    ([
+       ("rule", Str d.rule);
+       ("severity", Str (Diagnostic.severity_to_string d.severity));
+       ("location", location_json d.location);
+       ("message", Str d.message);
+     ]
+    @ match d.fix_hint with Some h -> [ ("fixHint", Str h) ] | None -> [])
+
+let json (report : Engine.report) =
+  to_string
+    (Obj
+       [
+         ( "targets",
+           Arr
+             (List.map
+                (fun (t : Engine.target) ->
+                  Obj
+                    [
+                      ("title", Str t.title);
+                      ("diagnostics", Arr (List.map diagnostic_json t.diagnostics));
+                    ])
+                report.targets) );
+         ( "summary",
+           Obj
+             [
+               ("errors", Int report.errors);
+               ("warnings", Int report.warnings);
+               ("infos", Int report.infos);
+               ("exitCode", Int (Engine.exit_code report));
+             ] );
+       ])
+
+(* --- SARIF 2.1.0 --- *)
+
+let sarif_level = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let sarif_rule (m : Rule.meta) =
+  Obj
+    [
+      ("id", Str m.id);
+      ("name", Str m.title);
+      ("shortDescription", Obj [ ("text", Str m.title) ]);
+      ("fullDescription", Obj [ ("text", Str m.guards) ]);
+      ("defaultConfiguration", Obj [ ("level", Str (sarif_level m.severity)) ]);
+    ]
+
+let rule_index id =
+  let rec go i = function
+    | [] -> -1
+    | (m : Rule.meta) :: rest -> if m.id = id then i else go (i + 1) rest
+  in
+  go 0 Rule.all
+
+let sarif_result (d : Diagnostic.t) =
+  Obj
+    ([
+       ("ruleId", Str d.rule);
+       ("ruleIndex", Int (rule_index d.rule));
+       ("level", Str (sarif_level d.severity));
+       ("message", Obj [ ("text", Str d.message) ]);
+       ( "locations",
+         Arr
+           [
+             Obj
+               [
+                 ( "logicalLocations",
+                   Arr
+                     [
+                       Obj
+                         [
+                           ( "name",
+                             Str
+                               (match d.location with
+                               | Diagnostic.Circuit_loc { circuit; _ } ->
+                                 circuit
+                               | Diagnostic.Model_loc { model; _ } -> model) );
+                           ( "fullyQualifiedName",
+                             Str (Diagnostic.location_to_string d.location) );
+                           ( "kind",
+                             Str
+                               (match d.location with
+                               | Diagnostic.Circuit_loc _ -> "module"
+                               | Diagnostic.Model_loc _ -> "parameter") );
+                         ];
+                     ] );
+               ];
+           ] );
+     ]
+    @
+    match d.fix_hint with
+    | Some h -> [ ("properties", Obj [ ("fixHint", Str h) ]) ]
+    | None -> [])
+
+let sarif ?(run_id = "optpower-lint/catalog") (report : Engine.report) =
+  let results =
+    List.concat_map
+      (fun (t : Engine.target) -> List.map sarif_result t.diagnostics)
+      report.targets
+  in
+  to_string
+    (Obj
+       [
+         ("$schema", Str "https://json.schemastore.org/sarif-2.1.0.json");
+         ("version", Str "2.1.0");
+         ( "runs",
+           Arr
+             [
+               Obj
+                 [
+                   ("automationDetails", Obj [ ("id", Str run_id) ]);
+                   ( "tool",
+                     Obj
+                       [
+                         ( "driver",
+                           Obj
+                             [
+                               ("name", Str "optpower-lint");
+                               ("version", Str "1.0.0");
+                               ( "informationUri",
+                                 Str
+                                   "https://github.com/optpower/optpower" );
+                               ("rules", Arr (List.map sarif_rule Rule.all));
+                             ] );
+                       ] );
+                   ("results", Arr results);
+                 ];
+             ] );
+       ])

@@ -1,0 +1,19 @@
+(** Report renderers: plain text for terminals, a stable JSON encoding for
+    scripting, and SARIF 2.1.0 for code-scanning UIs. All three are pure
+    functions of the report — byte-identical across runs and pool sizes. *)
+
+val text : ?max_per_rule:int -> Engine.report -> string
+(** Per-target sections with one line per diagnostic
+    ([severity rule location: message (hint)]). [max_per_rule] caps the
+    lines printed per (target, rule) pair — remaining findings are
+    summarised as a count (default: unlimited). *)
+
+val json : Engine.report -> string
+(** [{ "targets": [...], "summary": {...} }] with every diagnostic field
+    spelled out. *)
+
+val sarif : ?run_id:string -> Engine.report -> string
+(** SARIF 2.1.0: one run with [automationDetails.id] (default
+    ["optpower-lint/catalog"]), the full {!Rule.all} catalog as
+    [tool.driver.rules] (id, description, default level), and one result
+    per diagnostic with a logical location. *)

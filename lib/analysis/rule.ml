@@ -1,0 +1,79 @@
+type meta = {
+  id : string;
+  title : string;
+  severity : Diagnostic.severity;
+  guards : string;
+}
+
+let rule id severity title guards = { id; title; severity; guards }
+
+let netlist =
+  [
+    rule "net.undriven" Diagnostic.Error "Undriven net"
+      "N and a are extracted from a simulable netlist; a floating input \
+       makes every downstream toggle count undefined";
+    rule "net.comb-cycle" Diagnostic.Error "Combinational cycle"
+      "LD (Eq. 6) is the longest acyclic path; a combinational loop has no \
+       logical depth and the simulator cannot settle";
+    rule "net.dangling-output" Diagnostic.Warning "Dangling cell output"
+      "An unread output still switches: N and a include a cell whose power \
+       a synthesis flow would have swept";
+    rule "net.dead-logic" Diagnostic.Warning "Dead logic"
+      "Cells outside the cone of influence of every primary output burn \
+       dynamic and static power without contributing to the function";
+    rule "net.const-fold" Diagnostic.Warning "Constant-foldable gate"
+      "A gate fed by a tie evaluates (partly) to a constant - wasted \
+       switched capacitance that inflates a*C in Eq. 1";
+    rule "net.duplicate-cell" Diagnostic.Info "Structurally duplicate cell"
+      "Two cells of the same kind reading the same nets compute the same \
+       value; hash-consing one away lowers N at equal function";
+    rule "net.fanout-budget" Diagnostic.Warning "Fanout over budget"
+      "The per-cell average delay model assumes bounded load; a net fanning \
+       out beyond the kind's budget invalidates the LD calibration";
+    rule "net.unused-input" Diagnostic.Warning "Unused primary input"
+      "An input no cell reads suggests a malformed generator - the \
+       activity extraction would silently drive a dead port";
+    rule "net.unbalanced-pipeline" Diagnostic.Warning "Unbalanced stage delays"
+      "Gates whose inputs arrive far apart emit glitches (the paper's \
+       diagonal pipelines): measured a exceeds the zero-delay activity";
+  ]
+
+let model =
+  [
+    rule "model.tech-range" Diagnostic.Error "Technology parameter range"
+      "Io, zeta, C and the nominal point must be positive and ordered \
+       (Vdd_nom > Vth0) for Eqs. 1-6 to be evaluable at all";
+    rule "model.alpha-range" Diagnostic.Error "Alpha-power exponent domain"
+      "alpha in [1, 2] - outside, the Sakurai-Newton drive model (Eq. 2) \
+       has no physical reading and Eq. 7's linearisation breaks";
+    rule "model.slope-range" Diagnostic.Error "Weak-inversion slope domain"
+      "n in [1, 2] - the sub-threshold current (Eq. 1) grows as \
+       exp(-Vth/(n*Ut)); a slope outside the physical band poisons the \
+       optimal Vth of Eq. 9";
+    rule "model.alpha-power-region" Diagnostic.Warning
+      "Optimum outside strong inversion"
+      "Eq. 2 is a strong-inversion fit; an optimal gate overdrive Vdd-Vth \
+       under ~3*n*Ut drifts into moderate inversion where the delay (and \
+       hence chi) is underestimated";
+    rule "model.eq13-domain" Diagnostic.Error "Eq. 13 applicability"
+      "The closed form needs chi*A < 1 and a positive logarithm argument \
+       in Eq. 9; outside, no optimal working point exists at this \
+       frequency";
+    rule "model.sweep-bracket" Diagnostic.Warning "Optimum pinned at bracket"
+      "A numerical optimum on the sweep boundary is a clamp, not a \
+       stationary point - the reported minimum is untrustworthy";
+    rule "model.calibration-range" Diagnostic.Error "Calibration row sanity"
+      "Published rows are inverted back into model inputs; a row with \
+       non-positive N, a, LD or powers would calibrate garbage silently";
+    rule "model.finite" Diagnostic.Error "Non-finite emitted value"
+      "Infinity/NaN sentinels must not escape into tables: every emitted \
+       voltage and power is audited with the shared finite guard";
+    rule "model.newton-divergence" Diagnostic.Error "Newton divergence"
+      "The timing-constraint inversion must converge when cross-checked by \
+       Newton from the closed-form optimum; divergence flags an \
+       ill-conditioned chi";
+  ]
+
+let all = netlist @ model
+
+let find id = List.find (fun m -> m.id = id) all

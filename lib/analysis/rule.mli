@@ -1,0 +1,26 @@
+(** The rule registry — one metadata record per static-analysis rule.
+
+    Rule {e implementations} live in {!Netlist_rules} and {!Model_rules};
+    this module is the single source of truth for ids, titles, default
+    severities and the paper assumption each rule guards, consumed by the
+    SARIF renderer (tool.driver.rules), the documentation table in
+    DESIGN.md and the tests. *)
+
+type meta = {
+  id : string;  (** Stable id, e.g. "net.undriven". *)
+  title : string;  (** One-line human description. *)
+  severity : Diagnostic.severity;  (** Default severity of findings. *)
+  guards : string;  (** The Eq. 13 / model assumption the rule protects. *)
+}
+
+val netlist : meta list
+(** Rules over a {!Netlist.Circuit.t}, in catalog order. *)
+
+val model : meta list
+(** Rules over technologies, calibration rows and optimisation results. *)
+
+val all : meta list
+(** [netlist @ model]. *)
+
+val find : string -> meta
+(** @raise Not_found for an unregistered id. *)

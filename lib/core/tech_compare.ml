@@ -70,12 +70,8 @@ let crossover_frequency ?(f_lo = 1e6) ?(f_hi = 1e9) tech_a tech_b params =
   match bracket defined with
   | None -> None
   | Some (lf0, lf1) ->
-    let finite_diff lf =
-      let d = diff (Float.exp lf) in
-      if Float.is_nan d then 0.0
-      else if d = Float.infinity then 1e30
-      else if d = Float.neg_infinity then -1e30
-      else d
-    in
+    (* The bisection needs finite ordinates; an undefined difference (both
+       flavors infeasible) counts as "no preference" at that frequency. *)
+    let finite_diff lf = Numerics.Finite.clamp ~nan:0.0 (diff (Float.exp lf)) in
     let log_root = Numerics.Rootfind.bisect ~tol:1e-4 ~f:finite_diff lf0 lf1 in
     Some (Float.exp log_root)

@@ -69,6 +69,10 @@ let gate_zeta t = t.zeta_ro /. t.ring_divisor
 let vth_nom_effective t = t.vth0_nom -. (t.eta *. t.vdd_nom)
 let with_ring_divisor ring_divisor t = { t with ring_divisor }
 
+let alpha_valid_range = (1.0, 2.0)
+let slope_valid_range = (1.0, 2.0)
+let strong_inversion_margin t = 3.0 *. n_ut t
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%s: Vdd_nom=%.2f V, Vth0=%.3f V, Io=%.3g A, zeta_ro=%.3g F,@ \

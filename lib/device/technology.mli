@@ -60,4 +60,27 @@ val vth_nom_effective : t -> float
 val with_ring_divisor : float -> t -> t
 (** Functional update of the calibrated ring divisor. *)
 
+(** {1 Model validity ranges}
+
+    The alpha-power law (Eq. 2) and the weak-inversion leakage expression
+    (Eq. 1) are empirical fits with bounded domains; the static-analysis
+    model rules ([Analysis.Model_rules]) gate every technology and every
+    optimisation result on these ranges. *)
+
+val alpha_valid_range : float * float
+(** [(1.0, 2.0)] — the velocity-saturation exponent interpolates between
+    fully saturated ([α = 1]) and the long-channel square law ([α = 2]);
+    values outside have no physical reading in the Sakurai-Newton model. *)
+
+val slope_valid_range : float * float
+(** [(1.0, 2.0)] — the weak-inversion slope factor n; 1 is the ideal
+    60 mV/dec limit, real 0.13 µm bulk sits near 1.3–1.5 and anything
+    beyond 2 indicates a broken extraction. *)
+
+val strong_inversion_margin : t -> float
+(** Minimum gate overdrive [Vdd − Vth] (V) for the alpha-power delay fit to
+    remain trustworthy: a few sub-threshold slopes above threshold,
+    [3 · n · Ut]. Below it the device is in moderate/weak inversion where
+    Eq. 2 underestimates delay and the optimum of Eq. 13 drifts. *)
+
 val pp : Format.formatter -> t -> unit

@@ -3,13 +3,27 @@ type problem =
   | Combinational_cycle of Circuit.cell_id list
   | Dangling_output of Circuit.net * string
 
+(* A net is "declared" when the designer named it — a primary input or a
+   marked output (e.g. "a[3]"); every other net carries an auto-generated
+   name, for which the integer handle is the only stable identity. *)
+let net_label circuit n =
+  if Circuit.is_primary_input circuit n then Circuit.net_name circuit n
+  else
+    match List.assoc_opt n (Circuit.primary_outputs circuit) with
+    | Some name -> name
+    | None -> Printf.sprintf "net %d" n
+
+let cell_label circuit id =
+  let cell = Circuit.get_cell circuit id in
+  Printf.sprintf "%s#%d" (Cell.name cell.kind) id
+
 let problem_to_string = function
-  | Undriven_net (n, name) -> Printf.sprintf "undriven net %d (%s)" n name
+  | Undriven_net (_, label) -> Printf.sprintf "undriven net %s" label
   | Combinational_cycle cells ->
     Printf.sprintf "combinational cycle through cells [%s]"
       (String.concat "; " (List.map string_of_int cells))
-  | Dangling_output (n, name) ->
-    Printf.sprintf "dangling cell output %d (%s)" n name
+  | Dangling_output (_, label) ->
+    Printf.sprintf "dangling cell output %s" label
 
 let undriven circuit =
   let driven = Array.make (Circuit.net_count circuit) false in
@@ -25,7 +39,7 @@ let undriven circuit =
         (fun n ->
           if (not driven.(n)) && not (Hashtbl.mem reported n) then begin
             Hashtbl.add reported n ();
-            problems := Undriven_net (n, Circuit.net_name circuit n) :: !problems
+            problems := Undriven_net (n, net_label circuit n) :: !problems
           end)
         cell.inputs)
     circuit;
@@ -82,8 +96,7 @@ let dangling circuit =
       Array.iter
         (fun n ->
           if not read.(n) then
-            problems :=
-              Dangling_output (n, Circuit.net_name circuit n) :: !problems)
+            problems := Dangling_output (n, net_label circuit n) :: !problems)
         cell.outputs)
     circuit;
   List.rev !problems

@@ -2,17 +2,39 @@
 
 type problem =
   | Undriven_net of Circuit.net * string
-      (** A net read by some cell but neither driven nor a primary input. *)
+      (** A net read by some cell but neither driven nor a primary input.
+          The string is the display label ({!net_label}). *)
   | Combinational_cycle of Circuit.cell_id list
       (** Cells forming a cycle that contains no flip-flop. *)
   | Dangling_output of Circuit.net * string
-      (** A cell output with no reader that is not a primary output. *)
+      (** A cell output with no reader that is not a primary output.
+          The string is the display label ({!net_label}). *)
+
+val net_label : Circuit.t -> Circuit.net -> string
+(** Human-facing name of a net: the declared name for primary inputs and
+    marked outputs (e.g. ["a\[3\]"]), ["net <handle>"] for anonymous
+    internal nets (whose auto-generated names are implementation noise). *)
+
+val cell_label : Circuit.t -> Circuit.cell_id -> string
+(** ["<kind>#<id>"], e.g. ["Nand2#12"]. *)
 
 val problem_to_string : problem -> string
 
 val run : Circuit.t -> problem list
 (** All problems found. Dangling outputs are reported but benign (e.g. an
     unused carry); undriven nets and cycles make simulation meaningless. *)
+
+(** {1 Individual passes} — the building blocks [Analysis.Netlist_rules]
+    wraps into structured-diagnostic rules. *)
+
+val undriven : Circuit.t -> problem list
+(** {!Undriven_net} findings only. *)
+
+val cycles : Circuit.t -> problem list
+(** The first {!Combinational_cycle} found, if any. *)
+
+val dangling : Circuit.t -> problem list
+(** {!Dangling_output} findings only. *)
 
 val errors : Circuit.t -> problem list
 (** Only the fatal subset (undriven nets, combinational cycles). *)

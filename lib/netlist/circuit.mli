@@ -26,6 +26,13 @@ val name : t -> string
 val add_input : t -> string -> net
 (** Declare a primary input. *)
 
+val fresh_net : t -> string -> net
+(** Declare a named net with no driver. The builder never needs this —
+    {!add_cell} creates its own output nets — but netlist importers and
+    lint fixtures do: reading a fresh net that is never subsequently
+    driven is the one way to construct the undriven-net defect that
+    {!Check} (and [Analysis.Netlist_rules]) look for. *)
+
 val add_input_bus : t -> string -> int -> net array
 (** [add_input_bus t "a" 16] declares nets a\[0\]..a\[15\] (LSB first). *)
 

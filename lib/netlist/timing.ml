@@ -153,6 +153,27 @@ let path_histogram circuit ~bins =
     arrivals;
   Array.mapi (fun i c -> (width *. float_of_int (i + 1), c)) counts
 
+let input_skew circuit =
+  let report = analyze circuit in
+  let total = ref 0.0 and count = ref 0 in
+  Circuit.iter_cells
+    (fun cell ->
+      if
+        (not (Cell.is_sequential cell.kind)) && Array.length cell.inputs >= 2
+      then begin
+        let lo = ref infinity and hi = ref neg_infinity in
+        Array.iter
+          (fun n ->
+            let a = report.arrivals.(n) in
+            if a < !lo then lo := a;
+            if a > !hi then hi := a)
+          cell.inputs;
+        total := !total +. (!hi -. !lo);
+        incr count
+      end)
+    circuit;
+  if !count = 0 then 0.0 else !total /. float_of_int !count
+
 let slack_spread circuit =
   let arrivals = endpoints_arrivals circuit in
   match arrivals with

@@ -28,3 +28,12 @@ val slack_spread : Circuit.t -> float
 (** (max − median) endpoint arrival over max arrival; 0 when half the
     endpoints are as slow as the critical path (balanced), → 1 when most
     paths are far faster than the worst (unbalanced — glitch-prone). *)
+
+val input_skew : Circuit.t -> float
+(** Mean, over combinational cells with two or more inputs, of the spread
+    (max − min) of the cell's input arrival times, in gate-delay units.
+    A gate whose inputs arrive far apart emits transient glitches that
+    propagate down-cone; normalised by {!logical_depth} this is the
+    glitch-proneness estimator that separates the paper's diagonal
+    pipeline cuts (full-length carry chains inside each stage) from the
+    horizontal ones. 0 for purely sequential fabrics. *)

@@ -1,0 +1,24 @@
+let huge = 1e30
+
+type violation =
+  | Nan
+  | Pos_inf
+  | Neg_inf
+
+let violation x =
+  if Float.is_nan x then Some Nan
+  else if x = Float.infinity then Some Pos_inf
+  else if x = Float.neg_infinity then Some Neg_inf
+  else None
+
+let violation_to_string = function
+  | Nan -> "NaN"
+  | Pos_inf -> "+inf"
+  | Neg_inf -> "-inf"
+
+let clamp ?(nan = 0.0) x =
+  match violation x with
+  | None -> x
+  | Some Nan -> nan
+  | Some Pos_inf -> huge
+  | Some Neg_inf -> -.huge

@@ -1,0 +1,27 @@
+(** Finite-value guards.
+
+    The optimisation and comparison code uses [infinity] as an "infeasible"
+    sentinel inside minimisations, but anything handed to a root finder, a
+    renderer or a report must be finite. This module centralises the clamp
+    previously duplicated as magic [1e30] literals and gives the NaN/Inf
+    audit rule of [Analysis] a single classification to reuse. *)
+
+val huge : float
+(** [1e30] — the finite stand-in for an infinite magnitude. Large enough to
+    dominate any physical power or voltage in this repository, small enough
+    that sums and differences of a few of them stay finite. *)
+
+type violation =
+  | Nan
+  | Pos_inf
+  | Neg_inf
+
+val violation : float -> violation option
+(** [None] for finite values. *)
+
+val violation_to_string : violation -> string
+
+val clamp : ?nan:float -> float -> float
+(** Finite image of a float: [+inf] becomes {!huge}, [-inf] becomes
+    [-.huge], NaN becomes [nan] (default [0.0]); finite values pass
+    through unchanged. *)

@@ -1,4 +1,5 @@
 exception No_bracket of string
+exception Diverged of { last : float; iterations : int; reason : string }
 
 let same_sign a b = (a >= 0.0 && b >= 0.0) || (a <= 0.0 && b <= 0.0)
 
@@ -113,9 +114,14 @@ let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
       if Float.abs fx = 0.0 then x
       else begin
         let dfx = df x in
-        if dfx = 0.0 then failwith "Rootfind.newton: zero derivative";
+        if dfx = 0.0 then
+          raise
+            (Diverged { last = x; iterations = iter; reason = "zero derivative" });
         let x' = x -. (fx /. dfx) in
-        if not (Float.is_finite x') then failwith "Rootfind.newton: diverged";
+        if not (Float.is_finite x') then
+          raise
+            (Diverged
+               { last = x; iterations = iter; reason = "non-finite iterate" });
         if Float.abs (x' -. x) < tol then x' else loop x' (iter + 1)
       end
     end

@@ -7,6 +7,13 @@
 exception No_bracket of string
 (** Raised when the supplied interval does not bracket a sign change. *)
 
+exception Diverged of { last : float; iterations : int; reason : string }
+(** Raised by {!newton} when the iteration cannot continue — a zero
+    derivative or a non-finite iterate. Carries the last good iterate and
+    how many steps were taken, so callers (the model-validity rules of
+    [Analysis]) can report {e where} the scheme died, not just that it
+    did. *)
+
 val bisect :
   ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
 (** [bisect ~f lo hi] finds [x] in [\[lo, hi\]] with [f x = 0] by bisection.
@@ -23,8 +30,9 @@ val brent :
 val newton :
   ?tol:float -> ?max_iter:int ->
   f:(float -> float) -> df:(float -> float) -> float -> float
-(** [newton ~f ~df x0] — Newton-Raphson from [x0]. Diverging steps raise
-    [Failure]. Prefer {!brent} when a bracket is available. *)
+(** [newton ~f ~df x0] — Newton-Raphson from [x0]. A zero derivative or a
+    non-finite step raises {!Diverged}. Prefer {!brent} when a bracket is
+    available. *)
 
 val expand_bracket :
   ?factor:float -> ?max_iter:int ->

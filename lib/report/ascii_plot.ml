@@ -11,7 +11,10 @@ let series ?(marker = '*') ~label points = { label; points; marker }
 let render ?(width = 72) ?(height = 24) ?(log_y = false) ?(x_label = "x")
     ?(y_label = "y") series_list =
   let transform (x, y) =
-    if log_y then if y > 0.0 then Some (x, Float.log10 y) else None
+    if
+      Numerics.Finite.violation x <> None || Numerics.Finite.violation y <> None
+    then None
+    else if log_y then if y > 0.0 then Some (x, Float.log10 y) else None
     else Some (x, y)
   in
   let all_points =

@@ -13,5 +13,6 @@ val render :
   ?x_label:string -> ?y_label:string ->
   series list -> string
 (** Scatter the series on one canvas (default 72×24). [log_y] plots
-    log10 of the ordinates — Figure 1 spans decades. Points with
-    non-positive ordinates are dropped in log mode. *)
+    log10 of the ordinates — Figure 1 spans decades. Non-finite points are
+    always dropped (an infeasible sweep sample must not wipe out the axis
+    scaling); points with non-positive ordinates are dropped in log mode. *)

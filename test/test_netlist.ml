@@ -303,6 +303,53 @@ let test_timing_histogram_and_spread () =
   let spread = Netlist.Timing.slack_spread c in
   Alcotest.(check bool) "spread in (0,1)" true (spread > 0.0 && spread < 1.0)
 
+let test_timing_degenerate_single_gate () =
+  (* One gate, one endpoint: the histogram holds exactly that endpoint in
+     its top bin, the spread is 0 (median = max), and there is no
+     multi-input gate to accumulate skew. *)
+  let c = C.create "t" in
+  let a = C.add_input c "a" in
+  C.mark_output c (C.add_gate c Cell.Inv [| a |]) "y";
+  let hist = Netlist.Timing.path_histogram c ~bins:4 in
+  let total = Array.fold_left (fun acc (_, n) -> acc + n) 0 hist in
+  Alcotest.(check int) "one endpoint" 1 total;
+  Alcotest.(check int) "in the top bin" 1 (snd hist.(3));
+  check_close 1e-9 "spread" 0.0 (Netlist.Timing.slack_spread c);
+  check_close 1e-9 "skew" 0.0 (Netlist.Timing.input_skew c)
+
+let test_timing_degenerate_equal_arrivals () =
+  (* Two identical branches: every endpoint arrives together - balanced. *)
+  let c = C.create "t" in
+  let a = C.add_input c "a" in
+  C.mark_output c (C.add_gate c Cell.Inv [| a |]) "y0";
+  C.mark_output c (C.add_gate c Cell.Inv [| a |]) "y1";
+  check_close 1e-9 "spread" 0.0 (Netlist.Timing.slack_spread c);
+  let xor = C.add_gate c Cell.Xor2 [| a; a |] in
+  C.mark_output c xor "y2";
+  check_close 1e-9 "equal-arrival skew" 0.0 (Netlist.Timing.input_skew c)
+
+let test_timing_degenerate_no_combinational () =
+  (* Input straight into a register: all-zero arrivals on the input side
+     must not divide by zero anywhere. *)
+  let c = C.create "t" in
+  let a = C.add_input c "a" in
+  C.mark_output c (C.add_dff c a) "q";
+  let hist = Netlist.Timing.path_histogram c ~bins:2 in
+  let total = Array.fold_left (fun acc (_, n) -> acc + n) 0 hist in
+  Alcotest.(check int) "dff D plus output" 2 total;
+  let spread = Netlist.Timing.slack_spread c in
+  Alcotest.(check bool) "spread finite" true
+    (Float.is_finite spread && spread >= 0.0 && spread <= 1.0);
+  check_close 1e-9 "skew" 0.0 (Netlist.Timing.input_skew c)
+
+let test_timing_histogram_bad_bins () =
+  let c = C.create "t" in
+  let a = C.add_input c "a" in
+  C.mark_output c (C.add_gate c Cell.Inv [| a |]) "y";
+  Alcotest.check_raises "bins < 1"
+    (Invalid_argument "Timing.path_histogram: bins < 1") (fun () ->
+      ignore (Netlist.Timing.path_histogram c ~bins:0))
+
 (* Stats *)
 
 let test_stats_compute () =
@@ -679,6 +726,14 @@ let () =
           Alcotest.test_case "critical path trace" `Quick test_timing_critical_path_trace;
           Alcotest.test_case "histogram and spread" `Quick
             test_timing_histogram_and_spread;
+          Alcotest.test_case "degenerate: single gate" `Quick
+            test_timing_degenerate_single_gate;
+          Alcotest.test_case "degenerate: equal arrivals" `Quick
+            test_timing_degenerate_equal_arrivals;
+          Alcotest.test_case "degenerate: no combinational" `Quick
+            test_timing_degenerate_no_combinational;
+          Alcotest.test_case "histogram rejects bins < 1" `Quick
+            test_timing_histogram_bad_bins;
         ] );
       ("stats", [ Alcotest.test_case "compute" `Quick test_stats_compute ]);
       ( "placement",

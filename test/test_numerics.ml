@@ -113,6 +113,43 @@ let test_newton_cbrt () =
   in
   check_close 1e-9 "cbrt 27" 3.0 root
 
+let test_newton_diverged_zero_derivative () =
+  (* f has no root and a stationary start: the very first step dies, and
+     the exception carries where and when. *)
+  Alcotest.check_raises "zero derivative"
+    (Numerics.Rootfind.Diverged
+       { last = 0.0; iterations = 0; reason = "zero derivative" })
+    (fun () ->
+      ignore
+        (Numerics.Rootfind.newton
+           ~f:(fun x -> (x *. x) +. 1.0)
+           ~df:(fun x -> 2.0 *. x)
+           0.0))
+
+let test_newton_diverged_non_finite () =
+  (* A huge residual over a tiny slope overflows the step to infinity. *)
+  Alcotest.check_raises "non-finite iterate"
+    (Numerics.Rootfind.Diverged
+       { last = 0.0; iterations = 0; reason = "non-finite iterate" })
+    (fun () ->
+      ignore
+        (Numerics.Rootfind.newton
+           ~f:(fun _ -> 1e300)
+           ~df:(fun _ -> 1e-300)
+           0.0))
+
+let test_finite_guard () =
+  let open Numerics.Finite in
+  Alcotest.(check bool) "finite ok" true (violation 1.0 = None);
+  Alcotest.(check bool) "nan" true (violation Float.nan = Some Nan);
+  Alcotest.(check bool) "+inf" true (violation infinity = Some Pos_inf);
+  Alcotest.(check bool) "-inf" true (violation neg_infinity = Some Neg_inf);
+  check_close 1e-9 "clamp id" 3.5 (clamp 3.5);
+  check_close 1.0 "clamp +inf" huge (clamp infinity);
+  check_close 1.0 "clamp -inf" (-.huge) (clamp neg_infinity);
+  check_close 1e-9 "clamp nan default" 0.0 (clamp Float.nan);
+  check_close 1e-9 "clamp nan custom" 7.0 (clamp ~nan:7.0 Float.nan)
+
 let test_expand_bracket () =
   match Numerics.Rootfind.expand_bracket ~f:(fun x -> x -. 10.0) 0.0 1.0 with
   | Some (lo, hi) ->
@@ -344,6 +381,11 @@ let () =
           Alcotest.test_case "brent linear" `Quick test_brent_linear;
           Alcotest.test_case "no bracket" `Quick test_no_bracket;
           Alcotest.test_case "newton cbrt" `Quick test_newton_cbrt;
+          Alcotest.test_case "newton diverged: zero derivative" `Quick
+            test_newton_diverged_zero_derivative;
+          Alcotest.test_case "newton diverged: non-finite" `Quick
+            test_newton_diverged_non_finite;
+          Alcotest.test_case "finite guard" `Quick test_finite_guard;
           Alcotest.test_case "expand bracket" `Quick test_expand_bracket;
         ]
         @ qsuite [ prop_brent_polynomial_roots ] );
