@@ -13,11 +13,13 @@ open Toolkit
 
 (* Each benchmark carries its own Bechamel quota: the slow whole-table
    regenerations get a handful of long runs instead of burning the default
-   200-iteration budget, the microbenchmarks keep tight statistics. *)
-type bench = { test : Test.t; limit : int; quota : float }
+   200-iteration budget, the microbenchmarks keep tight statistics. The raw
+   body is kept alongside the staged test so one extra instrumented run can
+   snapshot its counters for the JSON metrics block. *)
+type bench = { test : Test.t; limit : int; quota : float; fn : unit -> unit }
 
 let make_bench ?(limit = 200) ?(quota = 0.6) name f =
-  { test = Test.make ~name (Staged.stage f); limit; quota }
+  { test = Test.make ~name (Staged.stage f); limit; quota; fn = f }
 
 (* Whole-artifact regenerations: a few runs each is plenty. *)
 let slow = make_bench ~limit:12 ~quota:1.2
@@ -207,9 +209,23 @@ let run_benchmarks benches =
       List.rev !rows)
     benches
 
-(* Minimal JSON writer: benchmark names are plain ASCII without quotes or
-   backslashes, so escaping is not needed. *)
-let write_json ~path results =
+(* One extra run of each bench body under instrumentation, returning the
+   merged counter values — a deterministic work fingerprint (solver
+   iterations, gate evaluations, pool items) that rides along with the
+   timings in BENCH_RESULTS.json. *)
+let counter_snapshot bench =
+  let name = Test.name bench.test in
+  Obs.set_enabled true;
+  Obs.reset ();
+  bench.fn ();
+  let counters = Obs.counters () in
+  Obs.set_enabled false;
+  Obs.reset ();
+  (name, counters)
+
+(* Minimal JSON writer: benchmark and counter names are plain ASCII without
+   quotes or backslashes, so escaping is not needed. *)
+let write_json ~path ?(metrics = []) results =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"schema\": \"optpower-bench/1\",\n";
   Printf.fprintf oc "  \"jobs\": %d,\n" (Parallel.Pool.default_jobs ());
@@ -221,9 +237,66 @@ let write_json ~path results =
          else Printf.sprintf "%.3f" estimate)
         (if i = List.length results - 1 then "" else ","))
     results;
+  Printf.fprintf oc "  },\n  \"metrics\": {\n";
+  List.iteri
+    (fun i (name, counters) ->
+      Printf.fprintf oc "    %S: { %s }%s\n" name
+        (String.concat ", "
+           (List.map (fun (c, v) -> Printf.sprintf "%S: %d" c v) counters))
+        (if i = List.length metrics - 1 then "" else ","))
+    metrics;
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
   Printf.printf "\nJSON results written to %s\n" path
+
+(* Disabled-instrumentation overhead contract (checked under --smoke): an
+   un-instrumented replica of the solver path vs the real, instrumented
+   [Numerical_opt.optimum] with observability off. The replica inlines
+   [ptot_on_constraint] and the default bracket/sample settings, so the two
+   sides differ only by the instrumentation points. Wall-clock A/B on a
+   shared machine is noisy, so we take the best of several attempts — the
+   contract is about the code, not the scheduler. *)
+let baseline_optimum problem =
+  let f vdd =
+    if vdd <= 0.0 then infinity
+    else begin
+      let b = Power_core.Power_law.at problem ~vdd in
+      if Float.is_finite b.total then b.total else infinity
+    end
+  in
+  let r = Numerics.Minimize.grid_then_golden ~samples:256 ~tol:1e-9 ~f 0.05 3.0 in
+  Power_core.Power_law.at problem ~vdd:r.x
+
+let overhead_check () =
+  let reps = 120 and attempts = 5 and budget = 1.02 in
+  let measure f =
+    for _ = 1 to 20 do
+      ignore (f calibrated_problem)
+    done;
+    let t0 = Obs.now_ns () in
+    for _ = 1 to reps do
+      ignore (f calibrated_problem)
+    done;
+    (Obs.now_ns () -. t0) /. float_of_int reps
+  in
+  let ratio =
+    List.fold_left
+      (fun best _ ->
+        let base = measure baseline_optimum in
+        let inst = measure Power_core.Numerical_opt.optimum in
+        Float.min best (inst /. base))
+      infinity
+      (List.init attempts Fun.id)
+  in
+  Printf.printf
+    "\ndisabled-instrumentation overhead: best instrumented/baseline ratio \
+     %.4f over %d attempts (budget %.2f)\n"
+    ratio attempts budget;
+  if ratio > budget then begin
+    print_endline "FAIL: disabled instrumentation exceeds the 2% contract";
+    exit 1
+  end
+  else print_endline "OK: within the overhead contract"
 
 let print_tables () =
   print_endline
@@ -261,11 +334,16 @@ let () =
       { bench_fig2 with limit = 20; quota = 0.1 }
     in
     let results = run_benchmarks [ smoke_bench ] in
-    if !json then write_json ~path:!out results
+    if !json then
+      write_json ~path:!out ~metrics:[ counter_snapshot smoke_bench ] results;
+    overhead_check ()
   end
   else begin
     if !tables then print_tables ();
     print_endline "=== Timings (Bechamel) ===\n";
     let results = run_benchmarks benchmarks in
-    if !json then write_json ~path:!out results
+    if !json then
+      write_json ~path:!out
+        ~metrics:(List.map counter_snapshot benchmarks)
+        results
   end

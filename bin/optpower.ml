@@ -29,9 +29,49 @@ let jobs_arg =
 
 let set_jobs jobs = Option.iter Parallel.Pool.set_default_jobs jobs
 
+(* Observability flags shared by the subcommands: --trace FILE records the
+   run and writes a Chrome trace_event JSON, --metrics prints the span /
+   counter / histogram report after the normal output. *)
+
+let trace_path_arg =
+  let doc =
+    "Record the run and write a Chrome trace_event JSON to $(docv) \
+     (load it in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Record the run and print the observability report (span profile tree, \
+     counters, histograms) after the normal output."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let obs_arg = Term.(const (fun t m -> (t, m)) $ trace_path_arg $ metrics_arg)
+
+let with_obs (trace, metrics) f =
+  let active = trace <> None || metrics in
+  if active then begin
+    Obs.set_enabled true;
+    Obs.reset ()
+  end;
+  Fun.protect f ~finally:(fun () ->
+      if active then begin
+        if metrics then begin
+          print_newline ();
+          print (Obs.Report.profile ())
+        end;
+        Option.iter
+          (fun path ->
+            Obs.Report.write_chrome_trace ~path ();
+            Printf.printf "Chrome trace written to %s\n" path)
+          trace
+      end)
+
 let table1_cmd =
-  let run jobs csv =
+  let run jobs obs csv =
     set_jobs jobs;
+    with_obs obs @@ fun () ->
     let rows = Report.Experiments.table1 () in
     print (Report.Experiments.render_table1 rows);
     Option.iter
@@ -64,14 +104,16 @@ let table1_cmd =
       csv
   in
   let doc = "Reproduce Table 1 (13 multipliers at their optimal point, LL)." in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ jobs_arg $ csv_path_arg)
+  Cmd.v (Cmd.info "table1" ~doc)
+    Term.(const run $ jobs_arg $ obs_arg $ csv_path_arg)
 
 let wallace_cmd name which doc =
-  let run jobs =
+  let run jobs obs =
     set_jobs jobs;
+    with_obs obs @@ fun () ->
     print (Report.Experiments.render_wallace (Report.Experiments.table_wallace which))
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ jobs_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ jobs_arg $ obs_arg)
 
 let table2_cmd =
   let run () = print (Report.Experiments.render_table2 (Report.Experiments.table2 ())) in
@@ -86,12 +128,13 @@ let fig1_cmd =
     let doc = "Comma-separated activity values for the curves." in
     Arg.(value & opt (some (list float)) None & info [ "activities" ] ~doc)
   in
-  let run jobs activities =
+  let run jobs obs activities =
     set_jobs jobs;
+    with_obs obs @@ fun () ->
     print (Report.Experiments.render_figure1 (Report.Experiments.figure1 ?activities ()))
   in
   let doc = "Reproduce Figure 1 (Ptot vs Vdd at several activities)." in
-  Cmd.v (Cmd.info "fig1" ~doc) Term.(const run $ jobs_arg $ activities)
+  Cmd.v (Cmd.info "fig1" ~doc) Term.(const run $ jobs_arg $ obs_arg $ activities)
 
 let fig2_cmd =
   let alpha =
@@ -127,15 +170,16 @@ let scratch_cmd =
   let cycles =
     Arg.(value & opt int 160 & info [ "cycles" ] ~doc:"Simulated data cycles.")
   in
-  let run jobs cycles =
+  let run jobs obs cycles =
     set_jobs jobs;
+    with_obs obs @@ fun () ->
     print (Report.Experiments.render_scratch (Report.Experiments.scratch ~cycles ()))
   in
   let doc =
     "From-scratch run: generate all thirteen netlists, simulate activity, \
      extract parameters and optimise (no published numbers used)."
   in
-  Cmd.v (Cmd.info "scratch" ~doc) Term.(const run $ jobs_arg $ cycles)
+  Cmd.v (Cmd.info "scratch" ~doc) Term.(const run $ jobs_arg $ obs_arg $ cycles)
 
 let sweep_cmd =
   let label =
@@ -143,7 +187,8 @@ let sweep_cmd =
       value & opt string "RCA"
       & info [ "arch" ] ~doc:"Table 1 architecture label.")
   in
-  let run label =
+  let run obs label =
+    with_obs obs @@ fun () ->
     let tech = Device.Technology.ll in
     let f = Power_core.Paper_data.frequency in
     let row = Power_core.Paper_data.table1_find label in
@@ -161,7 +206,7 @@ let sweep_cmd =
       points
   in
   let doc = "Print the Ptot(Vdd) locus for one architecture." in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ label)
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ obs_arg $ label)
 
 let ablate_cmd =
   let which =
@@ -324,8 +369,9 @@ let explore_cmd =
   let cycles =
     Arg.(value & opt int 100 & info [ "cycles" ] ~doc:"Simulated data cycles.")
   in
-  let run jobs cycles =
+  let run jobs obs cycles =
     set_jobs jobs;
+    with_obs obs @@ fun () ->
     print
       (Report.Studies.render_exploration ~cycles
          ~f:Power_core.Paper_data.frequency ())
@@ -334,7 +380,7 @@ let explore_cmd =
     "Design-space exploration: all 17 architectures on all three flavors, \
      from scratch."
   in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ jobs_arg $ cycles)
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ jobs_arg $ obs_arg $ cycles)
 
 let export_cmd =
   let arch =
@@ -496,8 +542,9 @@ let variation_cmd =
   let samples =
     Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Monte Carlo dies.")
   in
-  let run jobs label samples =
+  let run jobs obs label samples =
     set_jobs jobs;
+    with_obs obs @@ fun () ->
     let row = Power_core.Paper_data.table1_find label in
     let problem =
       Power_core.Calibration.problem_of_row Device.Technology.ll
@@ -509,7 +556,8 @@ let variation_cmd =
          (Power_core.Variation.monte_carlo ~samples ~rng problem))
   in
   let doc = "Process-variation Monte Carlo on the optimal working point." in
-  Cmd.v (Cmd.info "variation" ~doc) Term.(const run $ jobs_arg $ arch $ samples)
+  Cmd.v (Cmd.info "variation" ~doc)
+    Term.(const run $ jobs_arg $ obs_arg $ arch $ samples)
 
 let thermal_cmd =
   let arch =
@@ -569,14 +617,18 @@ let lint_cmd =
     in
     Arg.(value & opt int 8 & info [ "max-per-rule" ] ~docv:"N" ~doc)
   in
-  let run jobs format max_per_rule =
+  let run jobs obs format max_per_rule =
     set_jobs jobs;
-    let report = Analysis.Engine.run () in
-    (match format with
-    | `Text -> print (Analysis.Render.text ~max_per_rule report)
-    | `Json -> print (Analysis.Render.json report)
-    | `Sarif -> print (Analysis.Render.sarif report));
-    exit (Analysis.Engine.exit_code report)
+    let code =
+      with_obs obs @@ fun () ->
+      let report = Analysis.Engine.run () in
+      (match format with
+      | `Text -> print (Analysis.Render.text ~max_per_rule report)
+      | `Json -> print (Analysis.Render.json report)
+      | `Sarif -> print (Analysis.Render.sarif report));
+      Analysis.Engine.exit_code report
+    in
+    exit code
   in
   let doc =
     "Static analysis: netlist lint over the 13-multiplier catalog plus \
@@ -584,11 +636,12 @@ let lint_cmd =
      Exit code 0 when clean, 1 with warnings, 2 with errors."
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const run $ jobs_arg $ format $ max_per_rule)
+    Term.(const run $ jobs_arg $ obs_arg $ format $ max_per_rule)
 
 let all_cmd =
-  let run jobs =
+  let run jobs obs =
     set_jobs jobs;
+    with_obs obs @@ fun () ->
     print (Report.Experiments.render_figure2 (Report.Experiments.figure2 ()));
     print_newline ();
     print (Report.Experiments.render_figure1 (Report.Experiments.figure1 ()));
@@ -600,7 +653,84 @@ let all_cmd =
     print (Report.Experiments.render_wallace (Report.Experiments.table_wallace `Hs))
   in
   let doc = "Reproduce every calibrated table and figure in one run." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg $ obs_arg)
+
+let profile_cmd =
+  let which_arg =
+    let doc =
+      "Workload to profile: $(b,table1), $(b,fig1), $(b,mc), $(b,lint) or \
+       $(b,scratch)."
+    in
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("table1", `Table1); ("fig1", `Fig1); ("mc", `Mc);
+                  ("lint", `Lint); ("scratch", `Scratch);
+                ]))
+          None
+      & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let normalize_arg =
+    let doc =
+      "Print the scheduling-independent profile: span call counts only (no \
+       wall times), scheduler and cache entries hidden. Byte-identical at \
+       any $(b,--jobs) value."
+    in
+    Arg.(value & flag & info [ "normalize" ] ~doc)
+  in
+  let run jobs normalize trace which =
+    set_jobs jobs;
+    Obs.set_enabled true;
+    Obs.reset ();
+    let name, work =
+      match which with
+      | `Table1 ->
+          ("profile.table1", fun () -> ignore (Report.Experiments.table1 ()))
+      | `Fig1 ->
+          ("profile.fig1", fun () -> ignore (Report.Experiments.figure1 ()))
+      | `Mc ->
+          ( "profile.mc",
+            fun () ->
+              let row = Power_core.Paper_data.table1_find "Wallace" in
+              let problem =
+                Power_core.Calibration.problem_of_row Device.Technology.ll
+                  ~f:Power_core.Paper_data.frequency row
+              in
+              let rng = Numerics.Rng.create 2006 in
+              ignore (Power_core.Variation.monte_carlo ~samples:120 ~rng problem)
+          )
+      | `Lint -> ("profile.lint", fun () -> ignore (Analysis.Engine.run ()))
+      | `Scratch ->
+          ( "profile.scratch",
+            fun () -> ignore (Report.Experiments.scratch ~cycles:40 ()) )
+    in
+    let t0 = Obs.now_ns () in
+    Obs.Span.with_ ~name work;
+    let wall_ns = Obs.now_ns () -. t0 in
+    print (Obs.Report.profile ~normalize ());
+    if not normalize then begin
+      let spans_ns = Obs.Report.root_total_ns () in
+      Printf.printf
+        "\nwall-clock %.1f ms, instrumented root spans %.1f ms (%.1f%%)\n"
+        (wall_ns /. 1e6) (spans_ns /. 1e6)
+        (100.0 *. spans_ns /. wall_ns)
+    end;
+    Option.iter
+      (fun path ->
+        Obs.Report.write_chrome_trace ~path ();
+        Printf.printf "Chrome trace written to %s\n" path)
+      trace
+  in
+  let doc =
+    "Run one representative workload under full instrumentation and print \
+     the span profile tree, counters and histograms. With $(b,--trace) the \
+     run is also written as Chrome trace_event JSON."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ jobs_arg $ normalize_arg $ trace_path_arg $ which_arg)
 
 let main =
   let doc =
@@ -633,6 +763,7 @@ let main =
       variation_cmd;
       thermal_cmd;
       lint_cmd;
+      profile_cmd;
       all_cmd;
     ]
 

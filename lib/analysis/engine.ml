@@ -10,6 +10,9 @@ type report = {
   infos : int;
 }
 
+let c_targets = Obs.Counter.make "lint.targets"
+let c_diags = Obs.Counter.make "lint.diags"
+
 let of_targets targets =
   let errors, warnings, infos =
     List.fold_left
@@ -31,22 +34,28 @@ let netlist_targets ?config ?labels () =
      physically-shared read-only specs. *)
   Parallel.Pool.map
     (fun label ->
+      Obs.Span.with_ ~name:"lint.netlist" ~attrs:[ ("target", label) ]
+      @@ fun () ->
       let spec = Multipliers.Catalog.build label in
-      {
-        title = "netlist " ^ label;
-        diagnostics = Netlist_rules.run ?config spec.Multipliers.Spec.circuit;
-      })
+      let diagnostics = Netlist_rules.run ?config spec.Multipliers.Spec.circuit in
+      Obs.Counter.incr c_targets;
+      Obs.Counter.add c_diags (List.length diagnostics);
+      { title = "netlist " ^ label; diagnostics })
     labels
 
 let model_targets ?(tech = Device.Technology.ll) () =
   let technologies =
     List.map
       (fun t ->
-        {
-          title = "technology " ^ Device.Technology.name t;
-          diagnostics =
-            List.stable_sort Diagnostic.compare (Model_rules.technology t);
-        })
+        Obs.Span.with_ ~name:"lint.technology"
+          ~attrs:[ ("target", Device.Technology.name t) ]
+        @@ fun () ->
+        let diagnostics =
+          List.stable_sort Diagnostic.compare (Model_rules.technology t)
+        in
+        Obs.Counter.incr c_targets;
+        Obs.Counter.add c_diags (List.length diagnostics);
+        { title = "technology " ^ Device.Technology.name t; diagnostics })
       Device.Technology.all
   in
   let f = Power_core.Paper_data.frequency in
@@ -54,20 +63,24 @@ let model_targets ?(tech = Device.Technology.ll) () =
     Parallel.Pool.map
       (fun (row : Power_core.Paper_data.table1_row) ->
         let label = Device.Technology.name tech ^ "/" ^ row.label in
+        Obs.Span.with_ ~name:"lint.model" ~attrs:[ ("target", label) ]
+        @@ fun () ->
         let problem = Power_core.Calibration.problem_of_row tech ~f row in
-        {
-          title = "model " ^ label;
-          diagnostics =
-            List.stable_sort Diagnostic.compare
-              (Model_rules.calibration_row row
-              @ Model_rules.optimisation ~label problem);
-        })
+        let diagnostics =
+          List.stable_sort Diagnostic.compare
+            (Model_rules.calibration_row row
+            @ Model_rules.optimisation ~label problem)
+        in
+        Obs.Counter.incr c_targets;
+        Obs.Counter.add c_diags (List.length diagnostics);
+        { title = "model " ^ label; diagnostics })
       Power_core.Paper_data.table1
   in
   technologies @ rows
 
 let run ?config () =
-  of_targets (netlist_targets ?config () @ model_targets ())
+  Obs.Span.with_ ~name:"lint.run" (fun () ->
+      of_targets (netlist_targets ?config () @ model_targets ()))
 
 let exit_code report =
   if report.errors > 0 then 2 else if report.warnings > 0 then 1 else 0

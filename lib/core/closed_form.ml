@@ -9,7 +9,11 @@ type result = {
 
 exception Infeasible of string
 
+let c_evals = Obs.Counter.make "eq13.evals"
+let c_infeasible = Obs.Counter.make "eq13.infeasible"
+
 let evaluate ?lin (t : Power_law.problem) =
+  Obs.Counter.incr c_evals;
   let tech = t.tech and p = t.params in
   let lin =
     match lin with
@@ -19,22 +23,25 @@ let evaluate ?lin (t : Power_law.problem) =
   let n_ut = Device.Technology.n_ut tech in
   let chi = Power_law.chi_linear t in
   let one_minus_chi_a = 1.0 -. (chi *. lin.a) in
+  let infeasible msg =
+    Obs.Counter.incr c_infeasible;
+    raise (Infeasible msg)
+  in
   if one_minus_chi_a <= 0.0 then
-    raise
-      (Infeasible
-         (Printf.sprintf
-            "%s: chi*A = %.3f >= 1 — architecture too slow for f=%.3g Hz"
-            p.Arch_params.label (chi *. lin.a) t.f));
+    infeasible
+      (Printf.sprintf
+         "%s: chi*A = %.3f >= 1 — architecture too slow for f=%.3g Hz"
+         p.Arch_params.label (chi *. lin.a) t.f);
   let a_c_f = p.activity *. p.avg_cap *. t.f in
   let log_arg = p.io_cell *. one_minus_chi_a /. (2.0 *. a_c_f *. n_ut) in
   if log_arg <= 0.0 || not (Float.is_finite log_arg) then
-    raise (Infeasible (p.Arch_params.label ^ ": Eq. 9 logarithm undefined"));
+    infeasible (p.Arch_params.label ^ ": Eq. 9 logarithm undefined");
   (* Eq. 9 rearranged: optimal effective threshold. *)
   let vth_opt = n_ut *. Float.log log_arg in
   (* Eq. 10. *)
   let vdd_opt = (vth_opt +. (chi *. lin.b)) /. one_minus_chi_a in
   if vdd_opt <= 0.0 then
-    raise (Infeasible (p.Arch_params.label ^ ": non-positive optimal Vdd"));
+    infeasible (p.Arch_params.label ^ ": non-positive optimal Vdd");
   (* Eq. 11: exact total power expression at the optimum. *)
   let ptot_eq11 =
     a_c_f *. p.n_cells *. vdd_opt

@@ -1,5 +1,15 @@
 type point = Power_law.breakdown
 
+(* Counter catalog of the solver: one [opt.solve] span per (Vdd, Vth)
+   optimisation, golden-section iterations and grid probes as counters.
+   All are deterministic for a given problem, so they survive into
+   normalized profiles. *)
+let c_solves = Obs.Counter.make "opt.solves"
+let c_golden_iters = Obs.Counter.make "opt.golden_iters"
+let c_grid_evals = Obs.Counter.make "opt.grid_evals"
+let c_sweep_points = Obs.Counter.make "opt.sweep_points"
+let c_grid2_solves = Obs.Counter.make "opt.grid2_solves"
+
 let ptot_on_constraint problem vdd =
   if vdd <= 0.0 then infinity
   else begin
@@ -8,11 +18,15 @@ let ptot_on_constraint problem vdd =
   end
 
 let optimum ?(vdd_lo = 0.05) ?(vdd_hi = 3.0) ?(samples = 256) problem =
-  let r =
-    Numerics.Minimize.grid_then_golden ~samples ~tol:1e-9
-      ~f:(ptot_on_constraint problem) vdd_lo vdd_hi
-  in
-  Power_law.at problem ~vdd:r.x
+  Obs.Span.with_ ~name:"opt.solve" (fun () ->
+      let r =
+        Numerics.Minimize.grid_then_golden ~samples ~tol:1e-9
+          ~f:(ptot_on_constraint problem) vdd_lo vdd_hi
+      in
+      Obs.Counter.incr c_solves;
+      Obs.Counter.add c_golden_iters r.iterations;
+      Obs.Counter.add c_grid_evals samples;
+      Power_law.at problem ~vdd:r.x)
 
 let optimum_grid2 ?(vdd_range = (0.05, 2.0)) ?(vth_range = (-0.2, 0.8))
     ?(samples = 400) problem =
@@ -23,9 +37,11 @@ let optimum_grid2 ?(vdd_range = (0.05, 2.0)) ?(vth_range = (-0.2, 0.8))
     else (Power_law.at_free problem ~vdd ~vth).total
   in
   let r =
-    Numerics.Minimize.grid2 ~f:cost ~x0_range:(vdd_lo, vdd_hi)
-      ~x1_range:(vth_lo, vth_hi) ~samples
+    Obs.Span.with_ ~name:"opt.grid2" (fun () ->
+        Numerics.Minimize.grid2 ~f:cost ~x0_range:(vdd_lo, vdd_hi)
+          ~x1_range:(vth_lo, vth_hi) ~samples)
   in
+  Obs.Counter.incr c_grid2_solves;
   Power_law.at_free problem ~vdd:r.x0 ~vth:r.x1
 
 let sweep_vdd ?(samples = 200) ~vdd_lo ~vdd_hi problem =
@@ -33,11 +49,13 @@ let sweep_vdd ?(samples = 200) ~vdd_lo ~vdd_hi problem =
   let step = (vdd_hi -. vdd_lo) /. float_of_int (samples - 1) in
   (* Points are independent evaluations on a fixed grid — mapped through
      the domain pool; each slot's Vdd depends only on its index. *)
-  Parallel.Pool.map
-    (fun i ->
-      let vdd = vdd_lo +. (float_of_int i *. step) in
-      Power_law.at problem ~vdd)
-    (List.init samples Fun.id)
+  Obs.Span.with_ ~name:"opt.sweep" (fun () ->
+      Parallel.Pool.map
+        (fun i ->
+          Obs.Counter.incr c_sweep_points;
+          let vdd = vdd_lo +. (float_of_int i *. step) in
+          Power_law.at problem ~vdd)
+        (List.init samples Fun.id))
 
 let dyn_static_ratio (p : point) =
   if p.static = 0.0 then infinity else p.dynamic /. p.static

@@ -7,6 +7,8 @@ type row = {
 
 let run_spec ?(seed = 7) ?(cycles = 160) ?(wire_caps = true)
     (tech : Device.Technology.t) ~f (spec : Multipliers.Spec.t) =
+  Obs.Span.with_ ~name:"scratch.spec" ~attrs:[ ("arch", spec.name) ]
+  @@ fun () ->
   let stats = Multipliers.Spec.stats spec in
   let avg_cap =
     if wire_caps then begin

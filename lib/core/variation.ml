@@ -24,6 +24,8 @@ type result = {
   vdd_stats : Numerics.Stats.summary;
 }
 
+let c_samples = Obs.Counter.make "mc.samples"
+
 let draw_sample spread rng (problem : Power_law.problem) =
   let leak_factor =
     Float.exp (Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:spread.sigma_leak)
@@ -57,15 +59,23 @@ let draw_sample spread rng (problem : Power_law.problem) =
 
 let monte_carlo ?(spread = default_spread) ?(samples = 200) ~rng problem =
   if samples < 2 then invalid_arg "Variation.monte_carlo: samples < 2";
+  Obs.Span.with_ ~name:"mc.run" (fun () ->
   let nominal = Numerical_opt.optimum problem in
   (* Each die draws from its own stream, split sequentially from the
      caller's generator before any parallel work starts. The stream a die
      sees therefore depends only on its index and the caller's seed — never
      on how the pool schedules the re-optimisations — so the result is
-     bitwise-identical at any pool size. *)
+     bitwise-identical at any pool size. Tracing never touches the streams:
+     spans and counters only observe, so enabling Obs cannot change a
+     single drawn bit. *)
   let streams = List.init samples (fun _ -> Numerics.Rng.split rng) in
   let draws =
-    Parallel.Pool.map (fun stream -> draw_sample spread stream problem) streams
+    Parallel.Pool.map
+      (fun stream ->
+        Obs.Span.with_ ~name:"mc.sample" (fun () ->
+            Obs.Counter.incr c_samples;
+            draw_sample spread stream problem))
+      streams
   in
   let ptots = List.map (fun s -> s.optimum.Power_law.total) draws in
   let vdds = List.map (fun s -> s.optimum.Power_law.vdd) draws in
@@ -75,7 +85,7 @@ let monte_carlo ?(spread = default_spread) ?(samples = 200) ~rng problem =
     ptot_stats = Numerics.Stats.summarize ptots;
     ptot_p95 = Numerics.Stats.percentile ptots 95.0;
     vdd_stats = Numerics.Stats.summarize vdds;
-  }
+  })
 
 let vth_absorption problem ~dvth0 =
   (* A rigid Vth0 shift moves every feasible couple by the same amount in

@@ -30,7 +30,7 @@ let fit_uncached ~lo ~hi ~samples ~alpha =
    memoised. Invalid arguments raise on every call (errors are not
    cached). *)
 let fit_cache =
-  Parallel.Memo.create (fun (lo, hi, samples, alpha) ->
+  Parallel.Memo.create ~name:"linfit" (fun (lo, hi, samples, alpha) ->
       fit_uncached ~lo ~hi ~samples ~alpha)
 
 let fit ?(lo = default_lo) ?(hi = default_hi) ?(samples = 201) ~alpha () =

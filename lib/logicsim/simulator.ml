@@ -4,6 +4,13 @@ module Logic = Netlist.Logic
 
 type event = { net : C.net; target : Logic.value; serial : int }
 
+(* Flushed once per [settle] from per-call deltas, so the event loop itself
+   carries no instrumentation at all and the disabled cost is a single
+   branch per settle. *)
+let c_events = Obs.Counter.make "sim.events"
+let c_gate_evals = Obs.Counter.make "sim.gate_evals"
+let c_settles = Obs.Counter.make "sim.settles"
+
 type t = {
   circuit : C.t;
   fanout : (C.cell_id * int) list array;
@@ -15,6 +22,7 @@ type t = {
   mutable time : float;
   mutable committed : int;
   mutable total : int;
+  mutable evals : int;  (* gate evaluations, like [committed] for events *)
 }
 
 let circuit t = t.circuit
@@ -48,6 +56,7 @@ let schedule t ~time net target =
   end
 
 let evaluate_cell t ~time (cell : C.cell) =
+  t.evals <- t.evals + 1;
   let inputs = Array.map (fun n -> t.values.(n)) cell.inputs in
   let outputs = Cell.eval cell.kind inputs in
   Array.iteri
@@ -79,6 +88,7 @@ let commit t ~time event =
     t.fanout.(event.net)
 
 let settle ?(event_limit = 10_000_000) t =
+  let committed0 = t.committed and evals0 = t.evals in
   let processed = ref 0 in
   let rec loop () =
     match Event_queue.pop t.queue with
@@ -94,7 +104,12 @@ let settle ?(event_limit = 10_000_000) t =
       end;
       loop ()
   in
-  loop ()
+  loop ();
+  if Obs.enabled () then begin
+    Obs.Counter.incr c_settles;
+    Obs.Counter.add c_events (t.committed - committed0);
+    Obs.Counter.add c_gate_evals (t.evals - evals0)
+  end
 
 let set_input t net v =
   if not (C.is_primary_input t.circuit net) then
@@ -129,6 +144,7 @@ let create circuit =
       time = 0.0;
       committed = 0;
       total = 0;
+      evals = 0;
     }
   in
   (* Power-up: ties drive their constants, flip-flops take their init

@@ -95,7 +95,7 @@ let raw_extensions =
    only builds at [default_bits], so width-parametric entries can join
    later without a key change. *)
 let build_cache : (string * int, Spec.t) Parallel.Memo.t =
-  Parallel.Memo.create (fun (label, _bits) ->
+  Parallel.Memo.create ~name:"catalog" (fun (label, _bits) ->
       match
         List.find_opt
           (fun (e : entry) -> e.label = label)

@@ -47,6 +47,8 @@ type measured = {
 }
 
 let measure_activity ?(seed = 7) ?(cycles = 160) (spec : Spec.t) =
+  Obs.Span.with_ ~name:"sim.activity" ~attrs:[ ("arch", spec.name) ]
+  @@ fun () ->
   let sim = fresh_simulator spec in
   let rng = Numerics.Rng.create seed in
   let drive =

@@ -1,0 +1,123 @@
+(** Zero-dependency observability: spans, counters, histograms.
+
+    The subsystem is disabled by default and is designed so that every
+    instrumentation point in a hot path costs exactly one predictable
+    branch while disabled (a single [Atomic.get] plus a conditional jump;
+    no allocation, no locking). When enabled, events are recorded into
+    {e per-domain} buffers — recording never takes a lock, so instrumented
+    code running on pool workers does not serialise. Buffers merge
+    deterministically at report time.
+
+    {b Determinism.} Counter merging sums integers across domains, which is
+    order-independent; span trees aggregate by {e name path}, which is
+    scheduling-independent as long as span contexts are propagated across
+    domain boundaries (see {!Span.current} / {!Span.with_ctx} — the pool
+    does this automatically). Every span and counter carries a category:
+    events in categories ["sched"] (pool scheduling) and ["cache"] (memo
+    hit/miss, which can depend on warm-up order) are excluded from
+    {e normalized} reports, making the normalized profile byte-identical at
+    any pool size. Durations are wall-clock and therefore only appear in
+    non-normalized reports.
+
+    Recording and reporting must not overlap: call {!reset} / the report
+    functions only while no instrumented work is in flight. *)
+
+val set_enabled : bool -> unit
+(** Globally switch recording on or off. Off by default. *)
+
+val enabled : unit -> bool
+(** One atomic load; this is the branch every disabled hot path pays. *)
+
+val now_ns : unit -> float
+(** Wall-clock timestamp in nanoseconds (microsecond resolution). *)
+
+val reset : unit -> unit
+(** Drop every recorded span, counter and histogram value in every domain
+    and restart the trace epoch. Registered metric names survive. *)
+
+module Span : sig
+  type ctx
+  (** The current stack of open span names in one domain. Capture it with
+      {!current} before handing work to another domain and install it there
+      with {!with_ctx}: the receiving domain's spans then aggregate under
+      the same path as if they had run on the caller. *)
+
+  val with_ : ?cat:string -> ?attrs:(string * string) list -> name:string ->
+    (unit -> 'a) -> 'a
+  (** [with_ ~name f] runs [f], recording a span named [name] nested under
+      the enclosing spans of the current domain. The span is recorded even
+      if [f] raises. Disabled cost: one branch. *)
+
+  val with_detached : ?cat:string -> ?attrs:(string * string) list ->
+    name:string -> (unit -> 'a) -> 'a
+  (** Like {!with_} but the span is recorded at the root and does {e not}
+      appear in the context of spans opened inside [f] — used for
+      scheduling artefacts (pool tasks) that must not perturb the logical
+      tree. *)
+
+  val current : unit -> ctx
+  (** The calling domain's open-span context ([empty] while disabled). *)
+
+  val empty : ctx
+
+  val with_ctx : ctx -> (unit -> 'a) -> 'a
+  (** Run a thunk under a context captured on another domain. *)
+end
+
+module Counter : sig
+  type t
+
+  val make : ?cat:string -> string -> t
+  (** Declare a monotonic counter. Handles are cheap and are meant to be
+      created once at module initialisation. Re-declaring a name returns a
+      handle to the same counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+end
+
+module Hist : sig
+  type t
+
+  val make : ?cat:string -> string -> t
+  (** Declare a histogram (count / sum / min / max summary). *)
+
+  val observe : t -> float -> unit
+end
+
+type hist_summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+val counters : ?normalize:bool -> unit -> (string * int) list
+(** Merged counter values, sorted by name; zero-valued counters are
+    omitted. [normalize] (default false) drops the ["sched"] and ["cache"]
+    categories. *)
+
+val histograms : ?normalize:bool -> unit -> (string * hist_summary) list
+
+module Report : sig
+  val profile : ?normalize:bool -> unit -> string
+  (** Human-readable profile: the span tree (per-path call counts, total
+      and self wall time) followed by the counter and histogram catalogs.
+      With [~normalize:true] durations are masked, children sort by name,
+      and scheduling/cache categories are dropped — the result is
+      byte-identical for the same logical work at any pool size. Note that
+      with parallel execution a node's children can overlap in wall time,
+      so a parent's self time is clamped at zero. *)
+
+  val chrome_trace : unit -> string
+  (** The recorded spans as Chrome [trace_event] JSON (one complete
+      ["X"-phase] event per span, [tid] = domain id, timestamps relative to
+      the last {!reset}), followed by one ["C"-phase] event per counter.
+      Load in [chrome://tracing] or Perfetto. *)
+
+  val write_chrome_trace : path:string -> unit -> unit
+
+  val root_total_ns : unit -> float
+  (** Sum of root-span wall time (scheduling spans excluded) — the number
+      to reconcile against an externally measured wall clock. *)
+end

