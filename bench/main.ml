@@ -6,7 +6,10 @@
      --smoke        build-sanity mode: run one fast benchmark and exit
      --json         also write machine-readable results (name -> ns/run)
      --out FILE     where --json writes (default BENCH_RESULTS.json)
-     --no-tables    skip the table/figure regeneration printout *)
+     --no-tables    skip the table/figure regeneration printout
+     --compare FILE check this run against a previous --json file and exit
+                    non-zero when any shared benchmark is >25% slower
+     --only SUBSTR  run only the benchmarks whose name contains SUBSTR *)
 
 open Bechamel
 open Toolkit
@@ -90,6 +93,44 @@ let bench_activity =
   make_bench ~limit:60 "logicsim:activity-wallace16-20cycles" (fun () ->
       ignore (Multipliers.Harness.measure_activity ~cycles:20 spec))
 
+let bench_diag_simonly =
+  let spec = Multipliers.Wallace.basic ~bits:16 in
+  make_bench ~limit:60 "diag:fresh-simulator-wallace16" (fun () ->
+      ignore (Multipliers.Harness.fresh_simulator spec))
+
+let bench_diag_cyclesonly =
+  let spec = Multipliers.Wallace.basic ~bits:16 in
+  make_bench ~limit:60 "diag:cycles-only-wallace16" (fun () ->
+      let sim = Multipliers.Harness.fresh_simulator spec in
+      let rng = Numerics.Rng.create 7 in
+      for _ = 1 to 26 do
+        Logicsim.Bus.drive sim spec.a_bus (Numerics.Rng.int rng 65536);
+        Logicsim.Bus.drive sim spec.b_bus (Numerics.Rng.int rng 65536);
+        Logicsim.Simulator.settle sim;
+        Logicsim.Simulator.clock_tick sim;
+        Logicsim.Simulator.settle sim
+      done)
+
+let bench_diag_cycles_reference =
+  let spec = Multipliers.Wallace.basic ~bits:16 in
+  let drive_ref sim bus value =
+    Array.iteri
+      (fun i net ->
+        Logicsim.Reference.set_input sim net
+          (Netlist.Logic.of_bool ((value lsr i) land 1 = 1)))
+      bus
+  in
+  make_bench ~limit:60 "diag:cycles-only-wallace16-reference" (fun () ->
+      let sim = Logicsim.Reference.create spec.circuit in
+      let rng = Numerics.Rng.create 7 in
+      for _ = 1 to 26 do
+        drive_ref sim spec.a_bus (Numerics.Rng.int rng 65536);
+        drive_ref sim spec.b_bus (Numerics.Rng.int rng 65536);
+        Logicsim.Reference.settle sim;
+        Logicsim.Reference.clock_tick sim;
+        Logicsim.Reference.settle sim
+      done)
+
 let bench_activity_many =
   let specs =
     List.map Multipliers.Catalog.build [ "RCA"; "Wallace"; "Dadda"; "Booth r4" ]
@@ -161,6 +202,9 @@ let benchmarks =
     bench_catalog_cached;
     bench_sta;
     bench_activity;
+    bench_diag_simonly;
+    bench_diag_cyclesonly;
+    bench_diag_cycles_reference;
     bench_activity_many;
     bench_ring_oscillator;
     bench_ablation_dibl;
@@ -172,6 +216,11 @@ let benchmarks =
     bench_energy_mep;
     bench_variation;
   ]
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
 
 let pretty_estimate estimate =
   if Float.is_nan estimate then "n/a"
@@ -249,6 +298,78 @@ let write_json ~path ?(metrics = []) results =
   close_out oc;
   Printf.printf "\nJSON results written to %s\n" path
 
+(* Reads the "results" block of a previous --json file — the format above,
+   so a line-oriented scan is enough: entries look like ["name": 123.456,]
+   and the block ends at the first closing brace. *)
+let parse_baseline path =
+  let ic = open_in path in
+  let results = ref [] in
+  let in_results = ref false in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if String.length line >= 9 && String.sub line 0 9 = "\"results\"" then
+         in_results := true
+       else if !in_results then begin
+         if String.length line > 0 && line.[0] = '}' then raise Exit;
+         try
+           Scanf.sscanf line " %S : %s" (fun name v ->
+               let v =
+                 if String.length v > 0 && v.[String.length v - 1] = ',' then
+                   String.sub v 0 (String.length v - 1)
+                 else v
+               in
+               if v <> "null" then
+                 results := (name, float_of_string v) :: !results)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+       end
+     done
+   with End_of_file | Exit -> ());
+  close_in ic;
+  List.rev !results
+
+(* Regression gate: every benchmark present in both runs must stay within
+   +25% of its recorded baseline. Exits non-zero otherwise, so the
+   [@bench-compare] alias can act as a perf tripwire. *)
+let regression_threshold = 1.25
+
+let compare_against ~path results =
+  let baseline = parse_baseline path in
+  Printf.printf "\n=== Regression check vs %s (threshold %+.0f%%) ===\n\n" path
+    ((regression_threshold -. 1.0) *. 100.0);
+  Printf.printf "%-42s %12s %12s %7s\n" "benchmark" "baseline" "current"
+    "ratio";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let regressions = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, current) ->
+      match List.assoc_opt name baseline with
+      | None -> ()
+      | Some base ->
+        if (not (Float.is_nan current)) && base > 0.0 then begin
+          incr compared;
+          let ratio = current /. base in
+          let flag = ratio > regression_threshold in
+          Printf.printf "%-42s %12s %12s %6.2fx%s\n" name
+            (pretty_estimate base) (pretty_estimate current) ratio
+            (if flag then "  REGRESSION" else "");
+          if flag then regressions := name :: !regressions
+        end)
+    results;
+  if !compared = 0 then begin
+    Printf.printf "\nFAIL: no benchmark in common with %s\n" path;
+    exit 1
+  end;
+  match List.rev !regressions with
+  | [] ->
+    Printf.printf "\nOK: %d benchmark(s) within the +25%% budget\n" !compared
+  | names ->
+    Printf.printf "\nFAIL: %d of %d benchmark(s) regressed more than 25%%: %s\n"
+      (List.length names) !compared
+      (String.concat ", " names);
+    exit 1
+
 (* Disabled-instrumentation overhead contract (checked under --smoke): an
    un-instrumented replica of the solver path vs the real, instrumented
    [Numerical_opt.optimum] with observability off. The replica inlines
@@ -319,15 +440,24 @@ let () =
   let json = ref false in
   let out = ref "BENCH_RESULTS.json" in
   let tables = ref true in
+  let compare_path = ref "" in
+  let only = ref "" in
   Arg.parse
     [
       ("--smoke", Arg.Set smoke, " run one fast benchmark and exit (CI sanity)");
       ("--json", Arg.Set json, " also write machine-readable results");
       ("--out", Arg.Set_string out, "FILE path for --json (default BENCH_RESULTS.json)");
       ("--no-tables", Arg.Clear tables, " skip the table/figure regeneration");
+      ( "--compare",
+        Arg.Set_string compare_path,
+        "FILE exit non-zero when a benchmark runs >25% slower than FILE" );
+      ( "--only",
+        Arg.Set_string only,
+        "SUBSTR run only the benchmarks whose name contains SUBSTR" );
     ]
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "bench [--smoke] [--json] [--out FILE] [--no-tables]";
+    "bench [--smoke] [--json] [--out FILE] [--no-tables] [--compare FILE] \
+     [--only SUBSTR]";
   if !smoke then begin
     print_endline "=== Bench smoke (one fast benchmark) ===\n";
     let smoke_bench =
@@ -336,14 +466,27 @@ let () =
     let results = run_benchmarks [ smoke_bench ] in
     if !json then
       write_json ~path:!out ~metrics:[ counter_snapshot smoke_bench ] results;
+    if !compare_path <> "" then compare_against ~path:!compare_path results;
     overhead_check ()
   end
   else begin
     if !tables then print_tables ();
+    let selected =
+      if !only = "" then benchmarks
+      else
+        List.filter
+          (fun b -> contains_substring (Test.name b.test) !only)
+          benchmarks
+    in
+    if selected = [] then begin
+      Printf.printf "FAIL: no benchmark name contains %S\n" !only;
+      exit 1
+    end;
     print_endline "=== Timings (Bechamel) ===\n";
-    let results = run_benchmarks benchmarks in
+    let results = run_benchmarks selected in
     if !json then
       write_json ~path:!out
-        ~metrics:(List.map counter_snapshot benchmarks)
-        results
+        ~metrics:(List.map counter_snapshot selected)
+        results;
+    if !compare_path <> "" then compare_against ~path:!compare_path results
   end

@@ -5,19 +5,64 @@ type row = {
   eq13 : Closed_form.result option;
 }
 
+(* Netlist statistics, effective logical depth (an STA pass) and the
+   wire-lumped average capacitance (a placement pass) are deterministic per
+   circuit, and [run_spec] is re-entered for the same memoized catalog specs
+   by benchmarks and sweeps — cache them like [Harness.compiled_static]
+   caches the lowered netlist. Keyed by spec name with a physical-identity
+   check on the circuit; the mutex keeps the table safe under
+   [Parallel.Pool]. The placement pass runs outside the lock so first-time
+   misses on different specs do not serialize a pool. *)
+type substrate = {
+  circuit : Netlist.Circuit.t;
+  stats : Netlist.Stats.t;
+  ld_eff : float;
+  mutable wire_cap : float option;
+}
+
+let substrate_cache : (string, substrate) Hashtbl.t = Hashtbl.create 16
+let substrate_mutex = Mutex.create ()
+
+let substrate_of_spec (spec : Multipliers.Spec.t) =
+  Mutex.protect substrate_mutex (fun () ->
+      match Hashtbl.find_opt substrate_cache spec.name with
+      | Some s when s.circuit == spec.circuit -> s
+      | Some _ | None ->
+        let s =
+          {
+            circuit = spec.circuit;
+            stats = Multipliers.Spec.stats spec;
+            ld_eff = Multipliers.Spec.logical_depth_effective spec;
+            wire_cap = None;
+          }
+        in
+        Hashtbl.replace substrate_cache spec.name s;
+        s)
+
+let wire_cap_of_spec (spec : Multipliers.Spec.t) substrate =
+  match substrate.wire_cap with
+  | Some cap -> cap
+  | None ->
+    (* Place the netlist and fold estimated wiring capacitance into the
+       per-cell average — the lumping the paper performs implicitly. A
+       concurrent duplicate computation is harmless: the result is
+       deterministic. *)
+    let placement = Netlist.Placement.place spec.circuit in
+    let cap =
+      (Netlist.Placement.refine_stats spec.circuit placement)
+        .avg_cap_with_wires
+    in
+    substrate.wire_cap <- Some cap;
+    cap
+
 let run_spec ?(seed = 7) ?(cycles = 160) ?(wire_caps = true)
     (tech : Device.Technology.t) ~f (spec : Multipliers.Spec.t) =
   Obs.Span.with_ ~name:"scratch.spec" ~attrs:[ ("arch", spec.name) ]
   @@ fun () ->
-  let stats = Multipliers.Spec.stats spec in
+  let substrate = substrate_of_spec spec in
+  let stats = substrate.stats in
   let avg_cap =
-    if wire_caps then begin
-      (* Place the netlist and fold estimated wiring capacitance into the
-         per-cell average — the lumping the paper performs implicitly. *)
-      let placement = Netlist.Placement.place spec.circuit in
-      (Netlist.Placement.refine_stats spec.circuit placement)
-        .avg_cap_with_wires
-    end
+    if wire_caps then wire_cap_of_spec spec substrate
     else stats.avg_switched_cap
   in
   let measured = Multipliers.Harness.measure_activity ~seed ~cycles spec in
@@ -28,7 +73,7 @@ let run_spec ?(seed = 7) ?(cycles = 160) ?(wire_caps = true)
       activity = measured.activity;
       avg_cap;
       io_cell = stats.avg_leak_factor *. tech.io;
-      ld_eff = Multipliers.Spec.logical_depth_effective spec;
+      ld_eff = substrate.ld_eff;
       area = stats.area;
     }
   in

@@ -18,23 +18,66 @@ let run_cycle ~ticks_per_cycle ~drive sim ~cycle =
     Simulator.settle sim
   done
 
-(* Count transitions a cycle strictly needed: one per cell output whose
-   settled value changed across the cycle. Anything beyond is glitch. *)
-let necessary_transitions circuit ~before ~after =
-  let count = ref 0 in
-  C.iter_cells
-    (fun cell ->
-      Array.iter
-        (fun net ->
-          match (before.(net), after.(net)) with
-          | Netlist.Logic.Zero, Netlist.Logic.One
-          | Netlist.Logic.One, Netlist.Logic.Zero ->
-            incr count
-          | (Netlist.Logic.Zero | Netlist.Logic.One | Netlist.Logic.X), _ ->
-            ())
-        cell.outputs)
-    circuit;
-  !count
+(* Necessary-transition accounting: one transition per driven net whose
+   settled value changed 0<->1 across a data cycle; anything beyond is
+   glitch. Two allocation-free strategies, selected per circuit (the
+   kernel-selection rule of DESIGN.md par.10):
+
+   - Sequential circuits compare against a baseline the kernel maintains
+     incrementally — only nets that actually committed since the last
+     cycle are inspected.
+   - Combinational circuits batch the settled primary-input values of up
+     to 62 consecutive cycles into the lanes of the bit-parallel engine;
+     one zero-delay pass then yields every cycle's count from word ops.
+     Settled event-kernel values equal the zero-delay fixpoint on acyclic
+     logic, so the two strategies agree bitwise. *)
+type batched = { bp : Bitpar.t; pis : int array; mutable pending : int }
+type accounting = Incremental | Batched of batched
+
+let start_accounting sim =
+  if Simulator.has_dffs sim then begin
+    Simulator.snapshot_baseline sim;
+    Incremental
+  end
+  else begin
+    let st = Simulator.static sim in
+    let bp = Bitpar.create st in
+    let pis = st.Compiled.pis in
+    (* Lane 0 carries the pre-measurement settled state — the baseline the
+       first measured cycle is compared against. *)
+    Array.iter
+      (fun net -> Bitpar.set_input bp ~net ~lane:0 (Simulator.value sim net))
+      pis;
+    Batched { bp; pis; pending = 0 }
+  end
+
+let flush_batch b necessary_total =
+  if b.pending > 0 then begin
+    Bitpar.run b.bp;
+    necessary_total :=
+      !necessary_total + Bitpar.adjacent_necessary b.bp ~pairs:b.pending;
+    (* The last settled state becomes the next batch's baseline. *)
+    Bitpar.copy_lane b.bp ~src:b.pending ~dst:0;
+    b.pending <- 0
+  end
+
+(* Record one settled data cycle with the chosen strategy. *)
+let account_cycle acc sim necessary_total =
+  match acc with
+  | Incremental ->
+    necessary_total := !necessary_total + Simulator.necessary_transitions sim
+  | Batched b ->
+    if b.pending = Bitpar.lanes - 1 then flush_batch b necessary_total;
+    b.pending <- b.pending + 1;
+    Array.iter
+      (fun net ->
+        Bitpar.set_input b.bp ~net ~lane:b.pending (Simulator.value sim net))
+      b.pis
+
+let finish_accounting acc necessary_total =
+  match acc with
+  | Incremental -> ()
+  | Batched b -> flush_batch b necessary_total
 
 let measure ?(warmup = 4) ?(ticks_per_cycle = 1) ~cycles ~drive sim =
   if cycles < 1 then invalid_arg "Activity.measure: cycles < 1";
@@ -46,31 +89,16 @@ let measure ?(warmup = 4) ?(ticks_per_cycle = 1) ~cycles ~drive sim =
   Simulator.reset_toggles sim;
   let circuit = Simulator.circuit sim in
   let cell_count = C.cell_count circuit in
+  let n = Simulator.countable_cells sim in
   let necessary_total = ref 0 in
-  let before = ref (Simulator.snapshot_values sim) in
+  let acc = start_accounting sim in
   for cycle = 0 to cycles - 1 do
     run_cycle ~ticks_per_cycle ~drive sim ~cycle:(warmup + cycle);
-    let after = Simulator.snapshot_values sim in
-    necessary_total :=
-      !necessary_total
-      + necessary_transitions circuit ~before:!before ~after;
-    before := after
+    account_cycle acc sim necessary_total
   done;
+  finish_accounting acc necessary_total;
   let toggles = Simulator.cell_toggles sim in
   let total = Simulator.total_toggles sim in
-  let n =
-    C.fold_cells
-      (fun acc cell ->
-        match cell.kind with
-        | Netlist.Cell.Tie0 | Netlist.Cell.Tie1 -> acc
-        | Netlist.Cell.Inv | Netlist.Cell.Buf | Netlist.Cell.Nand2
-        | Netlist.Cell.Nor2 | Netlist.Cell.And2 | Netlist.Cell.Or2
-        | Netlist.Cell.Xor2 | Netlist.Cell.Xnor2 | Netlist.Cell.Mux2
-        | Netlist.Cell.Half_adder | Netlist.Cell.Full_adder
-        | Netlist.Cell.Dff ->
-          acc + 1)
-      0 circuit
-  in
   let fcycles = float_of_int cycles in
   let per_cell =
     Array.init cell_count (fun i -> float_of_int toggles.(i) /. fcycles)
@@ -104,18 +132,10 @@ let measure_until ?(warmup = 4) ?(ticks_per_cycle = 1) ?(batch = 40)
   done;
   Simulator.reset_toggles sim;
   let circuit = Simulator.circuit sim in
-  let n =
-    max 1
-      (C.fold_cells
-         (fun acc cell ->
-           match cell.kind with
-           | Netlist.Cell.Tie0 | Netlist.Cell.Tie1 -> acc
-           | _ -> acc + 1)
-         0 circuit)
-  in
+  let n = max 1 (Simulator.countable_cells sim) in
   let batch_activities = ref [] in
   let necessary_total = ref 0 in
-  let before = ref (Simulator.snapshot_values sim) in
+  let acc = start_accounting sim in
   let total_cycles = ref 0 in
   let batches = ref 0 in
   let stderr_ok () =
@@ -137,10 +157,7 @@ let measure_until ?(warmup = 4) ?(ticks_per_cycle = 1) ?(batch = 40)
     for i = 0 to batch - 1 do
       run_cycle ~ticks_per_cycle ~drive sim
         ~cycle:(warmup + !total_cycles + i);
-      let after = Simulator.snapshot_values sim in
-      necessary_total :=
-        !necessary_total + necessary_transitions circuit ~before:!before ~after;
-      before := after
+      account_cycle acc sim necessary_total
     done;
     total_cycles := !total_cycles + batch;
     incr batches;
@@ -153,6 +170,7 @@ let measure_until ?(warmup = 4) ?(ticks_per_cycle = 1) ?(batch = 40)
   while (not (stderr_ok ())) && !total_cycles + batch <= max_cycles do
     run_batch ()
   done;
+  finish_accounting acc necessary_total;
   let cycles = !total_cycles in
   let total = Simulator.total_toggles sim in
   let toggles = Simulator.cell_toggles sim in

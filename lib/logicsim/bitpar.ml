@@ -1,0 +1,281 @@
+module Logic = Netlist.Logic
+
+(* Two planes per net: bit L of [hi] says lane L holds One, bit L of [xx]
+   says it holds X (invariant: [hi land xx = 0]; both clear means Zero).
+   Every gate then becomes a handful of word ops evaluating all 63 lanes
+   at once. OCaml ints carry 63 bits; the sign bit is lane 62, which is
+   harmless — everything here is bitwise. *)
+
+let lanes = 63
+
+type t = {
+  kind : int array;
+  in_off : int array;
+  in_net : int array;
+  out_off : int array;
+  out_net : int array;
+  driver : int array;
+  dffs : int array;
+  init_net : int array;
+  init_code : int array;
+  topo : int array;
+  hi : int array;  (* per net: lane holds One *)
+  xx : int array;  (* per net: lane holds X *)
+  dff_d_hi : int array;  (* pre-edge D samples, reused per tick *)
+  dff_d_xx : int array;
+}
+
+let reset t =
+  Array.fill t.hi 0 (Array.length t.hi) 0;
+  Array.fill t.xx 0 (Array.length t.xx) (-1);
+  for i = 0 to Array.length t.init_net - 1 do
+    let net = t.init_net.(i) in
+    match t.init_code.(i) with
+    | 0 ->
+      t.hi.(net) <- 0;
+      t.xx.(net) <- 0
+    | 1 ->
+      t.hi.(net) <- -1;
+      t.xx.(net) <- 0
+    | _ -> ()  (* X is the fill value already *)
+  done
+
+let create (st : Compiled.static) =
+  let n_dffs = Array.length st.Compiled.dffs in
+  let t =
+    {
+      kind = st.Compiled.kind;
+      in_off = st.Compiled.in_off;
+      in_net = st.Compiled.in_net;
+      out_off = st.Compiled.out_off;
+      out_net = st.Compiled.out_net;
+      driver = st.Compiled.driver;
+      dffs = st.Compiled.dffs;
+      init_net = st.Compiled.init_net;
+      init_code = st.Compiled.init_code;
+      topo = Lazy.force st.Compiled.topo;
+      hi = Array.make st.Compiled.n_nets 0;
+      xx = Array.make st.Compiled.n_nets 0;
+      dff_d_hi = Array.make n_dffs 0;
+      dff_d_xx = Array.make n_dffs 0;
+    }
+  in
+  reset t;
+  t
+
+let check_lane fn lane =
+  if lane < 0 || lane >= lanes then
+    invalid_arg (Printf.sprintf "Bitpar.%s: lane %d out of range" fn lane)
+
+let set_input t ~net ~lane v =
+  check_lane "set_input" lane;
+  if net < 0 || net >= Array.length t.hi || t.driver.(net) >= 0 then
+    invalid_arg "Bitpar.set_input: not a primary input";
+  let m = 1 lsl lane in
+  let keep = lnot m in
+  match v with
+  | Logic.Zero ->
+    t.hi.(net) <- t.hi.(net) land keep;
+    t.xx.(net) <- t.xx.(net) land keep
+  | Logic.One ->
+    t.hi.(net) <- t.hi.(net) lor m;
+    t.xx.(net) <- t.xx.(net) land keep
+  | Logic.X ->
+    t.hi.(net) <- t.hi.(net) land keep;
+    t.xx.(net) <- t.xx.(net) lor m
+
+let set_input_all_lanes t ~net v =
+  if net < 0 || net >= Array.length t.hi || t.driver.(net) >= 0 then
+    invalid_arg "Bitpar.set_input_all_lanes: not a primary input";
+  match v with
+  | Logic.Zero ->
+    t.hi.(net) <- 0;
+    t.xx.(net) <- 0
+  | Logic.One ->
+    t.hi.(net) <- -1;
+    t.xx.(net) <- 0
+  | Logic.X ->
+    t.hi.(net) <- 0;
+    t.xx.(net) <- -1
+
+let copy_lane t ~src ~dst =
+  check_lane "copy_lane" src;
+  check_lane "copy_lane" dst;
+  (* Combinational nets get recomputed by the next [run], so copying every
+     net is both simplest and correct. *)
+  let ms = 1 lsl src and md = 1 lsl dst in
+  let keep = lnot md in
+  for net = 0 to Array.length t.hi - 1 do
+    let h = t.hi.(net) and x = t.xx.(net) in
+    t.hi.(net) <- (h land keep) lor (if h land ms <> 0 then md else 0);
+    t.xx.(net) <- (x land keep) lor (if x land ms <> 0 then md else 0)
+  done
+
+let copy_state t ~into =
+  let n = Array.length t.hi in
+  if Array.length into.hi <> n then
+    invalid_arg "Bitpar.copy_state: different circuits";
+  Array.blit t.hi 0 into.hi 0 n;
+  Array.blit t.xx 0 into.xx 0 n
+
+let run ?force t =
+  let fnet, f_hi, f_xx =
+    match force with
+    | None -> (-1, 0, 0)
+    | Some (net, Logic.Zero) -> (net, 0, 0)
+    | Some (net, Logic.One) -> (net, -1, 0)
+    | Some (net, Logic.X) -> (net, 0, -1)
+  in
+  let hi = t.hi and xx = t.xx in
+  if fnet >= 0 then begin
+    hi.(fnet) <- f_hi;
+    xx.(fnet) <- f_xx
+  end;
+  let kind = t.kind
+  and in_off = t.in_off
+  and in_net = t.in_net
+  and out_off = t.out_off
+  and out_net = t.out_net
+  and topo = t.topo in
+  for k = 0 to Array.length topo - 1 do
+    let id = Array.unsafe_get topo k in
+    let io = Array.unsafe_get in_off id and oo = Array.unsafe_get out_off id in
+    let set o oh ox =
+      let net = Array.unsafe_get out_net (oo + o) in
+      if net = fnet then begin
+        (* Stuck-at clamp: the fault overrides whatever the driver says. *)
+        Array.unsafe_set hi net f_hi;
+        Array.unsafe_set xx net f_xx
+      end
+      else begin
+        Array.unsafe_set hi net oh;
+        Array.unsafe_set xx net ox
+      end
+    in
+    let ih i = Array.unsafe_get hi (Array.unsafe_get in_net (io + i))
+    and ix i = Array.unsafe_get xx (Array.unsafe_get in_net (io + i)) in
+    (* A lane's output is known One where the inputs force One ([ones]),
+       known Zero where they force Zero ([zeros]), X everywhere else. *)
+    match Array.unsafe_get kind id with
+    | 2 (* Inv *) ->
+      let h = ih 0 and x = ix 0 in
+      set 0 (lnot (h lor x)) x
+    | 3 (* Buf *) -> set 0 (ih 0) (ix 0)
+    | 4 (* Nand2 *) ->
+      let ph = ih 0 and px = ix 0 and qh = ih 1 and qx = ix 1 in
+      let ones = ph land qh in
+      let zeros = lnot (ph lor px) lor lnot (qh lor qx) in
+      set 0 zeros (lnot (ones lor zeros))
+    | 5 (* Nor2 *) ->
+      let ph = ih 0 and px = ix 0 and qh = ih 1 and qx = ix 1 in
+      let ones = ph lor qh in
+      let zeros = lnot (ph lor px) land lnot (qh lor qx) in
+      set 0 zeros (lnot (ones lor zeros))
+    | 6 (* And2 *) ->
+      let ph = ih 0 and px = ix 0 and qh = ih 1 and qx = ix 1 in
+      let ones = ph land qh in
+      let zeros = lnot (ph lor px) lor lnot (qh lor qx) in
+      set 0 ones (lnot (ones lor zeros))
+    | 7 (* Or2 *) ->
+      let ph = ih 0 and px = ix 0 and qh = ih 1 and qx = ix 1 in
+      let ones = ph lor qh in
+      let zeros = lnot (ph lor px) land lnot (qh lor qx) in
+      set 0 ones (lnot (ones lor zeros))
+    | 8 (* Xor2 *) ->
+      let xs = ix 0 lor ix 1 in
+      set 0 ((ih 0 lxor ih 1) land lnot xs) xs
+    | 9 (* Xnor2 *) ->
+      let xs = ix 0 lor ix 1 in
+      set 0 (lnot (ih 0 lxor ih 1) land lnot xs) xs
+    | 10 (* Mux2: inputs d0; d1; sel *) ->
+      let d0h = ih 0 and d0x = ix 0 and d1h = ih 1 and d1x = ix 1 in
+      let sh = ih 2 and sx = ix 2 in
+      let selk0 = lnot (sh lor sx) in
+      let agree1 = d0h land d1h in
+      let agree0 = lnot (d0h lor d0x) land lnot (d1h lor d1x) in
+      set 0
+        ((sh land d1h) lor (selk0 land d0h) lor (sx land agree1))
+        ((sh land d1x) lor (selk0 land d0x)
+        lor (sx land lnot (agree1 lor agree0)))
+    | 11 (* Half_adder *) ->
+      let ah = ih 0 and ax = ix 0 and bh = ih 1 and bx = ix 1 in
+      let xs = ax lor bx in
+      set 0 ((ah lxor bh) land lnot xs) xs;
+      let ones = ah land bh in
+      let zeros = lnot (ah lor ax) lor lnot (bh lor bx) in
+      set 1 ones (lnot (ones lor zeros))
+    | 12 (* Full_adder *) ->
+      let ah = ih 0 and ax = ix 0 and bh = ih 1 and bx = ix 1 in
+      let ch = ih 2 and cx = ix 2 in
+      let xs = ax lor bx lor cx in
+      set 0 ((ah lxor bh lxor ch) land lnot xs) xs;
+      (* Majority: known as soon as two inputs agree. *)
+      let ones = (ah land bh) lor (ah land ch) lor (bh land ch) in
+      let az = lnot (ah lor ax)
+      and bz = lnot (bh lor bx)
+      and cz = lnot (ch lor cx) in
+      let zeros = (az land bz) lor (az land cz) lor (bz land cz) in
+      set 1 ones (lnot (ones lor zeros))
+    | _ (* ties and flip-flops are state, never in the topo order *) -> ()
+  done
+
+let clock_tick t =
+  let n = Array.length t.dffs in
+  for k = 0 to n - 1 do
+    let id = t.dffs.(k) in
+    let d = t.in_net.(t.in_off.(id)) in
+    t.dff_d_hi.(k) <- t.hi.(d);
+    t.dff_d_xx.(k) <- t.xx.(d)
+  done;
+  for k = 0 to n - 1 do
+    let id = t.dffs.(k) in
+    let q = t.out_net.(t.out_off.(id)) in
+    t.hi.(q) <- t.dff_d_hi.(k);
+    t.xx.(q) <- t.dff_d_xx.(k)
+  done
+
+let value t ~net ~lane =
+  check_lane "value" lane;
+  let m = 1 lsl lane in
+  if t.xx.(net) land m <> 0 then Logic.X
+  else if t.hi.(net) land m <> 0 then Logic.One
+  else Logic.Zero
+
+(* SWAR popcount constants exceed OCaml's 62-bit literal range, so count a
+   byte at a time through a 256-entry table: 8 unsafe reads per word, and
+   [x lsr 56] covers bits 56..62 including the sign bit. *)
+let pop8 =
+  let tbl = Bytes.create 256 in
+  let rec bits n = if n = 0 then 0 else (n land 1) + bits (n lsr 1) in
+  for i = 0 to 255 do
+    Bytes.set tbl i (Char.chr (bits i))
+  done;
+  tbl
+
+let popcount x =
+  let p i = Char.code (Bytes.unsafe_get pop8 ((x lsr i) land 255)) in
+  p 0 + p 8 + p 16 + p 24 + p 32 + p 40 + p 48 + p 56
+
+let adjacent_necessary t ~pairs =
+  if pairs < 0 || pairs >= lanes then
+    invalid_arg "Bitpar.adjacent_necessary: pairs out of range";
+  let mask = (1 lsl pairs) - 1 in
+  let total = ref 0 in
+  let hi = t.hi and xx = t.xx and driver = t.driver in
+  for net = 0 to Array.length hi - 1 do
+    if Array.unsafe_get driver net >= 0 then begin
+      let h = Array.unsafe_get hi net and x = Array.unsafe_get xx net in
+      (* Pair (L, L+1) counts when the two lanes differ and neither is X. *)
+      let d = (h lxor (h lsr 1)) land lnot (x lor (x lsr 1)) land mask in
+      if d <> 0 then total := !total + popcount d
+    end
+  done;
+  !total
+
+let lanes_differ t ~other ~outputs ~mask =
+  List.exists
+    (fun net ->
+      ((t.hi.(net) lxor other.hi.(net)) lor (t.xx.(net) lxor other.xx.(net)))
+      land mask
+      <> 0)
+    outputs

@@ -1,0 +1,85 @@
+(** 64-way bit-parallel zero-delay evaluation over a compiled circuit.
+
+    Each net carries two machine words — a "one" plane and an "X" plane —
+    so one topological pass over the compiled cell array evaluates
+    {!lanes} (= 63, the usable bits of an OCaml [int]) independent input
+    vectors at once under full three-valued semantics. Per settled vector
+    this costs a few dozen word operations for the whole circuit, which is
+    what makes necessary-transition counting and fault simulation cheap:
+
+    - {!Activity.measure} packs the settled primary-input values of
+      consecutive data cycles into adjacent lanes of one batch; after a
+      single {!run}, {!adjacent_necessary} pops the 0↔1 differences
+      between neighbouring lanes of every driven net — the per-cycle
+      necessary-transition count and the zero-delay activity in one pass,
+      with no per-cycle full-circuit scan. Valid for combinational
+      circuits, where consecutive cycles are independent (the
+      kernel-selection rule of DESIGN.md §10).
+    - {!Faults.coverage} puts 63 test vectors in the lanes and compares a
+      faulty run against the golden run word-wise.
+
+    Zero-delay settled values agree bitwise with the event-driven kernels'
+    quiescent state: on an acyclic circuit the inertial event loop and
+    topological propagation reach the same unique fixpoint (the
+    differential suite checks this, X-propagation included).
+
+    Flip-flop outputs are state, not combinational functions: lanes evolve
+    as 63 {e independent} simulations under {!clock_tick}; consecutive-lane
+    tricks like {!adjacent_necessary} are only meaningful when the circuit
+    is combinational. *)
+
+type t
+
+val lanes : int
+(** 63 — input vectors evaluated per machine word. *)
+
+val create : Compiled.static -> t
+(** All lanes at power-up: every net X, ties driven, flip-flops at their
+    init values (combinational logic resolves on the first {!run}). *)
+
+val reset : t -> unit
+(** Back to the power-up state. *)
+
+val set_input : t -> net:Netlist.Circuit.net -> lane:int -> Netlist.Logic.value -> unit
+(** Set one primary input in one lane.
+    @raise Invalid_argument on a bad lane or a driven net. *)
+
+val set_input_all_lanes : t -> net:Netlist.Circuit.net -> Netlist.Logic.value -> unit
+(** Set one primary input in every lane. *)
+
+val copy_lane : t -> src:int -> dst:int -> unit
+(** Copy every primary input (and flip-flop state) from lane [src] to lane
+    [dst] — used to seed lane 0 of a batch with the previous batch's last
+    cycle. *)
+
+val copy_state : t -> into:t -> unit
+(** Copy every net plane from one state into another built over the same
+    compilation — how the fault engine restores the golden inputs before
+    each faulty pass. @raise Invalid_argument on a net-count mismatch. *)
+
+val run : ?force:Netlist.Circuit.net * Netlist.Logic.value -> t -> unit
+(** One zero-delay topological pass over the combinational cells of all
+    lanes. [force] clamps a net to a value throughout propagation (after
+    its driver writes it), the single-stuck-at fault model. *)
+
+val clock_tick : t -> unit
+(** Sample every flip-flop's D (simultaneously, against current values)
+    into its Q, in every lane. Call {!run} afterwards. *)
+
+val value : t -> net:Netlist.Circuit.net -> lane:int -> Netlist.Logic.value
+(** The value of [net] in [lane] as of the last {!run}. *)
+
+val adjacent_necessary : t -> pairs:int -> int
+(** Sum over driven nets of the number of adjacent-lane pairs
+    [(0,1) .. (pairs-1, pairs)] whose settled values are both known and
+    differ — the necessary-transition total for a batch of [pairs]
+    consecutive data cycles whose settled states sit in lanes
+    [0 .. pairs]. @raise Invalid_argument unless [0 <= pairs < lanes]. *)
+
+val lanes_differ : t -> other:t -> outputs:Netlist.Circuit.net list -> mask:int -> bool
+(** Whether any lane selected by [mask] has a listed output whose
+    three-valued value differs between the two states (same compiled
+    circuit assumed) — the fault-detection test. *)
+
+val popcount : int -> int
+(** Bits set in the 63-bit pattern (sign bit included). *)

@@ -19,8 +19,17 @@ let of_values values =
   build 0 0
 
 let drive sim bus value =
-  let values = to_values ~width:(Array.length bus) value in
-  Array.iteri (fun i net -> Simulator.set_input sim net values.(i)) bus
+  (* Same bit order and validation as [to_values], without materialising
+     the intermediate array — [drive] runs once per bus per cycle in the
+     activity loops. *)
+  let width = Array.length bus in
+  if value < 0 then invalid_arg "Bus.to_values: negative value";
+  if width < 63 && value lsr width <> 0 then
+    invalid_arg "Bus.to_values: value does not fit";
+  for i = 0 to width - 1 do
+    Simulator.set_input sim bus.(i)
+      (Logic.of_bool ((value lsr i) land 1 = 1))
+  done
 
 let read sim bus = of_values (Array.map (Simulator.value sim) bus)
 

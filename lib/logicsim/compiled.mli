@@ -1,0 +1,111 @@
+(** One-time compilation of a netlist into flat arrays, and the
+    allocation-free event-driven kernel that runs on them.
+
+    {!compile} lowers a {!Netlist.Circuit.t} into a {!static}: per-cell kind
+    codes, CSR (offset + flat index) arrays for cell inputs, cell outputs
+    (with the per-output delay alongside) and per-net combinational fanout,
+    the driving cell of every net, the flip-flop list for {!clock_tick} and
+    the power-up initialisation schedule. The event loop then touches only
+    these arrays plus [Bytes.t] value planes — no [Cell.eval] input/output
+    array allocation, no [option] boxing for pending transitions, no boxed
+    queue entries (see {!Unboxed_heap}) — while committing {e exactly} the
+    same event sequence as {!Reference}: same serial numbers, same
+    tie-breaks, same toggle counts, same settled values. The differential
+    suite in [test_logicsim.ml] holds the two kernels bitwise equal across
+    the whole multiplier catalog.
+
+    Logic values are coded [0 = Zero], [1 = One], [2 = X] (and [3 = no
+    pending transition] in the pending plane). *)
+
+(** {1 Compiled circuit} *)
+
+type static = {
+  circuit : Netlist.Circuit.t;  (** The source netlist (for names/VCD). *)
+  n_nets : int;
+  n_cells : int;
+  kind : int array;  (** Per cell: {!code_of_kind} of its library kind. *)
+  in_off : int array;  (** Cell inputs CSR: spans into [in_net]. *)
+  in_net : int array;
+  out_off : int array;  (** Cell outputs CSR: spans into [out_net]. *)
+  out_net : int array;
+  out_delay : float array;  (** Propagation delay, aligned with [out_net]. *)
+  fan_off : int array;
+      (** Per-net combinational fanout CSR: spans into [fan_cell]. Reader
+          order (and multiplicity) matches [Circuit.fanout], with
+          sequential readers dropped — the event loop never evaluates
+          them. *)
+  fan_cell : int array;
+  driver : int array;  (** Per net: driving cell id, [-1] for inputs. *)
+  dffs : int array;  (** Flip-flop cell ids, ascending. *)
+  dff_init_code : int array;  (** Power-up Q value code, aligned. *)
+  init_net : int array;
+      (** Power-up schedule (ties and flip-flop Qs) in cell order. *)
+  init_code : int array;
+  pis : int array;  (** Primary inputs in declaration order. *)
+  countable : int;  (** Cells that count towards activity (non-ties). *)
+  topo : int array Lazy.t;
+      (** Combinational cells in dependency order (for the zero-delay
+          engines; forced on first use). *)
+}
+
+val code_of_kind : Netlist.Cell.kind -> int
+val code_of_logic : Netlist.Logic.value -> int
+val logic_of_code : int -> Netlist.Logic.value
+
+val compile : Netlist.Circuit.t -> static
+(** Lower the circuit. Does not validate — {!create} runs
+    {!Netlist.Check.assert_well_formed} first, like the reference kernel. *)
+
+(** {1 Event-driven kernel}
+
+    Drop-in replacement for the reference simulator; {!Simulator} re-exports
+    this interface. *)
+
+type t
+
+val create : Netlist.Circuit.t -> t
+(** Compile, initialise ties and flip-flops, settle, zero the toggle
+    counters. @raise Failure on a malformed circuit. *)
+
+val of_static : static -> t
+(** Fresh simulation state over an existing compilation. *)
+
+val static : t -> static
+val circuit : t -> Netlist.Circuit.t
+val now : t -> float
+
+val value : t -> Netlist.Circuit.net -> Netlist.Logic.value
+val set_input : t -> Netlist.Circuit.net -> Netlist.Logic.value -> unit
+val settle : ?event_limit:int -> t -> unit
+val clock_tick : t -> unit
+
+val cell_toggles : t -> int array
+val cell_toggles_into : t -> int array -> unit
+(** Copy the per-cell toggle counters into a caller-owned buffer
+    (length [n_cells]) without allocating. *)
+
+val total_toggles : t -> int
+val reset_toggles : t -> unit
+val snapshot_values : t -> Netlist.Logic.value array
+val events_processed : t -> int
+
+val countable_cells : t -> int
+(** Hoisted activity denominator: cells that are not ties. *)
+
+val has_dffs : t -> bool
+
+(** {1 Incremental necessary-transition accounting}
+
+    The kernel tracks which driven nets committed since the last baseline,
+    so per-cycle necessary-transition counting costs O(nets touched) with
+    zero allocation instead of a full-circuit scan against a fresh
+    snapshot. *)
+
+val snapshot_baseline : t -> unit
+(** Record the current settled values as the comparison baseline and clear
+    the touched-net set. *)
+
+val necessary_transitions : t -> int
+(** Number of driven nets whose settled value changed 0↔1 since the
+    baseline (X resolutions are free, matching the reference accounting),
+    then re-baseline. *)

@@ -1,26 +1,42 @@
-type 'a entry = { time : float; order : int; payload : 'a }
+(* Struct-of-arrays layout: times live in a flat [float array] (unboxed by
+   the runtime) and orders in an [int array], so only the polymorphic
+   payload column keeps its natural representation. The previous layout
+   boxed a {time; order; payload} record per entry — one allocation per
+   push plus a float box; this form allocates only when growing. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable times : float array;
+  mutable orders : int array;
+  mutable payloads : 'a array;
   mutable len : int;
   mutable counter : int;
 }
 
-let create () = { heap = [||]; len = 0; counter = 0 }
+let create () =
+  { times = [||]; orders = [||]; payloads = [||]; len = 0; counter = 0 }
+
 let length t = t.len
 let is_empty t = t.len = 0
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.order < b.order)
+let earlier t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.orders.(i) < t.orders.(j))
 
 let swap t i j =
-  let x = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- x
+  let time = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- time;
+  let order = t.orders.(i) in
+  t.orders.(i) <- t.orders.(j);
+  t.orders.(j) <- order;
+  let payload = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- payload
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if earlier t.heap.(i) t.heap.(parent) then begin
+    if earlier t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -29,38 +45,50 @@ let rec sift_up t i =
 let rec sift_down t i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < t.len && earlier t.heap.(left) t.heap.(!smallest) then
-    smallest := left;
-  if right < t.len && earlier t.heap.(right) t.heap.(!smallest) then
-    smallest := right;
+  if left < t.len && earlier t left !smallest then smallest := left;
+  if right < t.len && earlier t right !smallest then smallest := right;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
+(* The payload being pushed doubles as the filler for fresh slots, so the
+   payload column never needs an artificial dummy element. *)
+let grow t payload =
+  let capacity = max 16 (2 * Array.length t.times) in
+  let times = Array.make capacity 0.0 in
+  let orders = Array.make capacity 0 in
+  let payloads = Array.make capacity payload in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.orders 0 orders 0 t.len;
+  Array.blit t.payloads 0 payloads 0 t.len;
+  t.times <- times;
+  t.orders <- orders;
+  t.payloads <- payloads
+
 let push t ~time payload =
-  let entry = { time; order = t.counter; payload } in
+  if t.len = Array.length t.times then grow t payload;
+  let i = t.len in
+  t.times.(i) <- time;
+  t.orders.(i) <- t.counter;
+  t.payloads.(i) <- payload;
   t.counter <- t.counter + 1;
-  let capacity = Array.length t.heap in
-  if t.len = capacity then begin
-    let heap = Array.make (max 16 (2 * capacity)) entry in
-    Array.blit t.heap 0 heap 0 t.len;
-    t.heap <- heap
-  end;
-  t.heap.(t.len) <- entry;
   t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+  sift_up t i
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.heap.(0) in
+    let time = t.times.(0) and payload = t.payloads.(0) in
     t.len <- t.len - 1;
     if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
+      let last = t.len in
+      t.times.(0) <- t.times.(last);
+      t.orders.(0) <- t.orders.(last);
+      t.payloads.(0) <- t.payloads.(last);
       sift_down t 0
     end;
-    Some (top.time, top.payload)
+    Some (time, payload)
   end
 
-let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.len = 0 then None else Some t.times.(0)

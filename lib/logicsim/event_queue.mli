@@ -2,7 +2,13 @@
 
     Ties in time are broken by insertion order, making simulation
     deterministic. Cancellation (inertial-delay behaviour) is handled by the
-    simulator via serial numbers; the queue itself only orders events. *)
+    simulator via serial numbers; the queue itself only orders events.
+
+    Stored as struct-of-arrays — times in a flat [float array], insertion
+    orders in an [int array] — so a push allocates nothing beyond occasional
+    capacity doubling. {!Unboxed_heap} is the fully unboxed (int-payload)
+    variant the compiled kernel schedules through; this polymorphic form
+    backs the reference simulator and anything that needs boxed payloads. *)
 
 type 'a t
 

@@ -73,32 +73,65 @@ let coverage ?faults circuit ~vectors ~outputs =
   let faults =
     match faults with Some f -> f | None -> enumerate circuit
   in
-  let golden =
-    List.map
-      (fun inputs ->
-        let nets = evaluate_with_fault circuit ~fault:None ~inputs in
-        (inputs, List.map (fun n -> nets.(n)) outputs))
-      vectors
+  (* Bit-parallel fault simulation: up to [Bitpar.lanes] vectors share one
+     word per net, so each fault costs a single zero-delay pass per chunk
+     instead of one per vector. Chunks run outermost so the golden pass is
+     evaluated once per chunk, and already-detected faults drop out. *)
+  let fault_arr = Array.of_list faults in
+  let n_faults = Array.length fault_arr in
+  let detected_flags = Array.make n_faults false in
+  let st = Compiled.compile circuit in
+  if Array.length st.Compiled.dffs > 0 then
+    failwith "Faults.coverage: sequential circuit";
+  let golden = Bitpar.create st in
+  let faulty = Bitpar.create st in
+  let rec chunk n = function
+    | [] -> []
+    | vs when n <= 0 -> [] :: chunk Bitpar.lanes vs
+    | v :: vs -> (
+      match chunk (n - 1) vs with
+      | c :: rest -> (v :: c) :: rest
+      | [] -> [ [ v ] ])
   in
-  let detected_by_some_vector fault =
-    List.exists
-      (fun (inputs, expected) ->
-        let nets = evaluate_with_fault circuit ~fault:(Some fault) ~inputs in
-        List.exists2
-          (fun n reference -> not (Logic.equal nets.(n) reference))
-          outputs expected)
-      golden
-  in
-  let undetected = List.filter (fun f -> not (detected_by_some_vector f)) faults in
-  let total = List.length faults in
-  let detected = total - List.length undetected in
+  List.iter
+    (fun vector_chunk ->
+      let n_vec = List.length vector_chunk in
+      let mask =
+        if n_vec >= Bitpar.lanes then -1 else (1 lsl n_vec) - 1
+      in
+      Bitpar.reset golden;
+      List.iteri
+        (fun lane inputs ->
+          List.iter
+            (fun (net, v) -> Bitpar.set_input golden ~net ~lane v)
+            inputs)
+        vector_chunk;
+      Bitpar.run golden;
+      for k = 0 to n_faults - 1 do
+        if not detected_flags.(k) then begin
+          let fault = fault_arr.(k) in
+          Bitpar.copy_state golden ~into:faulty;
+          Bitpar.run
+            ~force:(fault.net, value_of_polarity fault.polarity)
+            faulty;
+          if Bitpar.lanes_differ faulty ~other:golden ~outputs ~mask then
+            detected_flags.(k) <- true
+        end
+      done)
+    (chunk Bitpar.lanes vectors);
+  let undetected = ref [] in
+  for k = n_faults - 1 downto 0 do
+    if not detected_flags.(k) then undetected := fault_arr.(k) :: !undetected
+  done;
+  let total = n_faults in
+  let detected = total - List.length !undetected in
   {
     total;
     detected;
     coverage_pct =
       (if total = 0 then 100.0
        else 100.0 *. float_of_int detected /. float_of_int total);
-    undetected;
+    undetected = !undetected;
   }
 
 let random_vectors ~rng ~circuit ~count =

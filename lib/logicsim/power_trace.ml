@@ -15,17 +15,6 @@ type t = {
   peak_to_average : float;
 }
 
-let weighted_cap circuit toggles =
-  let acc = Numerics.Kahan.create () in
-  C.iter_cells
-    (fun cell ->
-      if toggles.(cell.id) > 0 then
-        Numerics.Kahan.add acc
-          (float_of_int toggles.(cell.id)
-          *. Netlist.Cell.switched_cap cell.kind))
-    circuit;
-  Numerics.Kahan.sum acc
-
 let record ?(warmup = 4) ?(ticks_per_cycle = 1) ~vdd ~cycles ~drive sim =
   if cycles < 1 then invalid_arg "Power_trace.record: cycles < 1";
   if vdd <= 0.0 then invalid_arg "Power_trace.record: vdd <= 0";
@@ -41,17 +30,30 @@ let record ?(warmup = 4) ?(ticks_per_cycle = 1) ~vdd ~cycles ~drive sim =
   for cycle = 0 to warmup - 1 do
     run_cycle ~cycle
   done;
+  (* The per-cycle loop reuses two counter buffers and a hoisted per-cell
+     capacitance table instead of allocating two toggle snapshots and a
+     delta array every cycle. *)
+  let n_cells = C.cell_count circuit in
+  let cap = Array.make n_cells 0.0 in
+  C.iter_cells
+    (fun cell -> cap.(cell.id) <- Netlist.Cell.switched_cap cell.kind)
+    circuit;
+  let previous = Array.make n_cells 0 and current = Array.make n_cells 0 in
   let records = ref [] in
-  let previous = ref (Simulator.cell_toggles sim) in
+  Simulator.cell_toggles_into sim previous;
   let previous_total = ref (Simulator.total_toggles sim) in
   for index = 0 to cycles - 1 do
     run_cycle ~cycle:(warmup + index);
-    let now = Simulator.cell_toggles sim in
-    let before = !previous in
-    let delta = Array.mapi (fun i t -> t - before.(i)) now in
+    Simulator.cell_toggles_into sim current;
+    let acc = Numerics.Kahan.create () in
+    for i = 0 to n_cells - 1 do
+      let delta = current.(i) - previous.(i) in
+      if delta > 0 then
+        Numerics.Kahan.add acc (float_of_int delta *. cap.(i))
+    done;
+    let switched_cap = Numerics.Kahan.sum acc in
     let toggles = Simulator.total_toggles sim - !previous_total in
-    let switched_cap = weighted_cap circuit delta in
-    previous := now;
+    Array.blit current 0 previous 0 n_cells;
     previous_total := Simulator.total_toggles sim;
     records :=
       { index; toggles; switched_cap; energy = switched_cap *. vdd *. vdd }

@@ -6,18 +6,33 @@
     glitching behaviour that penalises the diagonally pipelined multipliers
     in the paper.
 
+    Since the compiled-kernel rework this module is a re-export of
+    {!Compiled}: {!create} lowers the netlist once into flat arrays (CSR
+    fanout, kind codes, per-output delays) and the event loop runs
+    allocation-free over [Bytes.t] value planes and an unboxed
+    struct-of-arrays heap. Results are bitwise identical to the boxed
+    {!Reference} kernel — the differential suite enforces it across the
+    multiplier catalog.
+
     Toggle accounting: a committed 0↔1 transition on a cell's output
     increments that cell's counter (X resolutions are not counted). The
     inertial model cancels a pending transition when a newer evaluation
     reverts it before it commits — pulses shorter than the gate delay are
     swallowed, longer ones propagate as glitches. *)
 
-type t
+type t = Compiled.t
 
 val create : Netlist.Circuit.t -> t
 (** Builds simulation state, initialises ties and flip-flop power-up values
     and settles. @raise Failure on a malformed circuit
     (see {!Netlist.Check}). *)
+
+val of_static : Compiled.static -> t
+(** Fresh simulation state over an existing compilation, skipping the
+    well-formedness re-check and the lowering. *)
+
+val static : t -> Compiled.static
+(** The compiled form — what the bit-parallel engine runs over. *)
 
 val circuit : t -> Netlist.Circuit.t
 val now : t -> float
@@ -35,17 +50,40 @@ val settle : ?event_limit:int -> t -> unit
 
 val clock_tick : t -> unit
 (** Synchronous clock edge: samples every flip-flop's D simultaneously and
-    schedules Q updates after the clk→q delay. Call {!settle} afterwards. *)
+    schedules Q updates after the clk→q delay, iterating the flip-flop id
+    array precomputed at {!create}. Call {!settle} afterwards. *)
 
 val cell_toggles : t -> int array
 (** Per-cell committed toggle counts since the last reset. *)
+
+val cell_toggles_into : t -> int array -> unit
+(** Copy the per-cell toggle counters into a caller-owned buffer without
+    allocating. @raise Invalid_argument on a length mismatch. *)
 
 val total_toggles : t -> int
 val reset_toggles : t -> unit
 
 val snapshot_values : t -> Netlist.Logic.value array
-(** Copy of all net values (for per-cycle glitch accounting). *)
+(** Copy of all net values. The per-cycle activity accounting no longer
+    needs this — see {!snapshot_baseline}/{!necessary_transitions} — but
+    debugging and waveform capture still do. *)
 
 val events_processed : t -> int
 (** Committed events since creation (monotonic; not reset by
     {!reset_toggles}). *)
+
+val countable_cells : t -> int
+(** Cells that count towards the activity denominator (everything except
+    ties), precomputed at compile time. *)
+
+val has_dffs : t -> bool
+(** Whether the circuit is sequential — the kernel-selection predicate for
+    the zero-delay activity engines (see DESIGN.md §10). *)
+
+val snapshot_baseline : t -> unit
+(** Record the current settled values as the necessary-transition baseline
+    and clear the touched-net set. *)
+
+val necessary_transitions : t -> int
+(** Driven nets whose settled value changed 0↔1 since the baseline, then
+    re-baseline; O(nets touched), allocation-free. *)

@@ -1,0 +1,228 @@
+(* A bucket calendar rather than a comparison heap: the event kernels only
+   ever hold a handful of *distinct* times at once (gate delays span a
+   short horizon — measured ≤ 16 distinct times live against several
+   hundred queued events on a 16-bit Wallace tree), so the queue keeps a
+   short sorted array of distinct-time buckets, each a FIFO of payload
+   words. Pop is O(1) — no sift at all — and push is a short scan from the
+   back of the sorted array, since new events carry the latest times.
+
+   The pop order is exactly the (time, insertion order) total order of a
+   comparison heap: entries within one bucket share identical float bits
+   and drain FIFO (= insertion order), buckets drain in ascending float
+   order, and a retired time that reappears is re-inserted at its sorted
+   position ahead of every later-time bucket. Times must be totally
+   ordered (no NaN) — event times are finite sums of positive delays. *)
+
+type t = {
+  (* Sorted ascending distinct times; the live slice is
+     [first, first + nb). *)
+  mutable bt : float array;
+  mutable ba : int array array;  (* per bucket: payload-a FIFO storage *)
+  mutable bb : int array array;  (* per bucket: payload-b FIFO storage *)
+  mutable bhead : int array;  (* per bucket: FIFO start offset *)
+  mutable blen : int array;  (* per bucket: FIFO length *)
+  mutable first : int;
+  mutable nb : int;
+  (* Retired FIFO array pairs, reused so steady-state pushes never
+     allocate. *)
+  pool_a : int array array;
+  pool_b : int array array;
+  mutable pool_n : int;
+  mutable len : int;
+  mutable counter : int;
+  top_time : float array;
+      (* length 1: flat float storage, so depositing the popped time never
+         allocates a box (a mutable float field in this mixed record would) *)
+  mutable top_a : int;
+  mutable top_b : int;
+}
+
+let pool_slots = 64
+let initial_fifo = 32
+
+let create () =
+  {
+    bt = [||];
+    ba = [||];
+    bb = [||];
+    bhead = [||];
+    blen = [||];
+    first = 0;
+    nb = 0;
+    pool_a = Array.make pool_slots [||];
+    pool_b = Array.make pool_slots [||];
+    pool_n = 0;
+    len = 0;
+    counter = 0;
+    top_time = [| 0.0 |];
+    top_a = 0;
+    top_b = 0;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let top_time t = Array.unsafe_get t.top_time 0
+let top_a t = t.top_a
+let top_b t = t.top_b
+
+let retire_bucket t i =
+  if t.pool_n < pool_slots then begin
+    t.pool_a.(t.pool_n) <- t.ba.(i);
+    t.pool_b.(t.pool_n) <- t.bb.(i);
+    t.pool_n <- t.pool_n + 1
+  end;
+  t.ba.(i) <- [||];
+  t.bb.(i) <- [||]
+
+let clear t =
+  for i = t.first to t.first + t.nb - 1 do
+    retire_bucket t i
+  done;
+  t.first <- 0;
+  t.nb <- 0;
+  t.len <- 0;
+  t.counter <- 0
+
+(* Guarantee a free slot at the end of the bucket table: slide the live
+   slice back to the front when only the tail is exhausted, double
+   otherwise. *)
+let ensure_slot t =
+  let cap = Array.length t.bt in
+  if t.first + t.nb = cap then
+    if t.first > 0 then begin
+      Array.blit t.bt t.first t.bt 0 t.nb;
+      Array.blit t.ba t.first t.ba 0 t.nb;
+      Array.blit t.bb t.first t.bb 0 t.nb;
+      Array.blit t.bhead t.first t.bhead 0 t.nb;
+      Array.blit t.blen t.first t.blen 0 t.nb;
+      (* Drop stale array pointers behind the live slice so retired FIFO
+         storage is not kept reachable twice. *)
+      for i = t.nb to cap - 1 do
+        t.ba.(i) <- [||];
+        t.bb.(i) <- [||]
+      done;
+      t.first <- 0
+    end
+    else begin
+      let ncap = max 16 (2 * cap) in
+      let bt = Array.make ncap 0.0 in
+      let ba = Array.make ncap [||] in
+      let bb = Array.make ncap [||] in
+      let bhead = Array.make ncap 0 in
+      let blen = Array.make ncap 0 in
+      Array.blit t.bt 0 bt 0 t.nb;
+      Array.blit t.ba 0 ba 0 t.nb;
+      Array.blit t.bb 0 bb 0 t.nb;
+      Array.blit t.bhead 0 bhead 0 t.nb;
+      Array.blit t.blen 0 blen 0 t.nb;
+      t.bt <- bt;
+      t.ba <- ba;
+      t.bb <- bb;
+      t.bhead <- bhead;
+      t.blen <- blen
+    end
+
+let append_to_bucket t i a b =
+  let qa = Array.unsafe_get t.ba i in
+  let head = Array.unsafe_get t.bhead i in
+  let n = Array.unsafe_get t.blen i in
+  let pos = head + n in
+  if pos < Array.length qa then begin
+    Array.unsafe_set qa pos a;
+    Array.unsafe_set (Array.unsafe_get t.bb i) pos b;
+    Array.unsafe_set t.blen i (n + 1)
+  end
+  else begin
+    let qb = t.bb.(i) in
+    if head > 0 then begin
+      (* Slide the live FIFO window back to the front. *)
+      Array.blit qa head qa 0 n;
+      Array.blit qb head qb 0 n
+    end
+    else begin
+      let ncap = max initial_fifo (2 * Array.length qa) in
+      let na = Array.make ncap 0 and nq = Array.make ncap 0 in
+      Array.blit qa head na 0 n;
+      Array.blit qb head nq 0 n;
+      t.ba.(i) <- na;
+      t.bb.(i) <- nq
+    end;
+    t.bhead.(i) <- 0;
+    t.ba.(i).(n) <- a;
+    t.bb.(i).(n) <- b;
+    t.blen.(i) <- n + 1
+  end
+
+let fresh_bucket t pos time a b =
+  let qa, qb =
+    if t.pool_n > 0 then begin
+      let k = t.pool_n - 1 in
+      t.pool_n <- k;
+      let qa = t.pool_a.(k) and qb = t.pool_b.(k) in
+      t.pool_a.(k) <- [||];
+      t.pool_b.(k) <- [||];
+      (qa, qb)
+    end
+    else (Array.make initial_fifo 0, Array.make initial_fifo 0)
+  in
+  t.bt.(pos) <- time;
+  t.ba.(pos) <- qa;
+  t.bb.(pos) <- qb;
+  t.bhead.(pos) <- 0;
+  t.blen.(pos) <- 1;
+  qa.(0) <- a;
+  qb.(0) <- b
+
+let push t ~time ~a ~b =
+  t.counter <- t.counter + 1;
+  t.len <- t.len + 1;
+  ensure_slot t;
+  let first = t.first in
+  let last = first + t.nb - 1 in
+  let bt = t.bt in
+  (* Scan from the back: pushed times never precede the front bucket
+     (delays are strictly positive) and are usually among the latest. *)
+  let i = ref last in
+  while !i >= first && Array.unsafe_get bt !i > time do
+    decr i
+  done;
+  if !i >= first && Array.unsafe_get bt !i = time then
+    append_to_bucket t !i a b
+  else begin
+    let pos = !i + 1 in
+    let tail = last - pos + 1 in
+    if tail > 0 then begin
+      Array.blit t.bt pos t.bt (pos + 1) tail;
+      Array.blit t.ba pos t.ba (pos + 1) tail;
+      Array.blit t.bb pos t.bb (pos + 1) tail;
+      Array.blit t.bhead pos t.bhead (pos + 1) tail;
+      Array.blit t.blen pos t.blen (pos + 1) tail
+    end;
+    fresh_bucket t pos time a b;
+    t.nb <- t.nb + 1
+  end
+
+let pop t =
+  if t.len = 0 then false
+  else begin
+    let i = t.first in
+    let head = Array.unsafe_get t.bhead i in
+    Array.unsafe_set t.top_time 0 (Array.unsafe_get t.bt i);
+    t.top_a <- Array.unsafe_get (Array.unsafe_get t.ba i) head;
+    t.top_b <- Array.unsafe_get (Array.unsafe_get t.bb i) head;
+    let n = Array.unsafe_get t.blen i - 1 in
+    t.len <- t.len - 1;
+    if n = 0 then begin
+      retire_bucket t i;
+      t.first <- i + 1;
+      t.nb <- t.nb - 1;
+      if t.nb = 0 then t.first <- 0
+    end
+    else begin
+      Array.unsafe_set t.bhead i (head + 1);
+      Array.unsafe_set t.blen i n
+    end;
+    true
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.bt.(t.first)

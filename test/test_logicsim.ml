@@ -354,6 +354,429 @@ let test_faults_reject_sequential () =
     | _ -> false
     | exception Failure _ -> true)
 
+(* Unboxed heap — the struct-of-arrays core both kernels schedule through;
+   same contract as Event_queue, so the same ordering tests apply. *)
+
+module Uheap = Logicsim.Unboxed_heap
+
+let test_uheap_ordering () =
+  let h = Uheap.create () in
+  Uheap.push h ~time:3.0 ~a:30 ~b:300;
+  Uheap.push h ~time:1.0 ~a:10 ~b:100;
+  Uheap.push h ~time:2.0 ~a:20 ~b:200;
+  let pop () =
+    if not (Uheap.pop h) then Alcotest.fail "heap empty";
+    (Uheap.top_time h, Uheap.top_a h, Uheap.top_b h)
+  in
+  Alcotest.(check (triple (float 0.0) int int)) "first" (1.0, 10, 100) (pop ());
+  Alcotest.(check (triple (float 0.0) int int)) "second" (2.0, 20, 200) (pop ());
+  Alcotest.(check (triple (float 0.0) int int)) "third" (3.0, 30, 300) (pop ());
+  Alcotest.(check bool) "empty" true (Uheap.is_empty h);
+  Alcotest.(check bool) "pop on empty" false (Uheap.pop h)
+
+let test_uheap_fifo_ties () =
+  let h = Uheap.create () in
+  List.iter (fun k -> Uheap.push h ~time:1.0 ~a:k ~b:0) [ 0; 1; 2 ];
+  let order =
+    List.init 3 (fun _ ->
+        if Uheap.pop h then Uheap.top_a h else -1)
+  in
+  Alcotest.(check (list int)) "insertion order on ties" [ 0; 1; 2 ] order
+
+let test_uheap_peek_clear () =
+  let h = Uheap.create () in
+  Alcotest.(check (option (float 0.0))) "empty peek" None (Uheap.peek_time h);
+  Uheap.push h ~time:5.0 ~a:1 ~b:2;
+  Uheap.push h ~time:4.0 ~a:3 ~b:4;
+  Alcotest.(check (option (float 0.0))) "peek" (Some 4.0) (Uheap.peek_time h);
+  Alcotest.(check int) "length" 2 (Uheap.length h);
+  Uheap.clear h;
+  Alcotest.(check bool) "cleared" true (Uheap.is_empty h);
+  (* The tie-break counter resets too: fresh pushes pop in fresh order. *)
+  Uheap.push h ~time:1.0 ~a:7 ~b:0;
+  Alcotest.(check bool) "usable after clear" true (Uheap.pop h);
+  Alcotest.(check int) "payload survives" 7 (Uheap.top_a h)
+
+let prop_uheap_sorted =
+  QCheck.Test.make ~name:"unboxed heap pops time-sorted, ties FIFO" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 9))
+    (fun raw ->
+      (* Coarse integer times force plenty of ties. *)
+      let h = Uheap.create () in
+      List.iteri
+        (fun i t -> Uheap.push h ~time:(float_of_int t) ~a:i ~b:(i * 2))
+        raw;
+      let rec drain last_time last_a =
+        if not (Uheap.pop h) then true
+        else begin
+          let t = Uheap.top_time h and a = Uheap.top_a h in
+          if t < last_time then false
+          else if t = last_time && a <= last_a then false
+          else drain t a
+        end
+      in
+      drain neg_infinity (-1))
+
+(* Differential: the compiled kernel must match the boxed reference kernel
+   bit for bit — settled values, per-cell toggles, committed events, time —
+   on every architecture of the catalog under identical stimulus. *)
+
+module Ref = Logicsim.Reference
+module Compiled = Logicsim.Compiled
+module Bitpar = Logicsim.Bitpar
+
+let drive_ref_bus r bus value =
+  Array.iteri
+    (fun i net ->
+      Ref.set_input r net (Logic.of_bool ((value lsr i) land 1 = 1)))
+    bus
+
+let differential_arch label () =
+  let spec = Multipliers.Catalog.build label in
+  let sim = Sim.create spec.Multipliers.Spec.circuit in
+  let r = Ref.create spec.Multipliers.Spec.circuit in
+  let rng_c = Numerics.Rng.create 1009 and rng_r = Numerics.Rng.create 1009 in
+  let bound = 1 lsl spec.Multipliers.Spec.bits in
+  for _cycle = 1 to 3 do
+    let xc = Numerics.Rng.int rng_c bound and yc = Numerics.Rng.int rng_c bound in
+    Logicsim.Bus.drive sim spec.Multipliers.Spec.a_bus xc;
+    Logicsim.Bus.drive sim spec.Multipliers.Spec.b_bus yc;
+    Sim.settle sim;
+    let xr = Numerics.Rng.int rng_r bound and yr = Numerics.Rng.int rng_r bound in
+    drive_ref_bus r spec.Multipliers.Spec.a_bus xr;
+    drive_ref_bus r spec.Multipliers.Spec.b_bus yr;
+    Ref.settle r;
+    for _ = 1 to spec.Multipliers.Spec.ticks_per_cycle do
+      Sim.clock_tick sim;
+      Sim.settle sim;
+      Ref.clock_tick r;
+      Ref.settle r
+    done
+  done;
+  Alcotest.(check int)
+    "committed events" (Ref.events_processed r) (Sim.events_processed sim);
+  Alcotest.(check int)
+    "total toggles" (Ref.total_toggles r) (Sim.total_toggles sim);
+  Alcotest.(check (float 0.0)) "simulation time" (Ref.now r) (Sim.now sim);
+  Alcotest.(check (array int))
+    "per-cell toggles" (Ref.cell_toggles r) (Sim.cell_toggles sim);
+  Alcotest.(check (array value_t))
+    "settled net values" (Ref.snapshot_values r) (Sim.snapshot_values sim)
+
+(* Glitch-ratio differential: Activity.measure (incremental dirty-set
+   accounting on the compiled kernel) against a straight transcription of
+   the original algorithm — full value snapshots and a full-circuit scan
+   per cycle — running on the reference kernel. *)
+
+let reference_activity ~warmup ~ticks_per_cycle ~cycles ~seed
+    (spec : Multipliers.Spec.t) =
+  let r = Ref.create spec.circuit in
+  let rng = Numerics.Rng.create seed in
+  let drive () =
+    List.iter
+      (fun bus ->
+        let width = Array.length bus in
+        let bound = if width >= 62 then max_int else 1 lsl width in
+        drive_ref_bus r bus (Numerics.Rng.int rng bound))
+      [ spec.a_bus; spec.b_bus ]
+  in
+  let run_cycle () =
+    drive ();
+    Ref.settle r;
+    for _ = 1 to ticks_per_cycle do
+      Ref.clock_tick r;
+      Ref.settle r
+    done
+  in
+  let necessary ~before ~after =
+    let count = ref 0 in
+    C.iter_cells
+      (fun cell ->
+        Array.iter
+          (fun net ->
+            match (before.(net), after.(net)) with
+            | Logic.Zero, Logic.One | Logic.One, Logic.Zero -> incr count
+            | (Logic.Zero | Logic.One | Logic.X), _ -> ())
+          cell.outputs)
+      spec.circuit
+  ;
+    !count
+  in
+  for _ = 1 to warmup do
+    run_cycle ()
+  done;
+  Ref.reset_toggles r;
+  let necessary_total = ref 0 in
+  let before = ref (Ref.snapshot_values r) in
+  for _ = 1 to cycles do
+    run_cycle ();
+    let after = Ref.snapshot_values r in
+    necessary_total := !necessary_total + necessary ~before:!before ~after;
+    before := after
+  done;
+  let total = Ref.total_toggles r in
+  let n =
+    C.fold_cells
+      (fun acc cell ->
+        match cell.kind with
+        | Cell.Tie0 | Cell.Tie1 -> acc
+        | _ -> acc + 1)
+      0 spec.circuit
+  in
+  let glitch_ratio =
+    if total = 0 then 0.0
+    else
+      Float.max 0.0
+        (float_of_int (total - !necessary_total) /. float_of_int total)
+  in
+  (* Same association as Activity.measure: (total / cycles) / n. *)
+  (float_of_int total /. float_of_int cycles /. float_of_int (max 1 n),
+   glitch_ratio)
+
+let compiled_activity ~warmup ~ticks_per_cycle ~cycles ~seed
+    (spec : Multipliers.Spec.t) =
+  let sim = Sim.create spec.circuit in
+  let rng = Numerics.Rng.create seed in
+  let drive =
+    Logicsim.Activity.random_drive ~rng ~buses:[ spec.a_bus; spec.b_bus ]
+  in
+  let r =
+    Logicsim.Activity.measure ~warmup ~ticks_per_cycle ~cycles ~drive sim
+  in
+  (r.activity, r.glitch_ratio)
+
+let test_glitch_ratio_differential_sequential () =
+  (* Registered I/O makes this a sequential circuit: exercises the
+     incremental dirty-set path. *)
+  let spec = Multipliers.Catalog.build "RCA" in
+  let act_ref, glitch_ref =
+    reference_activity ~warmup:2 ~ticks_per_cycle:spec.ticks_per_cycle
+      ~cycles:4 ~seed:77 spec
+  in
+  let act_c, glitch_c =
+    compiled_activity ~warmup:2 ~ticks_per_cycle:spec.ticks_per_cycle
+      ~cycles:4 ~seed:77 spec
+  in
+  Alcotest.(check (float 0.0)) "activity bitwise" act_ref act_c;
+  Alcotest.(check (float 0.0)) "glitch ratio bitwise" glitch_ref glitch_c
+
+let test_glitch_ratio_differential_multitick () =
+  (* A sequential-style architecture with an internal clock multiple. *)
+  let spec = Multipliers.Catalog.build "Sequential" in
+  let act_ref, glitch_ref =
+    reference_activity ~warmup:1 ~ticks_per_cycle:spec.ticks_per_cycle
+      ~cycles:3 ~seed:31 spec
+  in
+  let act_c, glitch_c =
+    compiled_activity ~warmup:1 ~ticks_per_cycle:spec.ticks_per_cycle
+      ~cycles:3 ~seed:31 spec
+  in
+  Alcotest.(check (float 0.0)) "activity bitwise" act_ref act_c;
+  Alcotest.(check (float 0.0)) "glitch ratio bitwise" glitch_ref glitch_c
+
+(* Bit-parallel engine *)
+
+let wallace_core_circuit bits =
+  let c = C.create "wcore" in
+  let a = C.add_input_bus c "a" bits in
+  let b = C.add_input_bus c "b" bits in
+  let p = Multipliers.Wallace.core c ~a ~b in
+  C.mark_output_bus c p "p";
+  (c, a, b, p)
+
+let test_bitpar_matches_event_sim () =
+  (* 63 lanes of random three-valued input vectors (lane 0 left at
+     power-up X) must settle to exactly the event kernel's values. *)
+  let c, a, b, _ = wallace_core_circuit 4 in
+  let inputs = Array.append a b in
+  let st = Compiled.compile c in
+  let bp = Bitpar.create st in
+  let rng = Numerics.Rng.create 91 in
+  let vectors =
+    Array.init Bitpar.lanes (fun lane ->
+        if lane = 0 then [||]
+        else
+          Array.map
+            (fun net ->
+              let r = Numerics.Rng.int rng 4 in
+              let v = if r = 3 then Logic.X else Logic.of_bool (r land 1 = 1) in
+              (net, v))
+            inputs)
+  in
+  Array.iteri
+    (fun lane vec ->
+      Array.iter (fun (net, v) -> Bitpar.set_input bp ~net ~lane v) vec)
+    vectors;
+  Bitpar.run bp;
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun lane vec ->
+      let sim = Sim.create c in
+      Array.iter (fun (net, v) -> Sim.set_input sim net v) vec;
+      Sim.settle sim;
+      for net = 0 to C.net_count c - 1 do
+        if not (Logic.equal (Sim.value sim net) (Bitpar.value bp ~net ~lane))
+        then incr mismatches
+      done)
+    vectors;
+  Alcotest.(check int) "all lanes, all nets agree" 0 !mismatches
+
+let test_bitpar_adjacent_necessary () =
+  (* Packing consecutive cycles into adjacent lanes reproduces the
+     event-kernel necessary-transition count. *)
+  let c, a, b, _ = wallace_core_circuit 4 in
+  let st = Compiled.compile c in
+  let bp = Bitpar.create st in
+  let sim = Sim.create c in
+  let rng = Numerics.Rng.create 57 in
+  (* Lane 0 carries the power-up settled state. *)
+  Array.iter
+    (fun net -> Bitpar.set_input bp ~net ~lane:0 (Sim.value sim net))
+    (Array.append a b);
+  let cycles = 20 in
+  let expected = ref 0 in
+  let before = ref (Sim.snapshot_values sim) in
+  for cycle = 1 to cycles do
+    let xa = Numerics.Rng.int rng 16 and xb = Numerics.Rng.int rng 16 in
+    Logicsim.Bus.drive sim a xa;
+    Logicsim.Bus.drive sim b xb;
+    Sim.settle sim;
+    let after = Sim.snapshot_values sim in
+    C.iter_cells
+      (fun cell ->
+        Array.iter
+          (fun net ->
+            match (!before.(net), after.(net)) with
+            | Logic.Zero, Logic.One | Logic.One, Logic.Zero -> incr expected
+            | (Logic.Zero | Logic.One | Logic.X), _ -> ())
+          cell.outputs)
+      c;
+    before := after;
+    Array.iteri
+      (fun i net ->
+        Bitpar.set_input bp ~net ~lane:cycle
+          (Logic.of_bool ((xa lsr i) land 1 = 1)))
+      a;
+    Array.iteri
+      (fun i net ->
+        Bitpar.set_input bp ~net ~lane:cycle
+          (Logic.of_bool ((xb lsr i) land 1 = 1)))
+      b
+  done;
+  Bitpar.run bp;
+  Alcotest.(check int)
+    "necessary transitions" !expected
+    (Bitpar.adjacent_necessary bp ~pairs:cycles)
+
+let test_activity_batched_matches_reference () =
+  (* A DFF-free circuit takes the bit-parallel accounting path; 150 cycles
+     spans three 62-cycle batches including the carry-over lane. *)
+  let c, a, b, _ = wallace_core_circuit 4 in
+  let measure_compiled () =
+    let sim = Sim.create c in
+    let rng = Numerics.Rng.create 8 in
+    let drive = Logicsim.Activity.random_drive ~rng ~buses:[ a; b ] in
+    let r = Logicsim.Activity.measure ~warmup:2 ~cycles:150 ~drive sim in
+    (r.activity, r.glitch_ratio)
+  in
+  let measure_reference () =
+    let r = Ref.create c in
+    let rng = Numerics.Rng.create 8 in
+    let drive () =
+      List.iter
+        (fun bus ->
+          let width = Array.length bus in
+          let bound = if width >= 62 then max_int else 1 lsl width in
+          drive_ref_bus r bus (Numerics.Rng.int rng bound))
+        [ a; b ]
+    in
+    let run_cycle () =
+      drive ();
+      Ref.settle r;
+      Ref.clock_tick r;
+      Ref.settle r
+    in
+    for _ = 1 to 2 do
+      run_cycle ()
+    done;
+    Ref.reset_toggles r;
+    let necessary_total = ref 0 in
+    let before = ref (Ref.snapshot_values r) in
+    for _ = 1 to 150 do
+      run_cycle ();
+      let after = Ref.snapshot_values r in
+      C.iter_cells
+        (fun cell ->
+          Array.iter
+            (fun net ->
+              match (!before.(net), after.(net)) with
+              | Logic.Zero, Logic.One | Logic.One, Logic.Zero ->
+                incr necessary_total
+              | (Logic.Zero | Logic.One | Logic.X), _ -> ())
+            cell.outputs)
+        c;
+      before := after
+    done;
+    let total = Ref.total_toggles r in
+    let n =
+      C.fold_cells
+        (fun acc cell ->
+          match cell.kind with
+          | Cell.Tie0 | Cell.Tie1 -> acc
+          | _ -> acc + 1)
+        0 c
+    in
+    ( float_of_int total /. 150.0 /. float_of_int (max 1 n),
+      if total = 0 then 0.0
+      else
+        Float.max 0.0
+          (float_of_int (total - !necessary_total) /. float_of_int total) )
+  in
+  let act_c, glitch_c = measure_compiled () in
+  let act_r, glitch_r = measure_reference () in
+  Alcotest.(check (float 0.0)) "activity bitwise" act_r act_c;
+  Alcotest.(check (float 0.0)) "glitch ratio bitwise" glitch_r glitch_c
+
+let test_bitpar_fault_coverage_matches_scalar () =
+  (* The chunked bit-parallel coverage must flag exactly the faults the
+     per-vector zero-delay evaluation flags. *)
+  let c, _, _, p = wallace_core_circuit 4 in
+  let outputs = Array.to_list p in
+  let rng = Numerics.Rng.create 12 in
+  let vectors = Logicsim.Faults.random_vectors ~rng ~circuit:c ~count:12 in
+  let faults = Logicsim.Faults.enumerate c in
+  let cov = Logicsim.Faults.coverage c ~faults ~vectors ~outputs in
+  (* Scalar re-implementation of detection, one vector at a time. *)
+  let golden =
+    List.map
+      (fun inputs ->
+        let nets = Logicsim.Faults.evaluate_with_fault c ~fault:None ~inputs in
+        (inputs, List.map (fun n -> nets.(n)) outputs))
+      vectors
+  in
+  let scalar_detected fault =
+    List.exists
+      (fun (inputs, expected) ->
+        let nets =
+          Logicsim.Faults.evaluate_with_fault c ~fault:(Some fault) ~inputs
+        in
+        List.exists2
+          (fun n reference -> not (Logic.equal nets.(n) reference))
+          outputs expected)
+      golden
+  in
+  let scalar_undetected = List.filter (fun f -> not (scalar_detected f)) faults in
+  Alcotest.(check int)
+    "same undetected count"
+    (List.length scalar_undetected)
+    (List.length cov.undetected);
+  Alcotest.(check bool)
+    "same undetected faults" true
+    (List.for_all2
+       (fun (f1 : Logicsim.Faults.fault) (f2 : Logicsim.Faults.fault) ->
+         f1.net = f2.net && f1.polarity = f2.polarity)
+       scalar_undetected cov.undetected)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -366,6 +789,13 @@ let () =
           Alcotest.test_case "peek" `Quick test_queue_peek;
         ]
         @ qsuite [ prop_queue_sorts ] );
+      ( "unboxed_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_uheap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_uheap_fifo_ties;
+          Alcotest.test_case "peek/clear" `Quick test_uheap_peek_clear;
+        ]
+        @ qsuite [ prop_uheap_sorted ] );
       ( "simulator",
         [
           Alcotest.test_case "propagation" `Quick test_propagation;
@@ -402,5 +832,27 @@ let () =
           Alcotest.test_case "coverage grows" `Quick
             test_faults_coverage_grows_with_vectors;
           Alcotest.test_case "rejects sequential" `Quick test_faults_reject_sequential;
+        ] );
+      ( "differential",
+        List.map
+          (fun (e : Multipliers.Catalog.entry) ->
+            Alcotest.test_case e.label `Quick (differential_arch e.label))
+          Multipliers.Catalog.entries
+        @ [
+            Alcotest.test_case "glitch ratio RCA" `Quick
+              test_glitch_ratio_differential_sequential;
+            Alcotest.test_case "glitch ratio Sequential" `Quick
+              test_glitch_ratio_differential_multitick;
+          ] );
+      ( "bitpar",
+        [
+          Alcotest.test_case "matches event sim" `Quick
+            test_bitpar_matches_event_sim;
+          Alcotest.test_case "adjacent necessary" `Quick
+            test_bitpar_adjacent_necessary;
+          Alcotest.test_case "batched activity" `Quick
+            test_activity_batched_matches_reference;
+          Alcotest.test_case "fault coverage" `Quick
+            test_bitpar_fault_coverage_matches_scalar;
         ] );
     ]
