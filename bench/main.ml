@@ -93,6 +93,16 @@ let bench_activity =
   make_bench ~limit:60 "logicsim:activity-wallace16-20cycles" (fun () ->
       ignore (Multipliers.Harness.measure_activity ~cycles:20 spec))
 
+(* A/B pair for the builder preallocation: the same Wallace core framed
+   with and without the cell-count hint. A is the plain growth-doubling
+   path ([Registered.build] with no [expect_cells]), B is the hinted
+   production path ([Wallace.basic]). *)
+let bench_diag_build_unhinted =
+  make_bench "diag:build-wallace16-unhinted" (fun () ->
+      ignore
+        (Multipliers.Registered.build ~name:"wallace_basic" ~label:"Wallace"
+           ~bits:16 ~core:Multipliers.Wallace.core ()))
+
 let bench_diag_simonly =
   let spec = Multipliers.Wallace.basic ~bits:16 in
   make_bench ~limit:60 "diag:fresh-simulator-wallace16" (fun () ->
@@ -199,6 +209,7 @@ let benchmarks =
     bench_table4;
     bench_build_rca;
     bench_build_wallace;
+    bench_diag_build_unhinted;
     bench_catalog_cached;
     bench_sta;
     bench_activity;
@@ -298,43 +309,111 @@ let write_json ~path ?(metrics = []) results =
   close_out oc;
   Printf.printf "\nJSON results written to %s\n" path
 
-(* Reads the "results" block of a previous --json file — the format above,
-   so a line-oriented scan is enough: entries look like ["name": 123.456,]
-   and the block ends at the first closing brace. *)
+(* Reads the "results" and "metrics" blocks of a previous --json file — the
+   format above, so a line-oriented scan is enough: result entries look
+   like ["name": 123.456,], metric entries like ["name": { "c": 1, ... },]
+   and each block ends at the first line starting with a closing brace. *)
+
+let parse_metric_line line =
+  match (String.index_opt line '{', String.rindex_opt line '}') with
+  | Some lb, Some rb when rb > lb -> begin
+    try
+      let name = Scanf.sscanf line " %S" Fun.id in
+      let body = String.sub line (lb + 1) (rb - lb - 1) in
+      let counters =
+        List.filter_map
+          (fun pair ->
+            try Some (Scanf.sscanf (String.trim pair) " %S : %d" (fun c v -> (c, v)))
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+          (String.split_on_char ',' body)
+      in
+      Some (name, counters)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  end
+  | _ -> None
+
 let parse_baseline path =
   let ic = open_in path in
   let results = ref [] in
-  let in_results = ref false in
+  let metrics = ref [] in
+  let section = ref `Preamble in
   (try
      while true do
        let line = String.trim (input_line ic) in
        if String.length line >= 9 && String.sub line 0 9 = "\"results\"" then
-         in_results := true
-       else if !in_results then begin
-         if String.length line > 0 && line.[0] = '}' then raise Exit;
-         try
-           Scanf.sscanf line " %S : %s" (fun name v ->
-               let v =
-                 if String.length v > 0 && v.[String.length v - 1] = ',' then
-                   String.sub v 0 (String.length v - 1)
-                 else v
-               in
-               if v <> "null" then
-                 results := (name, float_of_string v) :: !results)
-         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
-       end
+         section := `Results
+       else if String.length line >= 9 && String.sub line 0 9 = "\"metrics\""
+       then section := `Metrics
+       else if String.length line > 0 && line.[0] = '}' then
+         section := `Preamble
+       else
+         match !section with
+         | `Preamble -> ()
+         | `Results -> begin
+           try
+             Scanf.sscanf line " %S : %s" (fun name v ->
+                 let v =
+                   if String.length v > 0 && v.[String.length v - 1] = ',' then
+                     String.sub v 0 (String.length v - 1)
+                   else v
+                 in
+                 if v <> "null" then
+                   results := (name, float_of_string v) :: !results)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+         end
+         | `Metrics -> (
+           match parse_metric_line line with
+           | Some m -> metrics := m :: !metrics
+           | None -> ())
      done
-   with End_of_file | Exit -> ());
+   with End_of_file -> ());
   close_in ic;
-  List.rev !results
+  (List.rev !results, List.rev !metrics)
 
 (* Regression gate: every benchmark present in both runs must stay within
-   +25% of its recorded baseline. Exits non-zero otherwise, so the
-   [@bench-compare] alias can act as a perf tripwire. *)
+   +25% of its recorded baseline, and every counter shared with the
+   baseline's metrics block must stay within +10% (plus a small absolute
+   slack for counters near zero). Counters are deterministic work
+   fingerprints — solver iterations, grid probes, pool items — so unlike
+   the timings they flag an algorithmic regression even on a noisy host.
+   Exits non-zero otherwise, so the [@bench-compare] alias can act as a
+   perf tripwire. Renamed/retired counters simply stop being shared and
+   drop out of the comparison. *)
 let regression_threshold = 1.25
+let counter_threshold = 1.10
+let counter_slack = 8
 
-let compare_against ~path results =
-  let baseline = parse_baseline path in
+let compare_counters ~base_metrics metrics =
+  let regressions = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun (bench_name, counters) ->
+      match List.assoc_opt bench_name base_metrics with
+      | None -> ()
+      | Some base_counters ->
+        List.iter
+          (fun (counter, current) ->
+            match List.assoc_opt counter base_counters with
+            | None -> ()
+            | Some base ->
+              incr compared;
+              let budget =
+                int_of_float
+                  (Float.ceil (float_of_int base *. counter_threshold))
+                + counter_slack
+              in
+              if current > budget then begin
+                Printf.printf
+                  "%-42s %s: %d -> %d (budget %d)  COUNTER REGRESSION\n"
+                  bench_name counter base current budget;
+                regressions := (bench_name ^ "/" ^ counter) :: !regressions
+              end)
+          counters)
+    metrics;
+  (!compared, List.rev !regressions)
+
+let compare_against ~path ~metrics results =
+  let baseline, base_metrics = parse_baseline path in
   Printf.printf "\n=== Regression check vs %s (threshold %+.0f%%) ===\n\n" path
     ((regression_threshold -. 1.0) *. 100.0);
   Printf.printf "%-42s %12s %12s %7s\n" "benchmark" "baseline" "current"
@@ -361,22 +440,39 @@ let compare_against ~path results =
     Printf.printf "\nFAIL: no benchmark in common with %s\n" path;
     exit 1
   end;
-  match List.rev !regressions with
+  let counters_compared, counter_regressions =
+    compare_counters ~base_metrics metrics
+  in
+  let failed = ref false in
+  (match List.rev !regressions with
   | [] ->
     Printf.printf "\nOK: %d benchmark(s) within the +25%% budget\n" !compared
   | names ->
     Printf.printf "\nFAIL: %d of %d benchmark(s) regressed more than 25%%: %s\n"
       (List.length names) !compared
       (String.concat ", " names);
-    exit 1
+    failed := true);
+  (match counter_regressions with
+  | [] ->
+    Printf.printf "OK: %d shared counter(s) within the +10%% budget\n"
+      counters_compared
+  | names ->
+    Printf.printf "FAIL: %d of %d counter(s) regressed more than 10%%: %s\n"
+      (List.length names) counters_compared
+      (String.concat ", " names);
+    failed := true);
+  if !failed then exit 1
 
 (* Disabled-instrumentation overhead contract (checked under --smoke): an
-   un-instrumented replica of the solver path vs the real, instrumented
-   [Numerical_opt.optimum] with observability off. The replica inlines
-   [ptot_on_constraint] and the default bracket/sample settings, so the two
-   sides differ only by the instrumentation points. Wall-clock A/B on a
-   shared machine is noisy, so we take the best of several attempts — the
-   contract is about the code, not the scheduler. *)
+   un-instrumented replica of the grid-scan solver vs the real,
+   instrumented [Numerical_opt.optimum_grid] with observability off. The
+   replica inlines [ptot_on_constraint] and the default bracket/sample
+   settings, so the two sides differ only by the instrumentation points
+   (the seeded production path shares those same points per probe, but
+   runs a different probe count, so the A/B must stay on the scan).
+   Wall-clock A/B on a shared machine is noisy, so we take the best of
+   several attempts — the contract is about the code, not the
+   scheduler. *)
 let baseline_optimum problem =
   let f vdd =
     if vdd <= 0.0 then infinity
@@ -404,7 +500,9 @@ let overhead_check () =
     List.fold_left
       (fun best _ ->
         let base = measure baseline_optimum in
-        let inst = measure Power_core.Numerical_opt.optimum in
+        let inst =
+          measure (fun p -> Power_core.Numerical_opt.optimum_grid p)
+        in
         Float.min best (inst /. base))
       infinity
       (List.init attempts Fun.id)
@@ -464,9 +562,13 @@ let () =
       { bench_fig2 with limit = 20; quota = 0.1 }
     in
     let results = run_benchmarks [ smoke_bench ] in
-    if !json then
-      write_json ~path:!out ~metrics:[ counter_snapshot smoke_bench ] results;
-    if !compare_path <> "" then compare_against ~path:!compare_path results;
+    let metrics =
+      if !json || !compare_path <> "" then [ counter_snapshot smoke_bench ]
+      else []
+    in
+    if !json then write_json ~path:!out ~metrics results;
+    if !compare_path <> "" then
+      compare_against ~path:!compare_path ~metrics results;
     overhead_check ()
   end
   else begin
@@ -484,9 +586,11 @@ let () =
     end;
     print_endline "=== Timings (Bechamel) ===\n";
     let results = run_benchmarks selected in
-    if !json then
-      write_json ~path:!out
-        ~metrics:(List.map counter_snapshot selected)
-        results;
-    if !compare_path <> "" then compare_against ~path:!compare_path results
+    let metrics =
+      if !json || !compare_path <> "" then List.map counter_snapshot selected
+      else []
+    in
+    if !json then write_json ~path:!out ~metrics results;
+    if !compare_path <> "" then
+      compare_against ~path:!compare_path ~metrics results
   end

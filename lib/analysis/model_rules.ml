@@ -149,10 +149,10 @@ let audit_finite model values =
                 (Numerics.Finite.violation_to_string violation))))
     values
 
-(* Default bracket of Numerical_opt.optimum; a minimum within one coarse
-   grid step of either end is a clamp, not a stationary point. *)
-let sweep_lo = 0.05
-let sweep_hi = 3.0
+(* Default bracket of Numerical_opt.optimum (the one shared constant,
+   Power_law.vdd_search_range); a minimum within one coarse grid step of
+   either end is a clamp, not a stationary point. *)
+let sweep_lo, sweep_hi = Power_core.Power_law.vdd_search_range
 let sweep_samples = 256
 
 let optimisation ~label (problem : Power_core.Power_law.problem) =

@@ -83,21 +83,26 @@ let frequency_sweep ?(f_lo = 1e6) ?(f_hi = 500e6) ?(points = 13) params =
   let step =
     (Float.log f_hi -. Float.log f_lo) /. float_of_int (points - 1)
   in
-  List.init points (fun i ->
-      let f = Float.exp (Float.log f_lo +. (float_of_int i *. step)) in
-      let per_tech =
+  let fs =
+    List.init points (fun i ->
+        Float.exp (Float.log f_lo +. (float_of_int i *. step)))
+  in
+  (* One continuation chain per flavor along the frequency axis, the
+     flavors mapped through the pool; the chains are sequential inside
+     each flavor, so the table is identical at any pool size. *)
+  let columns =
+    Parallel.Pool.map
+      (fun tech ->
+        let name = Device.Technology.name tech in
         List.map
-          (fun tech ->
-            let entries = Tech_compare.rank ~techs:[ tech ] ~f params in
-            let total =
-              match entries with
-              | [ { numerical = Some p; _ } ] -> Some p.Power_law.total
-              | [ _ ] | [] | _ :: _ :: _ -> None
-            in
-            (Device.Technology.name tech, total))
-          Device.Technology.all
-      in
-      { f; per_tech })
+          (fun (_, numerical) ->
+            (name, Option.map (fun (p : Power_law.breakdown) -> p.total) numerical))
+          (Tech_compare.sweep_frequencies tech ~fs params))
+      Device.Technology.all
+  in
+  List.mapi
+    (fun i f -> { f; per_tech = List.map (fun column -> List.nth column i) columns })
+    fs
 
 type width_row = { bits : int; rca_ptot : float; wallace_ptot : float }
 

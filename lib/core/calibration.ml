@@ -65,16 +65,28 @@ let fit_cap_scale tech ~f ~rows =
   if rows = [] then invalid_arg "Calibration.fit_cap_scale: no rows";
   (* Each row's re-optimisation is independent; the residuals come back in
      row order and are compensated-summed on the caller, so the cost — and
-     therefore the fitted scale — is bitwise-identical at any pool size. *)
+     therefore the fitted scale — is bitwise-identical at any pool size.
+     Successive cost evaluations move the scale smoothly, so each row
+     warm-starts from its own optimum at the previously probed scale: the
+     chain in [warm] is indexed by row slot and advanced exactly once per
+     cost call whatever domain computes the slot, keeping the fit
+     deterministic while cutting each inner solve to a few Brent steps. *)
+  let warm = Array.make (List.length rows) None in
   let cost scale =
     Numerics.Kahan.sum_list
-      (Parallel.Pool.map
-         (fun ((ll_row : Paper_data.table1_row),
+      (Parallel.Pool.mapi
+         (fun i
+              ((ll_row : Paper_data.table1_row),
                (target : Paper_data.wallace_row)) ->
            let problem =
              problem_of_wallace_row tech ~f ~ll_row ~target ~cap_scale:scale
            in
-           let optimum = Numerical_opt.optimum problem in
+           let optimum =
+             match warm.(i) with
+             | None -> Numerical_opt.optimum problem
+             | Some from -> Numerical_opt.optimum_warm ~from problem
+           in
+           warm.(i) <- Some optimum;
            let rel = (optimum.total -. target.w_ptot) /. target.w_ptot in
            rel *. rel)
          rows)

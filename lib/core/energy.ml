@@ -12,17 +12,27 @@ type sweep_point = {
 let sweep ?(f_lo = 0.1e6) ?(f_hi = 500e6) ?(points = 25) problem =
   if points < 2 then invalid_arg "Energy.sweep: points < 2";
   let step = (Float.log f_hi -. Float.log f_lo) /. float_of_int (points - 1) in
-  List.init points (fun i ->
-      let f = Float.exp (Float.log f_lo +. (float_of_int i *. step)) in
-      let p = Power_law.at_frequency problem ~f in
-      let opt = Numerical_opt.optimum p in
+  let fs =
+    List.init points (fun i ->
+        Float.exp (Float.log f_lo +. (float_of_int i *. step)))
+  in
+  (* The log-spaced throughputs are a monotone problem family — solved as
+     warm-started continuation chunks through the pool. *)
+  let optima =
+    Numerical_opt.optima_continued
+      ~problem_of:(fun f -> Power_law.at_frequency problem ~f)
+      fs
+  in
+  List.map2
+    (fun f (opt : Power_law.breakdown) ->
       {
         f;
-        energy = opt.Power_law.total /. f;
-        ptot = opt.Power_law.total;
-        vdd = opt.Power_law.vdd;
-        vth = opt.Power_law.vth;
+        energy = opt.total /. f;
+        ptot = opt.total;
+        vdd = opt.vdd;
+        vth = opt.vth;
       })
+    fs optima
 
 type mep = {
   f_mep : float;
@@ -32,16 +42,30 @@ type mep = {
 }
 
 let minimum_energy_point ?(f_lo = 0.1e6) ?(f_hi = 500e6) problem =
+  (* The scan-and-refine over log f probes nearby frequencies over and
+     over; one sequential warm chain across all probes keeps each inner
+     (Vdd, Vth) solve down to a few Brent steps. *)
+  let warm = ref None in
+  let optimum_at f =
+    let p = Power_law.at_frequency problem ~f in
+    let opt =
+      match !warm with
+      | None -> Numerical_opt.optimum p
+      | Some from -> Numerical_opt.optimum_warm ~from p
+    in
+    warm := Some opt;
+    opt
+  in
   let energy_at_log lf =
     let f = Float.exp lf in
-    energy_per_op (Power_law.at_frequency problem ~f)
+    (optimum_at f).Power_law.total /. f
   in
   let r =
     Numerics.Minimize.grid_then_golden ~samples:48 ~tol:1e-6 ~f:energy_at_log
       (Float.log f_lo) (Float.log f_hi)
   in
   let f_mep = Float.exp r.x in
-  let at_mep = Numerical_opt.optimum (Power_law.at_frequency problem ~f:f_mep) in
+  let at_mep = optimum_at f_mep in
   let energy_mep = at_mep.Power_law.total /. f_mep in
   {
     f_mep;

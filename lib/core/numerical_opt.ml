@@ -1,14 +1,24 @@
 type point = Power_law.breakdown
 
 (* Counter catalog of the solver: one [opt.solve] span per (Vdd, Vth)
-   optimisation, golden-section iterations and grid probes as counters.
-   All are deterministic for a given problem, so they survive into
-   normalized profiles. *)
+   optimisation; iteration and probe counts as counters. All are
+   deterministic for a given problem, so they survive into normalized
+   profiles. [opt.grid_evals] / [opt.golden_iters] only move on the blind
+   grid-scan path (the differential oracle and the seed fallback);
+   [opt.seeded_solves] / [opt.brent_iters] only on the analytically seeded
+   path; [opt.seed_fallbacks] counts cold solves that could not be seeded
+   because the problem sits outside the Eq. 7 linearization's validity
+   domain. *)
 let c_solves = Obs.Counter.make "opt.solves"
 let c_golden_iters = Obs.Counter.make "opt.golden_iters"
 let c_grid_evals = Obs.Counter.make "opt.grid_evals"
+let c_seeded_solves = Obs.Counter.make "opt.seeded_solves"
+let c_brent_iters = Obs.Counter.make "opt.brent_iters"
+let c_seed_fallbacks = Obs.Counter.make "opt.seed_fallbacks"
 let c_sweep_points = Obs.Counter.make "opt.sweep_points"
 let c_grid2_solves = Obs.Counter.make "opt.grid2_solves"
+
+let default_vdd_lo, default_vdd_hi = Power_law.vdd_search_range
 
 let ptot_on_constraint problem vdd =
   if vdd <= 0.0 then infinity
@@ -17,7 +27,12 @@ let ptot_on_constraint problem vdd =
     if Float.is_finite b.total then b.total else infinity
   end
 
-let optimum ?(vdd_lo = 0.05) ?(vdd_hi = 3.0) ?(samples = 256) problem =
+(* The pre-seeding solver: a blind 256-point scan localises the optimum
+   basin, golden section refines it. Kept verbatim as the differential
+   oracle for the seeded path (see test_solver_equiv) and as the fallback
+   when no analytic seed is available. *)
+let optimum_grid ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
+    ?(samples = 256) problem =
   Obs.Span.with_ ~name:"opt.solve" (fun () ->
       let r =
         Numerics.Minimize.grid_then_golden ~samples ~tol:1e-9
@@ -28,8 +43,88 @@ let optimum ?(vdd_lo = 0.05) ?(vdd_hi = 3.0) ?(samples = 256) problem =
       Obs.Counter.add c_grid_evals samples;
       Power_law.at problem ~vdd:r.x)
 
-let optimum_grid2 ?(vdd_range = (0.05, 2.0)) ?(vth_range = (-0.2, 0.8))
-    ?(samples = 400) problem =
+(* Refine from a seed supply: expand a bracket geometrically around the
+   seed until unimodality is established, then Brent. [scale] is the
+   relative trust radius — Eq. 13 seeds are good to a few percent, warm
+   starts from a neighbouring solve usually much better, but the expansion
+   makes the exact value uncritical. *)
+let solve_seeded ~vdd_lo ~vdd_hi ~seed ~scale problem =
+  let x0 = Float.min vdd_hi (Float.max vdd_lo seed) in
+  let r =
+    Numerics.Minimize.seeded_bracket ~tol:1e-9 ~f:(ptot_on_constraint problem)
+      ~x0
+      ~scale:(scale *. x0)
+      vdd_lo vdd_hi
+  in
+  Obs.Counter.incr c_solves;
+  Obs.Counter.incr c_seeded_solves;
+  Obs.Counter.add c_brent_iters r.iterations;
+  Power_law.at problem ~vdd:r.x
+
+(* The closed form is a trustworthy seed only where its own derivation
+   holds: the Eq. 7 linearization must be feasible and the predicted
+   optimum must fall inside the fitted range (extrapolated fits can be
+   badly off) and inside the caller's search bracket. *)
+let eq13_seed ~vdd_lo ~vdd_hi (problem : Power_law.problem) =
+  match Closed_form.evaluate problem with
+  | exception Closed_form.Infeasible _ -> None
+  | cf ->
+    let lin = Device.Linearization.fit ~alpha:problem.tech.alpha () in
+    if
+      cf.vdd_opt >= Float.max vdd_lo lin.lo
+      && cf.vdd_opt <= Float.min vdd_hi lin.hi
+    then Some cf.vdd_opt
+    else None
+
+let optimum ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
+    ?(samples = 256) problem =
+  match eq13_seed ~vdd_lo ~vdd_hi problem with
+  | Some seed ->
+    Obs.Span.with_ ~name:"opt.solve" (fun () ->
+        solve_seeded ~vdd_lo ~vdd_hi ~seed ~scale:0.05 problem)
+  | None ->
+    Obs.Counter.incr c_seed_fallbacks;
+    optimum_grid ~vdd_lo ~vdd_hi ~samples problem
+
+let optimum_warm ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
+    ~from:(from : point) problem =
+  Obs.Span.with_ ~name:"opt.solve" (fun () ->
+      solve_seeded ~vdd_lo ~vdd_hi ~seed:from.vdd ~scale:0.02 problem)
+
+(* Continuation over a family of related problems: fixed-size contiguous
+   chunks are mapped through the domain pool; within a chunk each solve is
+   warm-started from its predecessor's optimum, the chunk head from the
+   Eq. 13 seed (or the grid fallback). The chunk size is a constant — NOT
+   derived from the pool size — so the warm chains, and with them every
+   floating-point bit of the result, are identical at any [-j]. *)
+let continuation_chunk = 16
+
+let optima_continued ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
+    ?(chunk = continuation_chunk) ~problem_of items =
+  if chunk < 1 then invalid_arg "Numerical_opt.optima_continued: chunk < 1";
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let nchunks = (n + chunk - 1) / chunk in
+  Obs.Span.with_ ~name:"opt.continued" (fun () ->
+      List.concat
+        (Parallel.Pool.map
+           (fun c ->
+             let start = c * chunk in
+             let stop = Stdlib.min n (start + chunk) in
+             let prev = ref None in
+             List.init (stop - start) (fun k ->
+                 let problem = problem_of arr.(start + k) in
+                 let pt =
+                   match !prev with
+                   | None -> optimum ~vdd_lo ~vdd_hi problem
+                   | Some p -> optimum_warm ~vdd_lo ~vdd_hi ~from:p problem
+                 in
+                 prev := Some pt;
+                 pt))
+           (List.init nchunks Fun.id)))
+
+let optimum_grid2 ?(vdd_range = Power_law.vdd_search_range)
+    ?(vth_range = (-0.2, 0.8)) ?(samples = 400) problem =
   let vdd_lo, vdd_hi = vdd_range and vth_lo, vth_hi = vth_range in
   let cost vdd vth =
     if vdd <= 0.0 || not (Power_law.meets_timing problem ~vdd ~vth) then
@@ -44,18 +139,28 @@ let optimum_grid2 ?(vdd_range = (0.05, 2.0)) ?(vth_range = (-0.2, 0.8))
   Obs.Counter.incr c_grid2_solves;
   Power_law.at_free problem ~vdd:r.x0 ~vth:r.x1
 
+(* Fixed-size index chunks cut the pool's per-task overhead on fine-grained
+   sweeps; each point is still a pure function of its index, so the sweep
+   stays bitwise-identical to the unchunked map at any pool size. *)
+let sweep_chunk = 32
+
 let sweep_vdd ?(samples = 200) ~vdd_lo ~vdd_hi problem =
   if samples < 2 then invalid_arg "Numerical_opt.sweep_vdd: samples < 2";
   let step = (vdd_hi -. vdd_lo) /. float_of_int (samples - 1) in
-  (* Points are independent evaluations on a fixed grid — mapped through
-     the domain pool; each slot's Vdd depends only on its index. *)
+  let nchunks = (samples + sweep_chunk - 1) / sweep_chunk in
   Obs.Span.with_ ~name:"opt.sweep" (fun () ->
-      Parallel.Pool.map
-        (fun i ->
-          Obs.Counter.incr c_sweep_points;
-          let vdd = vdd_lo +. (float_of_int i *. step) in
-          Power_law.at problem ~vdd)
-        (List.init samples Fun.id))
+      List.concat
+        (Parallel.Pool.map
+           (fun c ->
+             let start = c * sweep_chunk in
+             let stop = Stdlib.min samples (start + sweep_chunk) in
+             List.init (stop - start) (fun k ->
+                 Obs.Counter.incr c_sweep_points;
+                 let vdd =
+                   vdd_lo +. (float_of_int (start + k) *. step)
+                 in
+                 Power_law.at problem ~vdd))
+           (List.init nchunks Fun.id)))
 
 let dyn_static_ratio (p : point) =
   if p.static = 0.0 then infinity else p.dynamic /. p.static

@@ -1,6 +1,18 @@
 (** Full numerical optimisation of the working point — the reference against
     which the closed form's < 3 % error claim is checked (Section 3), and
-    the machinery behind Figure 1. *)
+    the machinery behind Figure 1.
+
+    Since the Eq. 13 rework the production entry point {!optimum} is
+    {e analytically seeded}: the closed form's [vdd_opt] (within 3 % of the
+    numerical optimum inside its validity domain — the paper's headline
+    result) starts a bracket expansion + Brent refinement instead of a
+    blind 256-point grid scan. {!optimum_grid} keeps the pre-seeding
+    scan-then-golden solver as the differential oracle; the two agree to
+    better than 1e-6 relative in both the optimal supply and the optimal
+    power (property-tested, [@solver-equiv]). Families of related problems
+    (sweeps, ladders, Monte-Carlo dies) should go through
+    {!optima_continued}, which warm-starts each solve from its
+    neighbour's optimum. *)
 
 type point = Power_law.breakdown
 
@@ -12,9 +24,50 @@ val ptot_on_constraint : Power_law.problem -> float -> float
 val optimum :
   ?vdd_lo:float -> ?vdd_hi:float -> ?samples:int ->
   Power_law.problem -> point
-(** One-dimensional search over Vdd on the constraint locus (grid scan to
-    localise, golden section to refine). Default search range
-    0.05–3.0 V. *)
+(** One-dimensional search over Vdd on the constraint locus. Seeds from
+    {!Closed_form}'s Eq. 10 [vdd_opt] when the problem is inside the
+    linearization's validity domain (the closed form is feasible and its
+    predicted optimum falls inside both the Eq. 7 fit range and the search
+    bracket), then refines with {!Numerics.Minimize.seeded_bracket}. Falls
+    back to the {!optimum_grid} scan otherwise, counted by the
+    [opt.seed_fallbacks] counter. [samples] only affects the fallback
+    path. Default search range {!Power_law.vdd_search_range}
+    (0.05–3.0 V). *)
+
+val optimum_grid :
+  ?vdd_lo:float -> ?vdd_hi:float -> ?samples:int ->
+  Power_law.problem -> point
+(** The blind solver: [samples]-point grid scan (default 256) to localise
+    the global-minimum basin, golden section to refine. Robust to mild
+    non-unimodality and independent of the closed form — the differential
+    oracle the seeded {!optimum} is property-tested against, and its
+    fallback. Default search range {!Power_law.vdd_search_range}. *)
+
+val optimum_warm :
+  ?vdd_lo:float -> ?vdd_hi:float -> from:point -> Power_law.problem -> point
+(** [optimum_warm ~from problem] re-optimises a problem known to be close
+    to an already solved one, seeding from [from]'s optimal supply with a
+    tight (2 %) trust radius. The bracket expansion makes the result exact
+    even when the neighbour is further away than that — only the iteration
+    count grows. *)
+
+val optima_continued :
+  ?vdd_lo:float ->
+  ?vdd_hi:float ->
+  ?chunk:int ->
+  problem_of:('a -> Power_law.problem) ->
+  'a list ->
+  point list
+(** Continuation solve of a family of related problems (a Vdd or frequency
+    sweep, a technology ladder, Monte-Carlo dies): the items are cut into
+    contiguous chunks of [chunk] (default 16) mapped through
+    {!Parallel.Pool}, and inside each chunk every solve is warm-started
+    from its predecessor's optimum ({!optimum_warm}); chunk heads solve
+    cold via {!optimum}. Results are returned in item order. The chunk
+    size is a constant independent of the pool size, so the warm chains —
+    and every floating-point bit of the result — are identical at any
+    [-j]. [problem_of] must be pure (it may run on any pool domain).
+    @raise Invalid_argument if [chunk < 1]. *)
 
 val optimum_grid2 :
   ?vdd_range:float * float ->
@@ -24,14 +77,16 @@ val optimum_grid2 :
 (** Brute-force reference: minimise over all feasible (Vdd, Vth) couples on
     a dense grid (Vth free, feasibility = meets timing). Validates that the
     constrained 1-D search loses nothing — a positive slack never helps
-    (the argument below Eq. 5). *)
+    (the argument below Eq. 5). [vdd_range] defaults to
+    {!Power_law.vdd_search_range}, the same bracket as {!optimum}. *)
 
 val sweep_vdd :
   ?samples:int -> vdd_lo:float -> vdd_hi:float ->
   Power_law.problem -> point list
 (** Ptot(Vdd) along the constraint locus — one Figure 1 curve. Points whose
     implied threshold is negative are included (the paper's curves extend
-    there); callers may filter. *)
+    there); callers may filter. Evaluated through the domain pool in
+    fixed-size contiguous chunks; bitwise-identical at any pool size. *)
 
 val dyn_static_ratio : point -> float
 (** Pdyn/Pstat — the ratio annotated at each optimum in Figure 1. *)

@@ -70,3 +70,8 @@ let at t ~vdd = at_free t ~vdd ~vth:(vth_of_vdd t vdd)
 
 let meets_timing t ~vdd ~vth =
   vdd > vth && ((vdd -. vth) ** t.tech.alpha) /. vdd >= t.chi_prime
+
+(* One shared default supply bracket for every optimiser. 0.05 V keeps the
+   lower end clear of the vdd -> 0 singularity of the constraint locus;
+   3.0 V is comfortably above any optimum of the paper's technologies. *)
+let vdd_search_range = (0.05, 3.0)

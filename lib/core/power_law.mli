@@ -74,3 +74,10 @@ val at_free : problem -> vdd:float -> vth:float -> breakdown
 
 val meets_timing : problem -> vdd:float -> vth:float -> bool
 (** Whether the couple satisfies the speed requirement (delay ≤ 1/f). *)
+
+val vdd_search_range : float * float
+(** The default supply bracket [(0.05, 3.0)] V shared by every optimiser —
+    {!Numerical_opt.optimum}, {!Numerical_opt.optimum_grid2} and the
+    static-analysis sweep-bracket rule all search this range unless told
+    otherwise, so a result on its boundary always means "widen the
+    bracket", never a range mismatch between layers. *)

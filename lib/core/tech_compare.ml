@@ -12,7 +12,7 @@ let adapt_params ~(reference : Device.Technology.t)
     avg_cap = params.avg_cap *. tech.cell_cap /. reference.cell_cap;
   }
 
-let evaluate ?(reference = Device.Technology.ll) tech ~f params =
+let evaluate ?(reference = Device.Technology.ll) ?warm_from tech ~f params =
   let problem = Power_law.make tech (adapt_params ~reference tech params) ~f in
   let closed_form =
     match Closed_form.evaluate problem with
@@ -22,12 +22,30 @@ let evaluate ?(reference = Device.Technology.ll) tech ~f params =
   let numerical =
     match closed_form with
     | None -> None
-    | Some _ -> Some (Numerical_opt.optimum problem)
+    | Some _ ->
+      Some
+        (match warm_from with
+        | Some from -> Numerical_opt.optimum_warm ~from problem
+        | None -> Numerical_opt.optimum problem)
   in
   { tech; closed_form; numerical }
 
 let rank ?(techs = Device.Technology.all) ?reference ~f params =
-  let entries = List.map (fun tech -> evaluate ?reference tech ~f params) techs in
+  (* The flavors form a ladder of closely related problems (same
+     architecture, same f, scaled leakage/capacitance): each feasible
+     flavor warm-starts from the previous one's optimum. The chain is
+     sequential and in [techs] order, so ranking stays deterministic. *)
+  let warm = ref None in
+  let entries =
+    List.map
+      (fun tech ->
+        let entry = evaluate ?reference ?warm_from:!warm tech ~f params in
+        (match entry.numerical with
+        | Some p -> warm := Some p
+        | None -> ());
+        entry)
+      techs
+  in
   let key e =
     match e.numerical with
     | Some p -> p.Power_law.total
@@ -37,14 +55,34 @@ let rank ?(techs = Device.Technology.all) ?reference ~f params =
 
 let best ~entries = List.find_opt (fun e -> e.numerical <> None) entries
 
+let sweep_frequencies ?reference tech ~fs params =
+  (* One warm chain along the frequency axis: consecutive points move the
+     optimum smoothly (χ′ scales with f), so every solve after the first
+     feasible one starts a couple of percent from its answer. Infeasible
+     points leave the chain untouched. *)
+  let warm = ref None in
+  List.map
+    (fun f ->
+      let entry = evaluate ?reference ?warm_from:!warm tech ~f params in
+      (match entry.numerical with
+      | Some p -> warm := Some p
+      | None -> ());
+      (f, entry.numerical))
+    fs
+
 let crossover_frequency ?(f_lo = 1e6) ?(f_hi = 1e9) tech_a tech_b params =
+  (* The grid walk and the bisection probe nearby frequencies, so each
+     flavor carries its own warm chain across the whole search. *)
+  let warm_a = ref None and warm_b = ref None in
   let diff f =
-    let total tech =
-      match (evaluate tech ~f params).numerical with
-      | Some p -> p.Power_law.total
+    let total warm tech =
+      match (evaluate ?warm_from:!warm tech ~f params).numerical with
+      | Some p ->
+        warm := Some p;
+        p.Power_law.total
       | None -> infinity
     in
-    let a = total tech_a and b = total tech_b in
+    let a = total warm_a tech_a and b = total warm_b tech_b in
     (* An infeasible flavor counts as infinitely bad; only both-infeasible
        is undefined. *)
     if Float.is_finite a || Float.is_finite b then a -. b else Float.nan

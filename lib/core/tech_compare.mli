@@ -30,10 +30,24 @@ val rank :
     architecture; parameters are adapted from [reference] (default LL, the
     flavor the architectures were characterised on); sorted by numerical
     optimal Ptot, infeasible flavors last. χ′ is derived from each
-    technology's own ζ and Io (Eq. 6). *)
+    technology's own ζ and Io (Eq. 6). The flavors form a continuation
+    ladder: each feasible solve warm-starts from the previous flavor's
+    optimum. *)
 
 val best : entries:entry list -> entry option
 (** First feasible entry. *)
+
+val sweep_frequencies :
+  ?reference:Device.Technology.t ->
+  Device.Technology.t ->
+  fs:float list ->
+  Arch_params.t ->
+  (float * Numerical_opt.point option) list
+(** One flavor across a list of throughputs, solved as a single
+    continuation chain (each feasible point warm-starts from the previous
+    one's optimum). [None] marks frequencies the flavor cannot meet.
+    Results are in [fs] order and independent of the pool size — the chain
+    is sequential. *)
 
 val crossover_frequency :
   ?f_lo:float -> ?f_hi:float ->

@@ -26,7 +26,9 @@ type result = {
 
 let c_samples = Obs.Counter.make "mc.samples"
 
-let draw_sample spread rng (problem : Power_law.problem) =
+(* The die's parameter draw, separated from its re-optimisation so the
+   solves can run as warm-started continuation chains. *)
+let draw_factors spread rng (problem : Power_law.problem) =
   let leak_factor =
     Float.exp (Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:spread.sigma_leak)
   in
@@ -54,8 +56,7 @@ let draw_sample spread rng (problem : Power_law.problem) =
       chi_prime = problem.chi_prime *. speed_factor;
     }
   in
-  { leak_factor; cap_factor; speed_factor; alpha;
-    optimum = Numerical_opt.optimum varied }
+  (leak_factor, cap_factor, speed_factor, alpha, varied)
 
 let monte_carlo ?(spread = default_spread) ?(samples = 200) ~rng problem =
   if samples < 2 then invalid_arg "Variation.monte_carlo: samples < 2";
@@ -67,21 +68,36 @@ let monte_carlo ?(spread = default_spread) ?(samples = 200) ~rng problem =
      on how the pool schedules the re-optimisations — so the result is
      bitwise-identical at any pool size. Tracing never touches the streams:
      spans and counters only observe, so enabling Obs cannot change a
-     single drawn bit. *)
+     single drawn bit. The draws themselves are cheap and happen on the
+     caller; the expensive re-optimisations run as fixed-chunk continuation
+     chains through the pool ([Numerical_opt.optima_continued]), each die
+     warm-started from its chunk predecessor — the chunking is pool-size
+     independent, so the chains (and every result bit) are too. *)
   let streams = List.init samples (fun _ -> Numerics.Rng.split rng) in
   let draws =
-    Parallel.Pool.map
+    List.map
       (fun stream ->
         Obs.Span.with_ ~name:"mc.sample" (fun () ->
             Obs.Counter.incr c_samples;
-            draw_sample spread stream problem))
+            draw_factors spread stream problem))
       streams
   in
-  let ptots = List.map (fun s -> s.optimum.Power_law.total) draws in
-  let vdds = List.map (fun s -> s.optimum.Power_law.vdd) draws in
+  let optima =
+    Numerical_opt.optima_continued
+      ~problem_of:(fun (_, _, _, _, varied) -> varied)
+      draws
+  in
+  let samples =
+    List.map2
+      (fun (leak_factor, cap_factor, speed_factor, alpha, _) optimum ->
+        { leak_factor; cap_factor; speed_factor; alpha; optimum })
+      draws optima
+  in
+  let ptots = List.map (fun s -> s.optimum.Power_law.total) samples in
+  let vdds = List.map (fun s -> s.optimum.Power_law.vdd) samples in
   {
     nominal;
-    samples = draws;
+    samples;
     ptot_stats = Numerics.Stats.summarize ptots;
     ptot_p95 = Numerics.Stats.percentile ptots 95.0;
     vdd_stats = Numerics.Stats.summarize vdds;

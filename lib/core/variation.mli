@@ -39,9 +39,12 @@ type result = {
 val monte_carlo :
   ?spread:spread -> ?samples:int -> rng:Numerics.Rng.t ->
   Power_law.problem -> result
-(** Default 200 samples. Each die re-optimises on its own generator, split
-    deterministically from [rng] before the (parallel) map over dies —
-    results are a pure function of the generator state and bitwise
+(** Default 200 samples. Each die draws its parameters from its own
+    generator, split deterministically from [rng] before any parallel
+    work; the re-optimisations then run as fixed-chunk warm-started
+    continuation chains ({!Numerical_opt.optima_continued}) through the
+    pool. Both the chunking and the streams are pool-size independent, so
+    the result is a pure function of the generator state and bitwise
     independent of {!Parallel.Pool} size. *)
 
 val vth_absorption :

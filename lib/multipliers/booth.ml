@@ -95,4 +95,5 @@ let core circuit ~a ~b =
   Adders.sklansky circuit (Array.map solid row_a) (Array.map solid row_b)
 
 let basic ~bits =
-  Registered.build ~name:"booth_basic" ~label:"Booth r4" ~bits ~core
+  Registered.build ~expect_cells:(Registered.array_cells ~bits)
+    ~name:"booth_basic" ~label:"Booth r4" ~bits ~core ()

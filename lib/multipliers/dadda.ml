@@ -79,4 +79,5 @@ let core circuit ~a ~b =
   Adders.sklansky circuit (Array.map solid row_a) (Array.map solid row_b)
 
 let basic ~bits =
-  Registered.build ~name:"dadda_basic" ~label:"Dadda" ~bits ~core
+  Registered.build ~expect_cells:(Registered.array_cells ~bits)
+    ~name:"dadda_basic" ~label:"Dadda" ~bits ~core ()

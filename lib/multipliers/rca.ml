@@ -5,7 +5,10 @@ type cut = Horizontal | Diagonal
 let register_bus circuit bus = Array.map (fun n -> C.add_dff circuit n) bus
 
 let io_frame ~name ~bits build_core =
-  let circuit = C.create name in
+  let cells = Registered.array_cells ~bits in
+  let circuit =
+    C.create ~expect_cells:cells ~expect_nets:((2 * cells) + (2 * bits)) name
+  in
   let a_bus = C.add_input_bus circuit "a" bits in
   let b_bus = C.add_input_bus circuit "b" bits in
   let a = register_bus circuit a_bus in
@@ -17,7 +20,9 @@ let io_frame ~name ~bits build_core =
 
 let core circuit ~a ~b = (Array_core.build circuit ~a ~b).product
 
-let basic ~bits = Registered.build ~name:"rca_basic" ~label:"RCA" ~bits ~core
+let basic ~bits =
+  Registered.build ~expect_cells:(Registered.array_cells ~bits)
+    ~name:"rca_basic" ~label:"RCA" ~bits ~core ()
 
 (* Cut metric: a scalar per grid cell that never decreases along signal
    flow. Horizontal cuts use the row index (the merge row counts as row

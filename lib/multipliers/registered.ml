@@ -2,8 +2,21 @@ module C = Netlist.Circuit
 
 let register_bus circuit bus = Array.map (fun n -> C.add_dff circuit n) bus
 
-let build ~name ~label ~bits ~core =
-  let circuit = C.create name in
+(* Cell-count hint shared by the array-style cores (Array_core, Wallace,
+   Dadda, signed Baugh-Wooley): ~bits^2 partial products, about as many
+   reduction adders, the final carry-propagate adder and the 4*bits I/O
+   flip-flops. Booth halves the partial products but the bound still
+   covers it; over-estimating only rounds the first allocation up. *)
+let array_cells ~bits = (2 * bits * bits) + (12 * bits)
+
+let build ?expect_cells ~name ~label ~bits ~core () =
+  let circuit =
+    match expect_cells with
+    | None -> C.create name
+    | Some cells ->
+      (* Most cells drive one net, adders two; plus the input buses. *)
+      C.create ~expect_cells:cells ~expect_nets:((2 * cells) + (2 * bits)) name
+  in
   let a_bus = C.add_input_bus circuit "a" bits in
   let b_bus = C.add_input_bus circuit "b" bits in
   let a = register_bus circuit a_bus in

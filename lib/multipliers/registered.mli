@@ -1,7 +1,13 @@
 (** Shared frame for flat (combinational-core) multipliers: operand
     registers in, product register out. *)
 
+val array_cells : bits:int -> int
+(** Cell-count estimate for an array-style [bits]-wide multiplier core
+    (partial products + reduction + final adder + I/O registers) — the
+    [expect_cells] hint the concrete builders pass to {!build}. *)
+
 val build :
+  ?expect_cells:int ->
   name:string ->
   label:string ->
   bits:int ->
@@ -10,8 +16,11 @@ val build :
     a:Netlist.Circuit.net array ->
     b:Netlist.Circuit.net array ->
     Netlist.Circuit.net array) ->
+  unit ->
   Spec.t
-(** [name] is the circuit name (identifier-ish), [label] the display name. *)
+(** [name] is the circuit name (identifier-ish), [label] the display name.
+    [expect_cells] preallocates the circuit's cell/net vectors
+    ({!Netlist.Circuit.create}); purely an allocation hint. *)
 
 val register_bus :
   Netlist.Circuit.t -> Netlist.Circuit.net array -> Netlist.Circuit.net array

@@ -49,4 +49,5 @@ let core ~unsigned circuit ~a ~b =
   Adders.sklansky circuit (Array.map solid row_x) (Array.map solid row_y)
 
 let basic ~name ~bits ~unsigned =
-  Registered.build ~name ~label:name ~bits ~core:(core ~unsigned)
+  Registered.build ~expect_cells:(Registered.array_cells ~bits) ~name
+    ~label:name ~bits ~core:(core ~unsigned) ()

@@ -51,17 +51,20 @@ let core circuit ~a ~b =
   finish_columns circuit columns out_width
 
 let basic ~bits =
-  Registered.build ~name:"wallace_basic" ~label:"Wallace" ~bits ~core
+  Registered.build ~expect_cells:(Registered.array_cells ~bits)
+    ~name:"wallace_basic" ~label:"Wallace" ~bits ~core ()
 
 let pipelined ~bits ~stages =
   if stages < 2 then invalid_arg "Wallace.pipelined: stages < 2";
   let spec =
     Registered.build
+      ~expect_cells:(Registered.array_cells ~bits + (2 * stages * bits))
       ~name:(Printf.sprintf "wallace_pipe%d" stages)
       ~label:(Printf.sprintf "Wallace pipe%d" stages)
       ~bits
       ~core:(fun circuit ~a ~b ->
         Pipeliner.by_depth circuit ~stages ~outputs:(core circuit ~a ~b))
+      ()
   in
   {
     spec with

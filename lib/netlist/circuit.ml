@@ -21,11 +21,11 @@ type t = {
   mutable tie1_net : net option;
 }
 
-let create cname =
+let create ?(expect_cells = 0) ?(expect_nets = 0) cname =
   {
     cname;
-    cells = Vec.create ();
-    nets = Vec.create ();
+    cells = Vec.create ~capacity:expect_cells ();
+    nets = Vec.create ~capacity:expect_nets ();
     pis = [];
     pos = [];
     dff_inits = Hashtbl.create 16;
@@ -43,7 +43,7 @@ let add_input t nname =
   n
 
 let add_input_bus t nname width =
-  Array.init width (fun i -> add_input t (Printf.sprintf "%s[%d]" nname i))
+  Array.init width (fun i -> add_input t (nname ^ "[" ^ Int.to_string i ^ "]"))
 
 let check_inputs t kind inputs =
   if Array.length inputs <> Cell.arity kind then
@@ -59,9 +59,13 @@ let check_inputs t kind inputs =
 let add_cell t kind inputs =
   check_inputs t kind inputs;
   let id = Vec.length t.cells in
+  (* String concatenation, not Printf: this runs once per cell output and
+     dominated the build profile. Names are byte-identical to the old
+     "%s_%d_o%d" format. *)
+  let stem = Cell.name kind ^ "_" ^ Int.to_string id ^ "_o" in
   let outputs =
     Array.init (Cell.output_count kind) (fun o ->
-        fresh_net t (Printf.sprintf "%s_%d_o%d" (Cell.name kind) id o))
+        fresh_net t (stem ^ Int.to_string o))
   in
   let cell = { id; kind; inputs; outputs } in
   let index = Vec.push t.cells cell in
@@ -117,7 +121,7 @@ let rewire_input t id slot net =
 
 let mark_output_bus t nets bname =
   Array.iteri
-    (fun i n -> mark_output t n (Printf.sprintf "%s[%d]" bname i))
+    (fun i n -> mark_output t n (bname ^ "[" ^ Int.to_string i ^ "]"))
     nets
 
 let cell_count t = Vec.length t.cells

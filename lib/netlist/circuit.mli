@@ -18,7 +18,13 @@ type cell = {
 
 type t
 
-val create : string -> t
+val create : ?expect_cells:int -> ?expect_nets:int -> string -> t
+(** The optional counts are allocation hints for the cell/net vectors —
+    generator frames that know the rough cell count of what they are
+    about to build (e.g. [Multipliers.Registered.build]) pass them to
+    skip the doubling-growth copies. Any value is behaviourally
+    equivalent to the default. *)
+
 val name : t -> string
 
 (** {1 Construction} *)

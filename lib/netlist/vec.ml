@@ -1,12 +1,15 @@
-type 'a t = { mutable data : 'a array; mutable len : int }
+(* [hint] is the caller's size estimate. An ['a array] cannot be
+   allocated without a value, so the hint is held until the first [push]
+   supplies one; from then on it floors the growth doublings. *)
+type 'a t = { mutable data : 'a array; mutable len : int; hint : int }
 
-let create () = { data = [||]; len = 0 }
+let create ?(capacity = 0) () = { data = [||]; len = 0; hint = capacity }
 let length t = t.len
 
 let push t x =
   let capacity = Array.length t.data in
   if t.len = capacity then begin
-    let data = Array.make (max 8 (2 * capacity)) x in
+    let data = Array.make (max t.hint (max 8 (2 * capacity))) x in
     Array.blit t.data 0 data 0 t.len;
     t.data <- data
   end;

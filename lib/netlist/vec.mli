@@ -2,7 +2,12 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] is a size hint: the backing array is allocated at that
+    size on the first {!push} (growable arrays can't preallocate ['a]
+    slots without a value). Purely an allocation hint — observable
+    behaviour is identical for any value, including the default [0]. *)
+
 val length : 'a t -> int
 val push : 'a t -> 'a -> int
 (** Append; returns the index of the new element. *)
