@@ -197,6 +197,73 @@ let bench_variation =
       ignore
         (Power_core.Variation.monte_carlo ~samples:50 ~rng calibrated_problem))
 
+(* The headline scale target: one million re-optimised dies through the
+   streaming engine, Sobol sampling. Memory stays O(chunk) whatever the
+   die count. *)
+let bench_variation_1m =
+  make_bench ~limit:3 ~quota:3.0 "extension:variation-1M-dies" (fun () ->
+      let rng = Numerics.Rng.create 2006 in
+      ignore
+        (Power_core.Variation.yield_mc ~dies:1_000_000 ~sampler:`Sobol ~rng
+           calibrated_problem))
+
+(* The variance-reduction trade in one body: Sobol at a quarter of the
+   dies next to pseudo-random at full count — the pair whose statistics
+   the @yield tests hold to equal-or-better accuracy. *)
+let bench_variation_qmc_vs_mc =
+  slow "extension:variation-qmc-vs-mc" (fun () ->
+      let rng = Numerics.Rng.create 2006 in
+      ignore
+        (Power_core.Variation.yield_mc ~dies:12_500 ~sampler:`Sobol ~rng
+           calibrated_problem);
+      ignore
+        (Power_core.Variation.yield_mc ~dies:50_000 ~sampler:`Pseudo ~rng
+           calibrated_problem))
+
+(* Same-process A/B behind the engine's throughput claim. The naive arm
+   re-creates the pre-continuation approach scaled up: one cold 256-point
+   grid solve per die, boxed per-die samples, full-sort percentiles, no
+   pool. The engine arm streams the same 2000 dies. *)
+let bench_variation_naive =
+  slow "diag:variation-naive-2k-dies" (fun () ->
+      let rng = Numerics.Rng.create 2006 in
+      let totals =
+        List.init 2000 (fun _ ->
+            let stream = Numerics.Rng.split rng in
+            let _, _, _, _, varied =
+              Power_core.Variation.draw_factors
+                Power_core.Variation.default_spread stream calibrated_problem
+            in
+            (Power_core.Numerical_opt.optimum_grid varied).total)
+      in
+      ignore (Numerics.Stats.summarize totals);
+      ignore (Numerics.Stats.percentile totals 95.0))
+
+let bench_variation_engine =
+  slow "diag:variation-engine-2k-dies" (fun () ->
+      let rng = Numerics.Rng.create 2006 in
+      ignore (Power_core.Variation.yield_mc ~dies:2000 ~rng calibrated_problem))
+
+(* Order-statistics A/B: full sort versus in-place quickselect, both on a
+   fresh copy of the same 50k-element array. *)
+let percentile_base =
+  let rng = Numerics.Rng.create 31 in
+  Array.init 50_000 (fun _ ->
+      Float.exp (Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:1.0))
+
+let bench_percentile_sort =
+  make_bench "diag:percentile-sort-50k" (fun () ->
+      let xs = Array.copy percentile_base in
+      Array.sort compare xs;
+      let rank = 0.95 *. float_of_int (Array.length xs - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let frac = rank -. float_of_int lo in
+      ignore ((xs.(lo) *. (1.0 -. frac)) +. (xs.(lo + 1) *. frac)))
+
+let bench_percentile_select =
+  make_bench "diag:percentile-select-50k" (fun () ->
+      ignore (Numerics.Stats.percentile_array (Array.copy percentile_base) 95.0))
+
 let benchmarks =
   [
     bench_fig2;
@@ -226,6 +293,12 @@ let benchmarks =
     bench_build_dadda;
     bench_energy_mep;
     bench_variation;
+    bench_variation_1m;
+    bench_variation_qmc_vs_mc;
+    bench_variation_naive;
+    bench_variation_engine;
+    bench_percentile_sort;
+    bench_percentile_select;
   ]
 
 let contains_substring s sub =

@@ -559,6 +559,45 @@ let variation_cmd =
   Cmd.v (Cmd.info "variation" ~doc)
     Term.(const run $ jobs_arg $ obs_arg $ arch $ samples)
 
+let yield_cmd =
+  let arch =
+    Arg.(value & opt string "Wallace" & info [ "arch" ] ~doc:"Table 1 label.")
+  in
+  let dies =
+    Arg.(value & opt int 100_000
+         & info [ "dies" ] ~doc:"Monte Carlo dies (scales to millions).")
+  in
+  let sampler =
+    let doc = "Sampler: $(b,pseudo) (SplitMix64) or $(b,sobol) (QMC)." in
+    Arg.(value
+         & opt (enum [ ("pseudo", `Pseudo); ("sobol", `Sobol) ]) `Pseudo
+         & info [ "sampler" ] ~doc)
+  in
+  let chunk =
+    Arg.(value & opt int 4096
+         & info [ "chunk" ]
+             ~doc:"Dies per pool task (a multiple of the 64-die warm chain).")
+  in
+  let run jobs obs label dies sampler chunk =
+    set_jobs jobs;
+    with_obs obs @@ fun () ->
+    let row = Power_core.Paper_data.table1_find label in
+    let problem =
+      Power_core.Calibration.problem_of_row Device.Technology.ll
+        ~f:Power_core.Paper_data.frequency row
+    in
+    let rng = Numerics.Rng.create 2006 in
+    print
+      (Report.Studies.render_yield
+         (Power_core.Variation.yield_mc ~dies ~chunk ~sampler ~rng problem))
+  in
+  let doc =
+    "Streaming parametric-yield Monte Carlo: per-die re-optimised power \
+     distribution and yield vs power budget."
+  in
+  Cmd.v (Cmd.info "yield" ~doc)
+    Term.(const run $ jobs_arg $ obs_arg $ arch $ dies $ sampler $ chunk)
+
 let thermal_cmd =
   let arch =
     Arg.(value & opt string "Wallace" & info [ "arch" ] ~doc:"Table 1 label.")
@@ -659,7 +698,7 @@ let profile_cmd =
   let which_arg =
     let doc =
       "Workload to profile: $(b,table1), $(b,fig1), $(b,mc), $(b,lint) or \
-       $(b,scratch)."
+       $(b,yield) or $(b,scratch)."
     in
     Arg.(
       required
@@ -668,7 +707,7 @@ let profile_cmd =
              (enum
                 [
                   ("table1", `Table1); ("fig1", `Fig1); ("mc", `Mc);
-                  ("lint", `Lint); ("scratch", `Scratch);
+                  ("yield", `Yield); ("lint", `Lint); ("scratch", `Scratch);
                 ]))
           None
       & info [] ~docv:"WORKLOAD" ~doc)
@@ -702,6 +741,18 @@ let profile_cmd =
               let rng = Numerics.Rng.create 2006 in
               ignore (Power_core.Variation.monte_carlo ~samples:120 ~rng problem)
           )
+      | `Yield ->
+          ( "profile.yield",
+            fun () ->
+              let row = Power_core.Paper_data.table1_find "Wallace" in
+              let problem =
+                Power_core.Calibration.problem_of_row Device.Technology.ll
+                  ~f:Power_core.Paper_data.frequency row
+              in
+              let rng = Numerics.Rng.create 2006 in
+              ignore
+                (Power_core.Variation.yield_mc ~dies:20_000 ~sampler:`Sobol
+                   ~rng problem) )
       | `Lint -> ("profile.lint", fun () -> ignore (Analysis.Engine.run ()))
       | `Scratch ->
           ( "profile.scratch",
@@ -761,6 +812,7 @@ let main =
       trace_cmd;
       energy_cmd;
       variation_cmd;
+      yield_cmd;
       thermal_cmd;
       lint_cmd;
       profile_cmd;

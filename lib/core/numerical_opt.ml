@@ -123,6 +123,28 @@ let optima_continued ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
                  pt))
            (List.init nchunks Fun.id)))
 
+(* Array-flavoured warm chain for the streaming Monte-Carlo engine: one
+   contiguous run of related problems solved sequentially on the calling
+   domain, each solve warm-started from its predecessor and the results
+   handed to [write] instead of consed into a list. [head] warm-starts the
+   first solve too — the yield engine passes the nominal optimum, which
+   keeps per-die solves off the Eq. 13 seeding path entirely (the seed's
+   per-alpha linearization memo would otherwise grow without bound under
+   continuously varying alpha). *)
+let solve_chain_into ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
+    ?head ~problem_of ~n ~write () =
+  let prev = ref head in
+  for i = 0 to n - 1 do
+    let problem = problem_of i in
+    let pt =
+      match !prev with
+      | None -> optimum ~vdd_lo ~vdd_hi problem
+      | Some p -> optimum_warm ~vdd_lo ~vdd_hi ~from:p problem
+    in
+    prev := Some pt;
+    write i pt
+  done
+
 let optimum_grid2 ?(vdd_range = Power_law.vdd_search_range)
     ?(vth_range = (-0.2, 0.8)) ?(samples = 400) problem =
   let vdd_lo, vdd_hi = vdd_range and vth_lo, vth_hi = vth_range in

@@ -69,6 +69,26 @@ val optima_continued :
     [-j]. [problem_of] must be pure (it may run on any pool domain).
     @raise Invalid_argument if [chunk < 1]. *)
 
+val solve_chain_into :
+  ?vdd_lo:float ->
+  ?vdd_hi:float ->
+  ?head:point ->
+  problem_of:(int -> Power_law.problem) ->
+  n:int ->
+  write:(int -> point -> unit) ->
+  unit ->
+  unit
+(** [solve_chain_into ~problem_of ~n ~write ()] solves the [n] problems
+    [problem_of 0 .. problem_of (n-1)] as one warm-started continuation
+    chain on the calling domain: solve [i+1] seeds from solve [i]'s
+    optimum ({!optimum_warm}), and solve 0 seeds from [head] when given
+    (else it solves cold via {!optimum}). Each result is passed to
+    [write i point] as soon as it is available — nothing is retained, so
+    the caller can stream into flat arrays or sketches without per-die
+    allocation. This is the building block under {!Variation.yield_mc}'s
+    per-chunk solver; unlike {!optima_continued} it does not touch the
+    pool, letting the caller own the parallel decomposition. *)
+
 val optimum_grid2 :
   ?vdd_range:float * float ->
   ?vth_range:float * float ->

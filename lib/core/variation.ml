@@ -27,8 +27,13 @@ type result = {
 let c_samples = Obs.Counter.make "mc.samples"
 
 (* The die's parameter draw, separated from its re-optimisation so the
-   solves can run as warm-started continuation chains. *)
-let draw_factors spread rng (problem : Power_law.problem) =
+   solves can run as warm-started continuation chains. [draw_raw] produces
+   the four factors only (what the streaming engine stores in its flat
+   per-chunk arrays); [apply_factors] turns them into the varied problem.
+   The draw order (leak, cap, speed, alpha) is part of the determinism
+   contract: the engine's per-die pseudo draws must be bitwise-identical to
+   [monte_carlo]'s, which the differential oracle test relies on. *)
+let draw_raw spread rng ~alpha0 =
   let leak_factor =
     Float.exp (Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:spread.sigma_leak)
   in
@@ -40,23 +45,33 @@ let draw_factors spread rng (problem : Power_law.problem) =
   in
   let alpha =
     Float.max 1.1
-      (problem.tech.alpha
-      +. Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:spread.sigma_alpha)
+      (alpha0 +. Numerics.Rng.gaussian rng ~mu:0.0 ~sigma:spread.sigma_alpha)
   in
-  let varied =
-    {
-      problem with
-      Power_law.tech = { problem.tech with alpha };
-      params =
-        {
-          problem.params with
-          Arch_params.io_cell = problem.params.io_cell *. leak_factor;
-          avg_cap = problem.params.avg_cap *. cap_factor;
-        };
-      chi_prime = problem.chi_prime *. speed_factor;
-    }
+  (leak_factor, cap_factor, speed_factor, alpha)
+
+let apply_factors (problem : Power_law.problem) ~leak_factor ~cap_factor
+    ~speed_factor ~alpha =
+  {
+    problem with
+    Power_law.tech = { problem.tech with alpha };
+    params =
+      {
+        problem.params with
+        Arch_params.io_cell = problem.params.io_cell *. leak_factor;
+        avg_cap = problem.params.avg_cap *. cap_factor;
+      };
+    chi_prime = problem.chi_prime *. speed_factor;
+  }
+
+let draw_factors spread rng (problem : Power_law.problem) =
+  let leak_factor, cap_factor, speed_factor, alpha =
+    draw_raw spread rng ~alpha0:problem.tech.alpha
   in
-  (leak_factor, cap_factor, speed_factor, alpha, varied)
+  ( leak_factor,
+    cap_factor,
+    speed_factor,
+    alpha,
+    apply_factors problem ~leak_factor ~cap_factor ~speed_factor ~alpha )
 
 let monte_carlo ?(spread = default_spread) ?(samples = 200) ~rng problem =
   if samples < 2 then invalid_arg "Variation.monte_carlo: samples < 2";
@@ -102,6 +117,201 @@ let monte_carlo ?(spread = default_spread) ?(samples = 200) ~rng problem =
     ptot_p95 = Numerics.Stats.percentile ptots 95.0;
     vdd_stats = Numerics.Stats.summarize vdds;
   })
+
+(* ------------------------------------------------------------------ *)
+(* Streaming million-die yield engine.                                 *)
+(* ------------------------------------------------------------------ *)
+
+type sampler = [ `Pseudo | `Sobol ]
+
+type yield_stats = {
+  summary : Numerics.Stats.summary;
+  q01 : float;
+  q05 : float;
+  q50 : float;
+  q95 : float;
+  q99 : float;
+}
+
+type yield_result = {
+  nominal : Numerical_opt.point;
+  dies : int;
+  sampler : sampler;
+  ptot : yield_stats;
+  vdd : yield_stats;
+  yield_curve : (float * float) array;
+}
+
+let c_chunks = Obs.Counter.make "mc.chunks"
+let c_sobol_draws = Obs.Counter.make "mc.sobol_draws"
+let c_merges = Obs.Counter.make "sketch.merges"
+
+let default_specs nominal_total =
+  Array.init 17 (fun i -> nominal_total *. (0.8 +. (0.05 *. float_of_int i)))
+
+(* One chunk's worth of aggregation state — merged on the caller in chunk
+   index order, so the (float) moment merges see a fixed operand order and
+   the result stays bitwise-identical at any pool size. *)
+type chunk_acc = {
+  ptot_m : Numerics.Sketch.Moments.t;
+  ptot_q : Numerics.Sketch.Quantile.t;
+  vdd_m : Numerics.Sketch.Moments.t;
+  vdd_q : Numerics.Sketch.Quantile.t;
+  curve : Numerics.Sketch.Yield.t;
+}
+
+let fresh_acc ~specs () =
+  {
+    ptot_m = Numerics.Sketch.Moments.create ();
+    ptot_q = Numerics.Sketch.Quantile.create ();
+    vdd_m = Numerics.Sketch.Moments.create ();
+    vdd_q = Numerics.Sketch.Quantile.create ();
+    curve = Numerics.Sketch.Yield.create ~specs;
+  }
+
+let merge_acc into from =
+  Numerics.Sketch.Moments.merge_into into.ptot_m from.ptot_m;
+  Numerics.Sketch.Quantile.merge_into into.ptot_q from.ptot_q;
+  Numerics.Sketch.Moments.merge_into into.vdd_m from.vdd_m;
+  Numerics.Sketch.Quantile.merge_into into.vdd_q from.vdd_q;
+  Numerics.Sketch.Yield.merge_into into.curve from.curve;
+  Obs.Counter.add c_merges 5
+
+let yield_stats_of m q =
+  {
+    summary = Numerics.Sketch.Moments.summary m;
+    q01 = Numerics.Sketch.Quantile.quantile q 1.0;
+    q05 = Numerics.Sketch.Quantile.quantile q 5.0;
+    q50 = Numerics.Sketch.Quantile.quantile q 50.0;
+    q95 = Numerics.Sketch.Quantile.quantile q 95.0;
+    q99 = Numerics.Sketch.Quantile.quantile q 99.0;
+  }
+
+let yield_mc ?(spread = default_spread) ?(dies = 10_000) ?(chunk = 4096)
+    ?(chain = 64) ?(sampler = `Pseudo) ?specs ~rng
+    (problem : Power_law.problem) =
+  if dies < 1 then invalid_arg "Variation.yield_mc: dies < 1";
+  if chain < 1 then invalid_arg "Variation.yield_mc: chain < 1";
+  if chunk < chain || chunk mod chain <> 0 then
+    invalid_arg "Variation.yield_mc: chunk must be a positive multiple of chain";
+  Obs.Span.with_ ~name:"yield.run" (fun () ->
+      let nominal = Numerical_opt.optimum problem in
+      let specs =
+        match specs with
+        | Some s -> Array.copy s
+        | None -> default_specs nominal.Power_law.total
+      in
+      (* Both samplers index their randomness by absolute die number, never
+         by generator history: die [i] reads pseudo stream [split_nth rng i]
+         or Sobol point [i]. The caller's generator is NOT advanced — the
+         whole run is a pure function of its state — and which pool chunk
+         computes a die cannot change a single drawn bit. *)
+      let sobol =
+        match sampler with
+        | `Pseudo -> None
+        | `Sobol ->
+          Some
+            (Numerics.Sobol.create
+               ~scramble:(Numerics.Rng.split_nth rng 0)
+               ~dims:4 ())
+      in
+      let alpha0 = problem.tech.alpha in
+      let nchunks = (dies + chunk - 1) / chunk in
+      let process c =
+        Obs.Span.with_ ~name:"yield.chunk" (fun () ->
+            Obs.Counter.incr c_chunks;
+            let start = c * chunk in
+            let len = Stdlib.min chunk (dies - start) in
+            Obs.Counter.add c_samples len;
+            (* SoA draw stage: one flat array per varied parameter — the
+               only per-die storage in the engine, scoped to the chunk. *)
+            let leak = Array.make len 0.0
+            and cap = Array.make len 0.0
+            and speed = Array.make len 0.0
+            and alpha = Array.make len 0.0 in
+            (match sobol with
+            | None ->
+              for k = 0 to len - 1 do
+                let stream = Numerics.Rng.split_nth rng (start + k) in
+                let lf, cf, sf, al = draw_raw spread stream ~alpha0 in
+                leak.(k) <- lf;
+                cap.(k) <- cf;
+                speed.(k) <- sf;
+                alpha.(k) <- al
+              done
+            | Some sobol ->
+              (* Inverse-CDF transform: Box-Muller on a low-discrepancy
+                 sequence would destroy its equidistribution. *)
+              let pt = Array.make 4 0.0 in
+              for k = 0 to len - 1 do
+                Numerics.Sobol.point_into sobol (start + k) pt;
+                leak.(k) <-
+                  Float.exp
+                    (spread.sigma_leak *. Numerics.Stats.normal_quantile pt.(0));
+                cap.(k) <-
+                  Float.max 0.5
+                    (1.0
+                    +. (spread.sigma_cap *. Numerics.Stats.normal_quantile pt.(1))
+                    );
+                speed.(k) <-
+                  Float.exp
+                    (spread.sigma_speed *. Numerics.Stats.normal_quantile pt.(2));
+                alpha.(k) <-
+                  Float.max 1.1
+                    (alpha0
+                    +. (spread.sigma_alpha
+                       *. Numerics.Stats.normal_quantile pt.(3)))
+              done;
+              Obs.Counter.add c_sobol_draws len);
+            (* Solve stage: warm chains of [chain] dies, each head seeded
+               from the nominal optimum. [chunk mod chain = 0] keeps chain
+               boundaries aligned to chunk starts, so the chains are the
+               same whatever the pool size. Heads start warm rather than
+               from the Eq. 13 closed form because per-die alpha draws
+               would miss (and grow) the linearization memo on every cold
+               solve. *)
+            let ptot_a = Array.make len 0.0
+            and vdd_a = Array.make len 0.0 in
+            let pos = ref 0 in
+            while !pos < len do
+              let base = !pos in
+              let cl = Stdlib.min chain (len - base) in
+              Numerical_opt.solve_chain_into ~head:nominal
+                ~problem_of:(fun k ->
+                  let k = base + k in
+                  apply_factors problem ~leak_factor:leak.(k)
+                    ~cap_factor:cap.(k) ~speed_factor:speed.(k)
+                    ~alpha:alpha.(k))
+                ~n:cl
+                ~write:(fun k (pt : Numerical_opt.point) ->
+                  ptot_a.(base + k) <- pt.Power_law.total;
+                  vdd_a.(base + k) <- pt.Power_law.vdd)
+                ();
+              pos := base + cl
+            done;
+            (* Aggregate stage: per-die values leave the chunk only through
+               O(1)-memory sketches. *)
+            let acc = fresh_acc ~specs () in
+            for k = 0 to len - 1 do
+              Numerics.Sketch.Moments.add acc.ptot_m ptot_a.(k);
+              Numerics.Sketch.Quantile.add acc.ptot_q ptot_a.(k);
+              Numerics.Sketch.Moments.add acc.vdd_m vdd_a.(k);
+              Numerics.Sketch.Quantile.add acc.vdd_q vdd_a.(k);
+              Numerics.Sketch.Yield.add acc.curve ptot_a.(k)
+            done;
+            acc)
+      in
+      let chunks = Parallel.Pool.map process (List.init nchunks Fun.id) in
+      let acc = fresh_acc ~specs () in
+      List.iter (merge_acc acc) chunks;
+      {
+        nominal;
+        dies;
+        sampler;
+        ptot = yield_stats_of acc.ptot_m acc.ptot_q;
+        vdd = yield_stats_of acc.vdd_m acc.vdd_q;
+        yield_curve = Numerics.Sketch.Yield.curve acc.curve;
+      })
 
 let vth_absorption problem ~dvth0 =
   (* A rigid Vth0 shift moves every feasible couple by the same amount in

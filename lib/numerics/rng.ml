@@ -1,19 +1,30 @@
-type t = { mutable state : int64 }
+type t = {
+  mutable state : int64;
+  (* Box-Muller produces two independent normals per transform; the sine
+     branch of the last transform is parked here and returned by the next
+     [gaussian] call instead of burning a fresh pair of uniforms. *)
+  mutable gauss_cache : float;
+  mutable gauss_cached : bool;
+}
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = Int64.of_int seed }
+let create seed =
+  { state = Int64.of_int seed; gauss_cache = 0.0; gauss_cached = false }
 
-let copy t = { state = t.state }
+let copy t =
+  { state = t.state; gauss_cache = t.gauss_cache; gauss_cached = t.gauss_cached }
 
 (* SplitMix64 output function: xor-shift multiply avalanche of the
    incremented state (Steele, Lea, Flood 2014). *)
-let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
+let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
 
 let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
@@ -34,11 +45,30 @@ let float t bound =
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
 let gaussian t ~mu ~sigma =
-  let rec nonzero () =
-    let u = float t 1.0 in
-    if u > 0.0 then u else nonzero ()
-  in
-  let u1 = nonzero () and u2 = float t 1.0 in
-  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+  if t.gauss_cached then begin
+    t.gauss_cached <- false;
+    mu +. (sigma *. t.gauss_cache)
+  end
+  else begin
+    let rec nonzero () =
+      let u = float t 1.0 in
+      if u > 0.0 then u else nonzero ()
+    in
+    let u1 = nonzero () and u2 = float t 1.0 in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.gauss_cache <- r *. sin theta;
+    t.gauss_cached <- true;
+    mu +. (sigma *. r *. cos theta)
+  end
 
-let split t = { state = next_int64 t }
+let split t =
+  { state = next_int64 t; gauss_cache = 0.0; gauss_cached = false }
+
+let split_nth t n =
+  if n < 0 then invalid_arg "Rng.split_nth: negative index";
+  (* [split] advances the state by one gamma and mixes; n sequential splits
+     therefore yield streams seeded at mix(state + (k+1) * gamma) for
+     k = 0..n-1 — reproduced here arithmetically without touching [t]. *)
+  let s = Int64.add t.state (Int64.mul (Int64.of_int (n + 1)) golden_gamma) in
+  { state = mix s; gauss_cache = 0.0; gauss_cached = false }

@@ -31,8 +31,21 @@ val bool : t -> bool
 (** Fair coin flip. *)
 
 val gaussian : t -> mu:float -> sigma:float -> float
-(** Normally distributed sample (Box-Muller). *)
+(** Normally distributed sample (Box-Muller). Each transform produces two
+    independent normals; the second is cached and returned by the next call
+    on the same generator, so a pair of calls costs one transform (two
+    uniforms). The cache is part of the stream state: it is carried by
+    {!copy} and discarded by {!split} / {!split_nth} for the child. *)
 
 val split : t -> t
 (** [split t] derives a statistically independent generator, advancing [t].
-    Used to give each sub-experiment its own stream. *)
+    Used to give each sub-experiment its own stream. The child starts with
+    an empty Gaussian cache; [t]'s cache is untouched. *)
+
+val split_nth : t -> int -> t
+(** [split_nth t n] is the generator the [(n+1)]-th consecutive {!split}
+    of [t] would return — computed in O(1) {e without} advancing [t].
+    [split_nth t 0] equals [split (copy t)]. Gives die/sample [n] of a
+    family its own pre-split stream without materialising the [n]
+    predecessors, while staying bitwise-compatible with sequential
+    splitting. @raise Invalid_argument if [n < 0]. *)

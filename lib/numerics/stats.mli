@@ -1,4 +1,9 @@
-(** Descriptive statistics over float sequences. *)
+(** Descriptive statistics over float sequences.
+
+    The primitives operate on [float array] without intermediate
+    allocation; the historical [float list] API is kept as thin wrappers
+    (identical numeric results — same accumulation order, same order
+    statistics). *)
 
 type summary = {
   count : int;
@@ -8,6 +13,19 @@ type summary = {
   max_value : float;
 }
 
+val summarize_array : float array -> summary
+(** Single pass for min/max, compensated two-pass mean/stddev.
+    @raise Invalid_argument on the empty array. *)
+
+val mean_array : float array -> float
+val stddev_array : float array -> float
+
+val percentile_array : float array -> float -> float
+(** [percentile_array xs p] with [p] in [\[0, 100\]]; linear interpolation
+    between order statistics, located by in-place quickselect (expected
+    O(n)) instead of a full sort. {b Reorders [xs]} — pass a scratch copy
+    if the original order matters. *)
+
 val summarize : float list -> summary
 (** @raise Invalid_argument on the empty list. *)
 
@@ -15,8 +33,7 @@ val mean : float list -> float
 val stddev : float list -> float
 
 val percentile : float list -> float -> float
-(** [percentile xs p] with [p] in [\[0, 100\]]; linear interpolation between
-    order statistics. *)
+(** List wrapper over {!percentile_array} (copies, so the list is safe). *)
 
 val relative_error : reference:float -> float -> float
 (** [(value - reference) / reference]; signed, as in the paper's "Eq.13 Err"
@@ -24,3 +41,10 @@ val relative_error : reference:float -> float -> float
 
 val max_abs_relative_error : (float * float) list -> float
 (** Largest |relative error| over (reference, value) pairs. *)
+
+val normal_quantile : float -> float
+(** Inverse of the standard normal CDF (Acklam's rational approximation,
+    relative error < 1.2e-9). Turns low-discrepancy uniforms into Gaussian
+    draws while preserving their equidistribution — the transform behind
+    the [`Sobol] Monte-Carlo sampler. @raise Invalid_argument unless the
+    argument lies strictly inside (0, 1). *)

@@ -120,6 +120,58 @@ let render_variation (r : Power_core.Variation.result) =
     r.ptot_stats.count
   ^ Table.render ~columns ~rows:[ ptot_row; vdd_row ]
 
+let render_yield (r : Power_core.Variation.yield_result) =
+  let columns =
+    List.map Table.column
+      [ "quantity"; "nominal"; "mean"; "stddev"; "q01"; "q50"; "q95"; "q99" ]
+  in
+  let stat_row label nominal fmt (s : Power_core.Variation.yield_stats) =
+    [
+      label;
+      fmt nominal;
+      fmt s.summary.mean;
+      fmt s.summary.stddev;
+      fmt s.q01;
+      fmt s.q50;
+      fmt s.q95;
+      fmt s.q99;
+    ]
+  in
+  let stats =
+    Table.render ~columns
+      ~rows:
+        [
+          stat_row "Ptot [uW]" r.nominal.total Table.fmt_uw r.ptot;
+          stat_row "Vdd* [V]" r.nominal.vdd Table.fmt_f r.vdd;
+        ]
+  in
+  let curve_columns =
+    List.map Table.column [ "spec [uW]"; "vs nominal"; "yield %"; "" ]
+  in
+  let curve_row (spec, y) =
+    let bar = String.make (int_of_float (Float.round (y *. 30.0))) '#' in
+    [
+      Table.fmt_uw spec;
+      Printf.sprintf "%.2fx" (spec /. r.nominal.total);
+      Printf.sprintf "%6.2f" (100.0 *. y);
+      bar;
+    ]
+  in
+  let sampler_name =
+    match r.sampler with `Pseudo -> "pseudo-random" | `Sobol -> "Sobol QMC"
+  in
+  Printf.sprintf
+    "Parametric yield - %d dies re-optimised under process variation \
+     (%s sampler).\nEvery die re-tunes (Vdd, Vth) to its own optimum; the \
+     distribution below is\nof those per-die optima, streamed through \
+     O(1)-memory sketches:\n"
+    r.dies sampler_name
+  ^ stats
+  ^ "\nYield vs power budget (fraction of dies whose optimal Ptot meets the \
+     spec):\n"
+  ^ Table.render ~columns:curve_columns
+      ~rows:(List.map curve_row (Array.to_list r.yield_curve))
+
 let render_energy points (mep : Power_core.Energy.mep) =
   let plot =
     Ascii_plot.render ~height:16 ~log_y:false ~x_label:"log10 f [Hz]"

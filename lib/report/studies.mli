@@ -20,6 +20,11 @@ val render_exploration : ?cycles:int -> f:float -> unit -> string
 
 val render_variation : Power_core.Variation.result -> string
 
+val render_yield : Power_core.Variation.yield_result -> string
+(** Streamed million-die yield study: distribution table (moments +
+    sketch quantiles) for the optimal power and supply, then the
+    yield-vs-power-budget curve with an ASCII bar per spec. *)
+
 val render_energy :
   Power_core.Energy.sweep_point list -> Power_core.Energy.mep -> string
 

@@ -47,6 +47,87 @@ let test_rng_gaussian_moments () =
   check_close 0.02 "mean" 2.0 summary.mean;
   check_close 0.02 "stddev" 0.5 summary.stddev
 
+let check_bits name a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.17g = %.17g" name a b)
+    true
+    (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+(* Regression for the Box-Muller second-draw cache: the gaussian stream is
+   a deterministic function of the seed, two draws per transform. *)
+let test_rng_gaussian_determinism () =
+  let a = Numerics.Rng.create 123 and b = Numerics.Rng.create 123 in
+  for i = 1 to 100 do
+    (* Vary mu/sigma so cached unit normals are re-scaled per call. *)
+    let mu = float_of_int (i mod 5) and sigma = 0.5 +. float_of_int (i mod 3) in
+    check_bits "same gaussian stream"
+      (Numerics.Rng.gaussian a ~mu ~sigma)
+      (Numerics.Rng.gaussian b ~mu ~sigma)
+  done
+
+(* Reconstruct both branches of one transform from the raw uniforms: the
+   first call returns the cosine branch, the second replays the cached
+   sine branch under its own mu/sigma, and the third burns fresh
+   uniforms. *)
+let test_rng_gaussian_box_muller_pair () =
+  let g = Numerics.Rng.create 77 in
+  let u = Numerics.Rng.copy g in
+  let g1 = Numerics.Rng.gaussian g ~mu:0.0 ~sigma:1.0 in
+  let g2 = Numerics.Rng.gaussian g ~mu:3.0 ~sigma:2.0 in
+  let u1 = Numerics.Rng.float u 1.0 in
+  let u2 = Numerics.Rng.float u 1.0 in
+  Alcotest.(check bool) "u1 nonzero" true (u1 > 0.0);
+  let r = sqrt (-2.0 *. log u1) in
+  let theta = 2.0 *. Float.pi *. u2 in
+  check_bits "cosine branch" (0.0 +. (1.0 *. r *. cos theta)) g1;
+  check_bits "cached sine branch" (3.0 +. (2.0 *. (r *. sin theta))) g2;
+  let g3 = Numerics.Rng.gaussian g ~mu:0.0 ~sigma:1.0 in
+  let u3 = Numerics.Rng.float u 1.0 in
+  let u4 = Numerics.Rng.float u 1.0 in
+  Alcotest.(check bool) "u3 nonzero" true (u3 > 0.0);
+  let r' = sqrt (-2.0 *. log u3) in
+  check_bits "third draw uses fresh uniforms"
+    (0.0 +. (1.0 *. r' *. cos (2.0 *. Float.pi *. u4)))
+    g3
+
+let test_rng_gaussian_cache_across_copy_and_split () =
+  (* A copy carries the pending sine branch... *)
+  let a = Numerics.Rng.create 11 in
+  ignore (Numerics.Rng.gaussian a ~mu:0.0 ~sigma:1.0);
+  let c = Numerics.Rng.copy a in
+  check_bits "copy replays pending branch"
+    (Numerics.Rng.gaussian a ~mu:0.0 ~sigma:1.0)
+    (Numerics.Rng.gaussian c ~mu:0.0 ~sigma:1.0);
+  (* ...but a split child starts cache-free: parents with equal states and
+     different pending caches produce identical children. *)
+  let p1 = Numerics.Rng.create 11 in
+  ignore (Numerics.Rng.gaussian p1 ~mu:0.0 ~sigma:1.0);
+  let p2 = Numerics.Rng.create 11 in
+  ignore (Numerics.Rng.float p2 1.0);
+  ignore (Numerics.Rng.float p2 1.0);
+  let c1 = Numerics.Rng.split p1 and c2 = Numerics.Rng.split p2 in
+  check_bits "split discards pending branch"
+    (Numerics.Rng.gaussian c1 ~mu:0.0 ~sigma:1.0)
+    (Numerics.Rng.gaussian c2 ~mu:0.0 ~sigma:1.0)
+
+let test_rng_split_nth () =
+  let seq = Numerics.Rng.create 5 and indexed = Numerics.Rng.create 5 in
+  let probe = Numerics.Rng.copy indexed in
+  for n = 0 to 9 do
+    let a = Numerics.Rng.split seq in
+    let b = Numerics.Rng.split_nth indexed n in
+    Alcotest.(check int64)
+      (Printf.sprintf "split_nth %d = %dth sequential split" n n)
+      (Numerics.Rng.next_int64 a) (Numerics.Rng.next_int64 b)
+  done;
+  (* split_nth never advances its argument. *)
+  Alcotest.(check int64) "parent untouched"
+    (Numerics.Rng.next_int64 probe)
+    (Numerics.Rng.next_int64 indexed);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split_nth: negative index") (fun () ->
+      ignore (Numerics.Rng.split_nth (Numerics.Rng.create 1) (-1)))
+
 let prop_rng_int_in_range =
   QCheck.Test.make ~name:"Rng.int stays in [0, bound)" ~count:500
     QCheck.(pair small_int (int_range 1 1_000_000))
@@ -367,6 +448,13 @@ let () =
           Alcotest.test_case "split" `Quick test_rng_split_independent;
           Alcotest.test_case "int bound validation" `Quick test_rng_int_bounds_raises;
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "gaussian determinism" `Quick
+            test_rng_gaussian_determinism;
+          Alcotest.test_case "gaussian box-muller pairing" `Quick
+            test_rng_gaussian_box_muller_pair;
+          Alcotest.test_case "gaussian cache vs copy/split" `Quick
+            test_rng_gaussian_cache_across_copy_and_split;
+          Alcotest.test_case "split_nth" `Quick test_rng_split_nth;
         ]
         @ qsuite [ prop_rng_int_in_range; prop_rng_float_in_range ] );
       ( "kahan",
