@@ -656,11 +656,47 @@ let lint_cmd =
     in
     Arg.(value & opt int 8 & info [ "max-per-rule" ] ~docv:"N" ~doc)
   in
-  let run jobs obs format max_per_rule =
+  let only =
+    let doc =
+      "Keep only findings of the given comma-separated rule ids (e.g. \
+       $(b,cert.solver-in-enclosure,model.finite)). Unknown ids fail \
+       immediately; the summary and exit code reflect the filtered report."
+    in
+    Arg.(value & opt (some (list string)) None
+         & info [ "only" ] ~docv:"RULE-ID,..." ~doc)
+  in
+  let list_rules =
+    let doc = "Print the rule registry (id, severity, title) and exit." in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let run jobs obs format max_per_rule only list_rules =
     set_jobs jobs;
+    if list_rules then begin
+      List.iter
+        (fun (m : Analysis.Rule.meta) ->
+          Printf.printf "%-26s %-7s %s\n" m.id
+            (Analysis.Diagnostic.severity_to_string m.severity)
+            m.title)
+        Analysis.Rule.all;
+      exit 0
+    end;
+    Option.iter
+      (List.iter (fun id ->
+           match Analysis.Rule.find id with
+           | _ -> ()
+           | exception Not_found ->
+             Printf.eprintf
+               "optpower: unknown rule id '%s' (see lint --list-rules)\n" id;
+             exit 2))
+      only;
     let code =
       with_obs obs @@ fun () ->
       let report = Analysis.Engine.run () in
+      let report =
+        match only with
+        | None -> report
+        | Some ids -> Analysis.Engine.filter_rules ids report
+      in
       (match format with
       | `Text -> print (Analysis.Render.text ~max_per_rule report)
       | `Json -> print (Analysis.Render.json report)
@@ -670,12 +706,45 @@ let lint_cmd =
     exit code
   in
   let doc =
-    "Static analysis: netlist lint over the 13-multiplier catalog plus \
-     model-validity rules over every technology flavor and calibration row. \
+    "Static analysis: netlist lint over the 13-multiplier catalog, \
+     model-validity rules over every technology flavor and calibration row, \
+     and certificate cross-checks against the interval certifier. \
      Exit code 0 when clean, 1 with warnings, 2 with errors."
   in
   Cmd.v (Cmd.info "lint" ~doc)
-    Term.(const run $ jobs_arg $ obs_arg $ format $ max_per_rule)
+    Term.(const run $ jobs_arg $ obs_arg $ format $ max_per_rule $ only
+          $ list_rules)
+
+let certify_cmd =
+  let flavor =
+    let doc =
+      "Restrict to one technology flavor ($(b,ULL), $(b,LL) or $(b,HS)); \
+       default: all three."
+    in
+    Arg.(value
+         & opt (some (enum [ ("ULL", Device.Technology.ull);
+                             ("LL", Device.Technology.ll);
+                             ("HS", Device.Technology.hs) ])) None
+         & info [ "tech" ] ~docv:"FLAVOR" ~doc)
+  in
+  let run jobs obs flavor =
+    set_jobs jobs;
+    let code =
+      with_obs obs @@ fun () ->
+      let flavors = Option.map (fun t -> [ t ]) flavor in
+      let rows = Report.Certify_report.rows ?flavors () in
+      print (Report.Certify_report.render rows);
+      if Report.Certify_report.violations rows > 0 then 1 else 0
+    in
+    exit code
+  in
+  let doc =
+    "Certified power bounds: prove a Ptot enclosure and minimiser bracket \
+     per paper row and flavor by interval branch-and-bound, cross-check \
+     the numerical optimum against it, and exit non-zero on any violated \
+     enclosure."
+  in
+  Cmd.v (Cmd.info "certify" ~doc) Term.(const run $ jobs_arg $ obs_arg $ flavor)
 
 let all_cmd =
   let run jobs obs =
@@ -815,6 +884,7 @@ let main =
       yield_cmd;
       thermal_cmd;
       lint_cmd;
+      certify_cmd;
       profile_cmd;
       all_cmd;
     ]

@@ -1,0 +1,19 @@
+(** Certificate cross-check rules (the [cert.*] family of {!Rule.cert}).
+
+    Each rule compares an {e executed} artefact — the seeded solver
+    optimum, the Eq. 13 seed, a warm continuation step, the recorded
+    linearization error — against a {e proven} interval enclosure from
+    {!Power_core.Absint}. The enclosures are sound by construction, so a
+    finding always indicts the executed side (or a box too wide to
+    certify anything, reported by [cert.finite-box]). *)
+
+val linearization : label:string -> Device.Technology.t -> Diagnostic.t list
+(** [cert.lin-residual]: certified sup-bound of the Eq. 7 fit residual
+    over the fit range vs the recorded sampled [max_error]. *)
+
+val certificate : label:string -> Power_core.Power_law.problem -> Diagnostic.t list
+(** The per-problem audits over the default search box:
+    [cert.finite-box], [cert.solver-in-enclosure], [cert.eq13-seed],
+    [cert.warm-chain], [cert.sweep-coverage]. Runs {!Power_core.Absint.certify}
+    twice (base problem and a 2% continuation step) and the production
+    solver once. *)

@@ -52,6 +52,18 @@ let compare a b =
       let c = String.compare a.rule b.rule in
       if c <> 0 then c else String.compare a.message b.message
 
+(* Stable identity of a finding, independent of which driver produced it:
+   two engine passes visiting the same target must collapse to one
+   diagnostic. fix_hint is advisory and deliberately excluded. *)
+let fingerprint d =
+  String.concat "|"
+    [
+      d.rule;
+      severity_to_string d.severity;
+      location_to_string d.location;
+      d.message;
+    ]
+
 let count diags =
   List.fold_left
     (fun (e, w, i) d ->

@@ -48,6 +48,12 @@ val compare : t -> t -> int
 (** Deterministic report order: location, then severity (errors first),
     then rule id, then message. *)
 
+val fingerprint : t -> string
+(** Stable identity of a finding — rule, severity, location and message
+    ([fix_hint] excluded). The engine deduplicates by this key when
+    several drivers visit the same target, and the SARIF renderer emits
+    it as [partialFingerprints]. *)
+
 val count : t list -> int * int * int
 (** (errors, warnings, infos). *)
 

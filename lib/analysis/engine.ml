@@ -13,7 +13,38 @@ type report = {
 let c_targets = Obs.Counter.make "lint.targets"
 let c_diags = Obs.Counter.make "lint.diags"
 
+let dedupe_diagnostics diags =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let fp = Diagnostic.fingerprint d in
+      if Hashtbl.mem seen fp then false
+      else (
+        Hashtbl.add seen fp ();
+        true))
+    diags
+
+(* Merge targets sharing a title (a target visited from several drivers)
+   and collapse findings with equal fingerprints, keeping first-appearance
+   order for both — a single-driver report passes through unchanged. *)
+let merge_targets targets =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun t ->
+      match Hashtbl.find_opt tbl t.title with
+      | None ->
+        Hashtbl.add tbl t.title t.diagnostics;
+        order := t.title :: !order
+      | Some ds -> Hashtbl.replace tbl t.title (ds @ t.diagnostics))
+    targets;
+  List.rev_map
+    (fun title ->
+      { title; diagnostics = dedupe_diagnostics (Hashtbl.find tbl title) })
+    !order
+
 let of_targets targets =
+  let targets = merge_targets targets in
   let errors, warnings, infos =
     List.fold_left
       (fun (e, w, i) t ->
@@ -78,9 +109,64 @@ let model_targets ?(tech = Device.Technology.ll) () =
   in
   technologies @ rows
 
+let cert_targets ?(flavors = Device.Technology.all) () =
+  let f = Power_core.Paper_data.frequency in
+  let technologies =
+    List.map
+      (fun t ->
+        let name = Device.Technology.name t in
+        Obs.Span.with_ ~name:"lint.cert" ~attrs:[ ("target", name) ]
+        @@ fun () ->
+        let diagnostics =
+          List.stable_sort Diagnostic.compare
+            (Cert_rules.linearization ~label:name t)
+        in
+        Obs.Counter.incr c_targets;
+        Obs.Counter.add c_diags (List.length diagnostics);
+        { title = "cert technology " ^ name; diagnostics })
+      flavors
+  in
+  let cases =
+    List.concat_map
+      (fun tech ->
+        List.map (fun row -> (tech, row)) Power_core.Paper_data.table1)
+      flavors
+  in
+  let rows =
+    Parallel.Pool.map
+      (fun (tech, (row : Power_core.Paper_data.table1_row)) ->
+        let label = Device.Technology.name tech ^ "/" ^ row.label in
+        Obs.Span.with_ ~name:"lint.cert" ~attrs:[ ("target", label) ]
+        @@ fun () ->
+        let problem = Power_core.Calibration.problem_of_row tech ~f row in
+        let diagnostics =
+          List.stable_sort Diagnostic.compare
+            (Cert_rules.certificate ~label problem)
+        in
+        Obs.Counter.incr c_targets;
+        Obs.Counter.add c_diags (List.length diagnostics);
+        { title = "cert " ^ label; diagnostics })
+      cases
+  in
+  technologies @ rows
+
 let run ?config () =
   Obs.Span.with_ ~name:"lint.run" (fun () ->
-      of_targets (netlist_targets ?config () @ model_targets ()))
+      of_targets
+        (netlist_targets ?config () @ model_targets () @ cert_targets ()))
+
+let filter_rules ids report =
+  of_targets
+    (List.map
+       (fun t ->
+         {
+           t with
+           diagnostics =
+             List.filter
+               (fun (d : Diagnostic.t) -> List.mem d.rule ids)
+               t.diagnostics;
+         })
+       report.targets)
 
 let exit_code report =
   if report.errors > 0 then 2 else if report.warnings > 0 then 1 else 0

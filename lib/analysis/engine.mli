@@ -22,6 +22,10 @@ type report = {
 }
 
 val of_targets : target list -> report
+(** Aggregates counts. Targets sharing a title (visited from several
+    drivers) are merged and their findings deduplicated by
+    {!Diagnostic.fingerprint}, keeping first-appearance order — a
+    single-driver report passes through unchanged. *)
 
 val lint_circuit :
   ?config:Netlist_rules.config -> Netlist.Circuit.t -> Diagnostic.t list
@@ -37,9 +41,20 @@ val model_targets : ?tech:Device.Technology.t -> unit -> target list
     calibration-row sanity plus the optimisation audit of the row's
     calibrated problem on [tech] (default LL), in parallel. *)
 
+val cert_targets : ?flavors:Device.Technology.t list -> unit -> target list
+(** Certificate cross-checks ({!Cert_rules}): one linearization-residual
+    target per flavor, then one target per flavor × Table 1 row auditing
+    the row's calibrated problem against its interval certificate, in
+    parallel. Default: all three flavors. *)
+
 val run : ?config:Netlist_rules.config -> unit -> report
-(** [netlist_targets] followed by [model_targets] — everything
-    [optpower lint] checks. *)
+(** [netlist_targets], then [model_targets], then [cert_targets] —
+    everything [optpower lint] checks. *)
+
+val filter_rules : string list -> report -> report
+(** Keep only findings whose rule id is in the list (targets stay, counts
+    and hence {!exit_code} are recomputed) — the engine side of
+    [optpower lint --only]. *)
 
 val exit_code : report -> int
 (** 2 on errors, 1 on warnings, 0 when clean (infos don't fail). *)

@@ -170,6 +170,19 @@ let sarif_level = function
   | Diagnostic.Warning -> "warning"
   | Diagnostic.Info -> "note"
 
+(* The family prefix of a rule id ("net", "model", "cert") — SARIF
+   consumers group and filter on it via properties.category / tags. *)
+let rule_category id =
+  match String.index_opt id '.' with
+  | Some i -> String.sub id 0 i
+  | None -> id
+
+(* Every rule is documented in DESIGN.md's rule catalog under a stable
+   anchor derived from its id ("cert.eq13-seed" -> #rule-cert-eq13-seed). *)
+let rule_help_uri (m : Rule.meta) =
+  let anchor = String.map (fun c -> if c = '.' then '-' else c) m.id in
+  "https://github.com/optpower/optpower/blob/main/DESIGN.md#rule-" ^ anchor
+
 let sarif_rule (m : Rule.meta) =
   Obj
     [
@@ -177,7 +190,16 @@ let sarif_rule (m : Rule.meta) =
       ("name", Str m.title);
       ("shortDescription", Obj [ ("text", Str m.title) ]);
       ("fullDescription", Obj [ ("text", Str m.guards) ]);
+      ("helpUri", Str (rule_help_uri m));
       ("defaultConfiguration", Obj [ ("level", Str (sarif_level m.severity)) ]);
+      ( "properties",
+        Obj
+          [
+            ("category", Str (rule_category m.id));
+            ("severity", Str (Diagnostic.severity_to_string m.severity));
+            ( "tags",
+              Arr [ Str "power-model"; Str (rule_category m.id) ] );
+          ] );
     ]
 
 let rule_index id =
@@ -194,6 +216,8 @@ let sarif_result (d : Diagnostic.t) =
        ("ruleIndex", Int (rule_index d.rule));
        ("level", Str (sarif_level d.severity));
        ("message", Obj [ ("text", Str d.message) ]);
+       ( "partialFingerprints",
+         Obj [ ("optpowerDiagnostic/v1", Str (Diagnostic.fingerprint d)) ] );
        ( "locations",
          Arr
            [

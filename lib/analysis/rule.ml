@@ -74,6 +74,40 @@ let model =
        ill-conditioned chi";
   ]
 
-let all = netlist @ model
+let cert =
+  [
+    rule "cert.solver-in-enclosure" Diagnostic.Error
+      "Solver result outside certified enclosure"
+      "The seeded Brent optimum must land inside the interval \
+       branch-and-bound's proven minimiser bracket and power enclosure - \
+       a violation means the solver, not the proof, is wrong";
+    rule "cert.eq13-seed" Diagnostic.Warning
+      "Eq. 13 seed outside certified bracket"
+      "The closed-form vdd_opt seeds the production solver; a seed \
+       further from the certified bracket than the bracket-expansion \
+       trust radius could park Brent in the wrong basin";
+    rule "cert.lin-residual" Diagnostic.Warning
+      "Linearization residual exceeds recorded bound"
+      "Eq. 7's fit ships a sampled max_error; the certified (interval) \
+       residual bound over the fit range must not exceed it by more than \
+       rounding, or every Eq. 8-13 error bound is understated";
+    rule "cert.warm-chain" Diagnostic.Error
+      "Warm-start step escaped certified bracket"
+      "A continuation step to a neighbouring frequency must stay inside \
+       the neighbour's certified bracket - escape means warm chains can \
+       silently drift off the optimum across a sweep";
+    rule "cert.finite-box" Diagnostic.Error
+      "Certified enclosure not finite"
+      "The Ptot enclosure over the whole search box must be NaN/Inf-free \
+       and non-negative, or the branch-and-bound's comparisons (and \
+       every bound derived from them) are vacuous";
+    rule "cert.sweep-coverage" Diagnostic.Warning
+      "Certified bracket touches the sweep boundary"
+      "A minimiser bracket reaching the Vdd search bracket's edge proves \
+       the optimum may be a clamp - the certified analogue of the \
+       sweep-bracket audit";
+  ]
+
+let all = netlist @ model @ cert
 
 let find id = List.find (fun m -> m.id = id) all

@@ -19,8 +19,12 @@ val netlist : meta list
 val model : meta list
 (** Rules over technologies, calibration rows and optimisation results. *)
 
+val cert : meta list
+(** Rules cross-checking solver results against the interval certifier
+    ({!Power_core.Absint}) — implementations in {!Cert_rules}. *)
+
 val all : meta list
-(** [netlist @ model]. *)
+(** [netlist @ model @ cert]. *)
 
 val find : string -> meta
 (** @raise Not_found for an unregistered id. *)

@@ -1,0 +1,73 @@
+(** Abstract interpretation of the power model: certified enclosures.
+
+    The concrete semantics is {!Numerical_opt.ptot_on_constraint}; the
+    abstract domain is outward-rounded intervals
+    ({!Numerics.Interval}) tightened with affine mean-value forms and
+    derivative-sign (monotonicity) arguments. {!certify} runs an interval
+    branch-and-bound over the supply axis and returns a {e proof}: a
+    guaranteed enclosure of the minimum total power and a bracket
+    guaranteed to contain every minimiser — without executing the solver
+    it cross-checks. *)
+
+type box = {
+  problem : Power_law.problem;
+  f : Numerics.Interval.t;  (** Frequency range, must be > 0. *)
+  vdd : Numerics.Interval.t;  (** Supply range, must be > 0. *)
+}
+
+val box :
+  ?f:Numerics.Interval.t ->
+  ?vdd:Numerics.Interval.t ->
+  Power_law.problem ->
+  box
+(** [f] defaults to the problem's (degenerate) frequency, [vdd] to
+    {!Power_law.vdd_search_range}.
+    @raise Invalid_argument on non-positive boxes. *)
+
+val ptot_over : box -> Numerics.Interval.t
+(** Certified enclosure of the {e range} of Ptot over the whole box:
+    naive interval evaluation, intersected with an affine mean-value
+    evaluation (which keeps the vdd correlation through the
+    [vdd − (χ′·vdd)^(1/α)] cancellation) and, when the derivative is
+    certified sign-definite, with the exact endpoint-spanned range. *)
+
+val dptot_over : box -> Numerics.Interval.t
+(** Certified enclosure of d(Ptot)/dVdd over the box. *)
+
+type certificate = {
+  ptot : Numerics.Interval.t;
+      (** Enclosure of [min Ptot] over the box. The upper end is an
+          {e achieved} point evaluation, so it is attainable. *)
+  vdd_bracket : Numerics.Interval.t;
+      (** Certified bracket: every minimiser of Ptot over the box lies
+          inside it. *)
+  boxes : int;  (** Sub-boxes examined. *)
+  splits : int;  (** Bisections performed. *)
+  prunes : int;  (** Sub-boxes discarded (bound or monotonicity). *)
+}
+
+val certify : ?tol:float -> ?max_splits:int -> box -> certificate
+(** Interval branch-and-bound over the supply axis. Boxes are discarded
+    when their certified lower bound exceeds the incumbent (an achieved
+    point value) or when their derivative enclosure is sign-definite and
+    they are interior (domain-edge monotone boxes collapse to the edge
+    point). Surviving boxes are bisected down to width [tol] (default
+    2e-3 V); [max_splits] (default 20000) bounds the work, trading
+    tightness — never soundness — when exhausted. Counters [cert.boxes],
+    [cert.splits], [cert.prunes]. *)
+
+val lower_bound : ?tol:float -> ?max_splits:int -> box -> float
+(** Cheap certified lower bound of [min Ptot] over the box — a shallow
+    {!certify} (default [max_splits] 64; [tol] defaults to a coarse
+    [width/16]-scaled tolerance, pass a tighter one when the candidate
+    boxes are wide). *)
+
+val beats : ?tol:float -> ?max_splits:int -> box -> threshold:float -> bool
+(** [beats b ~threshold] — could [min Ptot] over [b] be at or below
+    [threshold]? [false] is a certified "no" (every supply sub-range's
+    lower bound exceeds the threshold); [true] is conservative. The
+    early-exit admissible bound {!Dse.prune} discards candidates with:
+    prunable boxes resolve in a few shallow evaluations, survivors stop
+    at the first inconclusive leaf. [tol] (default [1e-3]) is the
+    refinement floor, [max_splits] (default 64) the work budget —
+    exhausting either returns [true], never an unsound [false]. *)

@@ -58,3 +58,71 @@ let evaluate ?lin (t : Power_law.problem) =
   { vdd_opt; vth_opt; ptot; ptot_eq11; chi; one_minus_chi_a }
 
 let ptot_eq13 ?lin t = (evaluate ?lin t).ptot
+
+module Iv = Numerics.Interval
+
+type enclosure = {
+  vdd_opt_iv : Iv.t;
+  vth_opt_iv : Iv.t;
+  ptot_iv : Iv.t;
+}
+
+(* Interval lift of Eqs. 9/10/13 over a frequency box. chi' is exactly
+   proportional to f, so the whole chain is a composition of the monotone
+   interval primitives; the two feasibility guards split into "certified
+   infeasible on the whole box" ([Error] with the reason) versus "not
+   certified" (the box straddles the feasibility boundary — a narrower box
+   may still certify either way). *)
+let evaluate_iv ?lin (t : Power_law.problem) ~f =
+  Obs.Counter.incr c_evals;
+  let tech = t.tech and p = t.params in
+  let lin =
+    match lin with
+    | Some l -> l
+    | None -> Device.Linearization.fit ~alpha:tech.alpha ()
+  in
+  let n_ut = Device.Technology.n_ut tech in
+  let chi_prime = Power_law.chi_prime_iv t ~f in
+  let chi = Iv.pow_scalar chi_prime (1.0 /. tech.alpha) in
+  let one_minus_chi_a = Iv.sub Iv.one (Iv.scale lin.a chi) in
+  if one_minus_chi_a.Iv.hi <= 0.0 then (
+    Obs.Counter.incr c_infeasible;
+    Error
+      (Printf.sprintf "%s: chi*A >= 1 over the whole f box"
+         p.Arch_params.label))
+  else if one_minus_chi_a.Iv.lo <= 0.0 then
+    Error
+      (Printf.sprintf "%s: feasibility (1 - chi*A > 0) not certified"
+         p.Arch_params.label)
+  else
+    let a_c_f = Iv.scale (p.activity *. p.avg_cap) f in
+    let log_arg =
+      Iv.div
+        (Iv.scale p.io_cell one_minus_chi_a)
+        (Iv.scale (2.0 *. n_ut) a_c_f)
+    in
+    if log_arg.Iv.hi <= 0.0 then (
+      Obs.Counter.incr c_infeasible;
+      Error (p.Arch_params.label ^ ": Eq. 9 logarithm certified undefined"))
+    else if log_arg.Iv.lo <= 0.0 then
+      Error (p.Arch_params.label ^ ": Eq. 9 logarithm not certified")
+    else
+      let log_la = Iv.log log_arg in
+      let vth_opt_iv = Iv.scale n_ut log_la in
+      let vdd_opt_iv =
+        Iv.div
+          (Iv.add vth_opt_iv (Iv.scale lin.b chi))
+          one_minus_chi_a
+      in
+      let bracket =
+        Iv.add
+          (Iv.scale n_ut (Iv.add_scalar log_la 1.0))
+          (Iv.scale lin.b chi)
+      in
+      let ptot_iv =
+        Iv.mul
+          (Iv.scale p.n_cells
+             (Iv.div a_c_f (Iv.sqr one_minus_chi_a)))
+          (Iv.sqr bracket)
+      in
+      Ok { vdd_opt_iv; vth_opt_iv; ptot_iv }

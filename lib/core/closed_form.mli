@@ -32,3 +32,21 @@ val evaluate :
 val ptot_eq13 :
   ?lin:Device.Linearization.t -> Power_law.problem -> float
 (** Just Eq. 13. *)
+
+type enclosure = {
+  vdd_opt_iv : Numerics.Interval.t;  (** Enclosure of Eq. 10. *)
+  vth_opt_iv : Numerics.Interval.t;  (** Enclosure of Eq. 9. *)
+  ptot_iv : Numerics.Interval.t;  (** Enclosure of Eq. 13. *)
+}
+
+val evaluate_iv :
+  ?lin:Device.Linearization.t ->
+  Power_law.problem ->
+  f:Numerics.Interval.t ->
+  (enclosure, string) Stdlib.result
+(** Sound enclosure of the closed form over a frequency box: for every f
+    in the box, the scalar {!evaluate} results lie inside the returned
+    intervals. [Error] distinguishes certified infeasibility ("over the
+    whole f box") from a box straddling the feasibility boundary ("not
+    certified") — only the former proves {!evaluate} would raise
+    {!Infeasible} everywhere. *)

@@ -75,3 +75,73 @@ let meets_timing t ~vdd ~vth =
    lower end clear of the vdd -> 0 singularity of the constraint locus;
    3.0 V is comfortably above any optimum of the paper's technologies. *)
 let vdd_search_range = (0.05, 3.0)
+
+(* Interval lifts of the on-constraint power model. These are the naive
+   (syntactic) enclosures: each occurrence of vdd widens independently, so
+   they over-approximate on wide boxes — Absint tightens them with affine
+   mean-value forms before branch-and-bound. Soundness is all that matters
+   here: every returned box contains the exact value for every point of
+   the input boxes. *)
+
+module Iv = Numerics.Interval
+
+let chi_prime_iv t ~f =
+  if f.Iv.lo <= 0.0 then invalid_arg "Power_law.chi_prime_iv: f box <= 0";
+  (* chi' is exactly proportional to f (Eq. 6). *)
+  Iv.scale (t.chi_prime /. t.f) f
+
+let vth_of_vdd_iv t ~chi_prime vdd =
+  if vdd.Iv.lo <= 0.0 then
+    invalid_arg "Power_law.vth_of_vdd_iv: vdd box <= 0";
+  Iv.sub vdd
+    (Iv.pow_scalar (Iv.mul chi_prime vdd) (1.0 /. t.tech.alpha))
+
+let pdyn_iv t ~f ~vdd =
+  let p = t.params in
+  Iv.scale
+    (p.Arch_params.activity *. p.n_cells *. p.avg_cap)
+    (Iv.mul f (Iv.sqr vdd))
+
+let pstat_iv t ~vdd ~vth =
+  let p = t.params in
+  Iv.scale
+    (p.Arch_params.n_cells *. p.io_cell)
+    (Iv.mul vdd
+       (Iv.exp (Iv.scale (-1.0 /. Device.Technology.n_ut t.tech) vth)))
+
+let ptot_on_constraint_iv t ~f ~vdd =
+  let chi_prime = chi_prime_iv t ~f in
+  let vth = vth_of_vdd_iv t ~chi_prime vdd in
+  Iv.add (pdyn_iv t ~f ~vdd) (pstat_iv t ~vdd ~vth)
+
+(* Enclosure of d(Ptot)/dVdd along the constraint locus. With
+   g(v) = (chi' v)^(1/alpha) and vth = v - g:
+     g'    = g / (alpha v)
+     vth'  = 1 - g'
+     pdyn' = 2 a N C f v
+     pstat'= N io_cell e^{-vth/nUt} (1 - v vth'/nUt)
+   A sign-definite result over a box proves Ptot monotone there — the
+   branch-and-bound derivative-sign pruning rule. *)
+let dptot_on_constraint_iv t ~f ~vdd =
+  if vdd.Iv.lo <= 0.0 then
+    invalid_arg "Power_law.dptot_on_constraint_iv: vdd box <= 0";
+  let p = t.params in
+  let n_ut = Device.Technology.n_ut t.tech in
+  let chi_prime = chi_prime_iv t ~f in
+  let g = Iv.pow_scalar (Iv.mul chi_prime vdd) (1.0 /. t.tech.alpha) in
+  let g' = Iv.scale (1.0 /. t.tech.alpha) (Iv.div g vdd) in
+  let vth = Iv.sub vdd g in
+  let vth' = Iv.sub Iv.one g' in
+  let pdyn' =
+    Iv.scale
+      (2.0 *. p.Arch_params.activity *. p.n_cells *. p.avg_cap)
+      (Iv.mul f vdd)
+  in
+  let pstat' =
+    Iv.scale
+      (p.Arch_params.n_cells *. p.io_cell)
+      (Iv.mul
+         (Iv.exp (Iv.scale (-1.0 /. n_ut) vth))
+         (Iv.sub Iv.one (Iv.scale (1.0 /. n_ut) (Iv.mul vdd vth'))))
+  in
+  Iv.add pdyn' pstat'

@@ -81,3 +81,53 @@ val vdd_search_range : float * float
     static-analysis sweep-bracket rule all search this range unless told
     otherwise, so a result on its boundary always means "widen the
     bracket", never a range mismatch between layers. *)
+
+(** {2 Interval lifts}
+
+    Sound (naive, syntactic) enclosures of the on-constraint power model
+    over boxes of supply voltage and frequency. Each occurrence of [vdd]
+    widens independently, so wide boxes over-approximate; {!Absint}
+    tightens with affine mean-value forms. Every result is guaranteed to
+    contain the exact scalar value for every point of the input boxes. *)
+
+val chi_prime_iv :
+  problem -> f:Numerics.Interval.t -> Numerics.Interval.t
+(** χ′ over a frequency box — exactly proportional to f (Eq. 6).
+    @raise Invalid_argument when the f box is not strictly positive. *)
+
+val vth_of_vdd_iv :
+  problem ->
+  chi_prime:Numerics.Interval.t ->
+  Numerics.Interval.t ->
+  Numerics.Interval.t
+(** Enclosure of the constraint-locus threshold [vdd − (χ′·vdd)^(1/α)].
+    @raise Invalid_argument when the vdd box is not strictly positive. *)
+
+val pdyn_iv :
+  problem ->
+  f:Numerics.Interval.t ->
+  vdd:Numerics.Interval.t ->
+  Numerics.Interval.t
+
+val pstat_iv :
+  problem ->
+  vdd:Numerics.Interval.t ->
+  vth:Numerics.Interval.t ->
+  Numerics.Interval.t
+
+val ptot_on_constraint_iv :
+  problem ->
+  f:Numerics.Interval.t ->
+  vdd:Numerics.Interval.t ->
+  Numerics.Interval.t
+(** Enclosure of {!Numerical_opt.ptot_on_constraint} over a (f, vdd) box. *)
+
+val dptot_on_constraint_iv :
+  problem ->
+  f:Numerics.Interval.t ->
+  vdd:Numerics.Interval.t ->
+  Numerics.Interval.t
+(** Enclosure of d(Ptot)/dVdd along the constraint locus. A sign-definite
+    result proves Ptot monotone on the box — the derivative-sign pruning
+    rule of {!Absint.certify}.
+    @raise Invalid_argument when the vdd box is not strictly positive. *)

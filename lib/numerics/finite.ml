@@ -22,3 +22,11 @@ let clamp ?(nan = 0.0) x =
   | Some Nan -> nan
   | Some Pos_inf -> huge
   | Some Neg_inf -> -.huge
+
+(* [-0.0 = 0.0] under (=) but [1.0 /. -0.0 = neg_infinity]: interval
+   endpoint arithmetic that divides by an endpoint must never see the
+   negative zero, or a denominator box [−0., b] flips the sign of its
+   quotient's infinite end. *)
+let canonical_zero x = if x = 0.0 then 0.0 else x
+
+let is_signed_zero x = x = 0.0 && 1.0 /. x = Float.neg_infinity

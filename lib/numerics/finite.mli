@@ -25,3 +25,13 @@ val clamp : ?nan:float -> float -> float
 (** Finite image of a float: [+inf] becomes {!huge}, [-inf] becomes
     [-.huge], NaN becomes [nan] (default [0.0]); finite values pass
     through unchanged. *)
+
+val canonical_zero : float -> float
+(** [+0.0] for both floating zeros, the identity elsewhere. Interval
+    endpoints are canonicalised with this before any division: [-0.0]
+    compares equal to [0.0] but divides with the opposite sign
+    ([1.0 /. -0.0 = -inf]), which would flip the infinite end of a
+    quotient whose denominator box touches zero from above. *)
+
+val is_signed_zero : float -> bool
+(** True exactly for [-0.0] — the endpoint {!canonical_zero} rewrites. *)

@@ -1,0 +1,298 @@
+(* Outward-rounded interval arithmetic. OCaml gives no access to the FPU
+   rounding mode, so every operation widens its round-to-nearest result by
+   one ulp per side (two for the libm transcendentals, whose last-ulp
+   correctness is not guaranteed): the returned interval always encloses
+   the exact real result. Endpoints may be infinite (an unbounded
+   enclosure carries no information but stays sound); NaN endpoints are
+   rejected at construction. *)
+
+type t = { lo : float; hi : float }
+
+exception Empty
+
+let down x = Float.pred x
+let up x = Float.succ x
+
+(* libm results are within 1 ulp of exact on every platform this repo
+   targets; widening by two keeps the enclosure sound with margin. *)
+let down2 x = Float.pred (Float.pred x)
+let up2 x = Float.succ (Float.succ x)
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then
+    invalid_arg "Interval.make: NaN endpoint";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo = Finite.canonical_zero lo; hi = Finite.canonical_zero hi }
+
+let of_float x =
+  if Float.is_nan x then invalid_arg "Interval.of_float: NaN";
+  let x = Finite.canonical_zero x in
+  { lo = x; hi = x }
+
+let entire = { lo = Float.neg_infinity; hi = Float.infinity }
+let zero = { lo = 0.0; hi = 0.0 }
+let one = { lo = 1.0; hi = 1.0 }
+
+let width t = up (t.hi -. t.lo)
+let mid t = if t.lo = Float.neg_infinity && t.hi = Float.infinity then 0.0
+            else 0.5 *. (t.lo +. t.hi)
+let rad t = Float.max (up (mid t -. t.lo)) (up (t.hi -. mid t))
+let mag t = Float.max (Float.abs t.lo) (Float.abs t.hi)
+let contains t x = t.lo <= x && x <= t.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let is_finite t = Float.is_finite t.lo && Float.is_finite t.hi
+
+let finite_violation t =
+  match Finite.violation t.lo with
+  | Some v -> Some ("lo", v)
+  | None -> (
+    match Finite.violation t.hi with
+    | Some v -> Some ("hi", v)
+    | None -> None)
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let intersect a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let meet_exn a b =
+  match intersect a b with Some t -> t | None -> raise Empty
+
+let neg t = { lo = -.t.hi; hi = -.t.lo }
+let add a b = { lo = down (a.lo +. b.lo); hi = up (a.hi +. b.hi) }
+let sub a b = add a (neg b)
+
+let add_scalar t x = add t (of_float x)
+
+(* Endpoint products: the IEEE convention 0 * inf = NaN is wrong for
+   interval endpoints, where a zero endpoint annihilates. *)
+let mul_ep a b = if a = 0.0 || b = 0.0 then 0.0 else a *. b
+
+let mul a b =
+  let p1 = mul_ep a.lo b.lo and p2 = mul_ep a.lo b.hi in
+  let p3 = mul_ep a.hi b.lo and p4 = mul_ep a.hi b.hi in
+  {
+    lo = down (Float.min (Float.min p1 p2) (Float.min p3 p4));
+    hi = up (Float.max (Float.max p1 p2) (Float.max p3 p4));
+  }
+
+let scale k t =
+  if Float.is_nan k then invalid_arg "Interval.scale: NaN";
+  mul (of_float k) t
+
+let sqr t =
+  let a = Float.abs t.lo and b = Float.abs t.hi in
+  let m = Float.max a b in
+  let lo = if contains t 0.0 then 0.0 else Float.min a b in
+  { lo = Float.max 0.0 (down (lo *. lo)); hi = up (m *. m) }
+
+(* Division. Endpoints are canonical (+0.0 only, enforced by [make] /
+   [of_float] and preserved by the arithmetic above through
+   [Finite.canonical_zero] on construction), so a denominator touching
+   zero does it with the positive zero and the quotient endpoints below
+   keep their signs. Zero-width boxes divide like scalars; a denominator
+   containing zero in its interior yields the whole line, one touching
+   zero at an end yields a half-line (extended interval division). *)
+let div_ep a b = if a = 0.0 && b <> 0.0 then 0.0 else a /. b
+
+let div a b =
+  if b.lo = 0.0 && b.hi = 0.0 then
+    invalid_arg "Interval.div: division by the zero-width box [0, 0]"
+  else if b.lo > 0.0 || b.hi < 0.0 then
+    (* Sign-definite denominator: min/max over the four quotients. *)
+    let q1 = div_ep a.lo b.lo and q2 = div_ep a.lo b.hi in
+    let q3 = div_ep a.hi b.lo and q4 = div_ep a.hi b.hi in
+    {
+      lo = down (Float.min (Float.min q1 q2) (Float.min q3 q4));
+      hi = up (Float.max (Float.max q1 q2) (Float.max q3 q4));
+    }
+  else if a.lo <= 0.0 && a.hi >= 0.0 then
+    (* 0/0 is possible somewhere in the box: no information. *)
+    entire
+  else if b.lo = 0.0 then
+    (* Denominator in [0, b.hi]: one-signed numerator escapes to +/-inf
+       on the zero side. *)
+    if a.lo > 0.0 then { lo = down (a.lo /. b.hi); hi = Float.infinity }
+    else { lo = Float.neg_infinity; hi = up (a.hi /. b.hi) }
+  else if b.hi = 0.0 then
+    if a.lo > 0.0 then { lo = Float.neg_infinity; hi = up (a.lo /. b.lo) }
+    else { lo = down (a.hi /. b.lo); hi = Float.infinity }
+  else
+    (* Zero interior to the denominator. *)
+    entire
+
+let inv t = div one t
+
+let exp t =
+  {
+    (* e^x > 0 always: the one-ulp outward step below a tiny positive
+       result may cross zero, clamp it back (0-width boxes at large
+       negative x evaluate exp to exactly 0.0). *)
+    lo = Float.max 0.0 (down2 (Float.exp t.lo));
+    hi = up2 (Float.exp t.hi);
+  }
+
+let log t =
+  if t.hi <= 0.0 then invalid_arg "Interval.log: non-positive interval";
+  {
+    lo = (if t.lo <= 0.0 then Float.neg_infinity else down2 (Float.log t.lo));
+    hi = up2 (Float.log t.hi);
+  }
+
+(* x^y for x >= 0 and a scalar exponent — monotone in x for either sign
+   of y. Covers the alpha-power uses: (chi' * v)^(1/alpha) with
+   1/alpha in (0, 1], overdrive^alpha with alpha in [1, 2]. *)
+let pow_scalar t y =
+  if Float.is_nan y then invalid_arg "Interval.pow_scalar: NaN exponent";
+  if t.lo < 0.0 then
+    invalid_arg "Interval.pow_scalar: negative base interval";
+  if y = 0.0 then one
+  else if y > 0.0 then
+    {
+      lo = (if t.lo = 0.0 then 0.0 else Float.max 0.0 (down2 (t.lo ** y)));
+      hi = up2 (t.hi ** y);
+    }
+  else if t.lo = 0.0 then
+    { lo = Float.max 0.0 (down2 (t.hi ** y)); hi = Float.infinity }
+  else { lo = Float.max 0.0 (down2 (t.hi ** y)); hi = up2 (t.lo ** y) }
+
+let split t =
+  let m = mid t in
+  if not (t.lo < m && m < t.hi) then None
+  else Some ({ lo = t.lo; hi = m }, { lo = m; hi = t.hi })
+
+let to_string t = Printf.sprintf "[%.17g, %.17g]" t.lo t.hi
+let pp ppf t = Format.fprintf ppf "[%g, %g]" t.lo t.hi
+
+(* --- Affine forms ---------------------------------------------------- *)
+
+(* x = mid + sum_i c_i * eps_i + delta, eps_i in [-1, 1], |delta| <= err.
+   Shared noise symbols keep linear correlation between quantities derived
+   from the same variable, which is what defeats the dependency blow-up of
+   plain intervals on expressions like v - (chi' v)^(1/alpha) where v
+   appears several times. Every operation inflates [err] by an outward
+   bound on its own rounding, so [to_interval] is a sound enclosure. *)
+module Affine = struct
+  type interval = t
+
+  type form = {
+    mid : float;
+    coeffs : (int * float) list; (* sorted by symbol id, no zeros *)
+    err : float; (* >= 0 *)
+  }
+
+  (* One-ulp-grade rounding slop of a computed double: 1e-15 > 2^-52
+     relative, the absolute floor covers subnormals. *)
+  let slop v = (Float.abs v *. 1e-15) +. 1e-290
+
+  let const x =
+    if Float.is_nan x then invalid_arg "Affine.const: NaN";
+    { mid = x; coeffs = []; err = 0.0 }
+
+  let of_interval ~id (iv : interval) =
+    if not (is_finite iv) then
+      invalid_arg "Affine.of_interval: infinite interval";
+    let mid = mid iv in
+    let r = Float.max (up (mid -. iv.lo)) (up (iv.hi -. mid)) in
+    { mid; coeffs = [ (id, r) ]; err = 0.0 }
+
+  let radius t =
+    List.fold_left
+      (fun acc (_, c) -> up (acc +. Float.abs c))
+      t.err t.coeffs
+
+  let to_interval t =
+    let r = radius t in
+    { lo = down (t.mid -. r); hi = up (t.mid +. r) }
+
+  let neg t =
+    { mid = -.t.mid; coeffs = List.map (fun (i, c) -> (i, -.c)) t.coeffs;
+      err = t.err }
+
+  let merge_coeffs f a b =
+    let rec go acc a b =
+      match (a, b) with
+      | [], [] -> List.rev acc
+      | (i, c) :: ta, [] | [], (i, c) :: ta ->
+        go ((i, f 0.0 c) :: acc) ta []
+      | (ia, ca) :: ta, (ib, cb) :: tb ->
+        if ia = ib then go ((ia, f ca cb) :: acc) ta tb
+        else if ia < ib then go ((ia, f ca 0.0) :: acc) ta b
+        else go ((ib, f 0.0 cb) :: acc) a tb
+    in
+    go [] a b
+
+  let prune_and_slop coeffs err0 =
+    List.fold_left
+      (fun (cs, err) (i, c) ->
+        if c = 0.0 then (cs, err) else ((i, c) :: cs, up (err +. slop c)))
+      ([], err0) (List.rev coeffs)
+
+  let add a b =
+    let mid = a.mid +. b.mid in
+    let coeffs = merge_coeffs ( +. ) a.coeffs b.coeffs in
+    let coeffs, err =
+      prune_and_slop coeffs (up (up (a.err +. b.err) +. slop mid))
+    in
+    { mid; coeffs; err }
+
+  let sub a b = add a (neg b)
+  let add_const x t = add (const x) t
+
+  let scale k t =
+    if Float.is_nan k then invalid_arg "Affine.scale: NaN";
+    let mid = k *. t.mid in
+    let coeffs = List.map (fun (i, c) -> (i, k *. c)) t.coeffs in
+    let coeffs, err =
+      prune_and_slop coeffs (up ((Float.abs k *. t.err) +. slop mid))
+    in
+    { mid; coeffs; err }
+
+  (* General product: linear part exact in the noise symbols, the
+     cross-noise term bounded by the product of the two radii. *)
+  let mul a b =
+    let ra = radius a and rb = radius b in
+    let mid = a.mid *. b.mid in
+    let coeffs =
+      merge_coeffs ( +. )
+        (List.map (fun (i, c) -> (i, b.mid *. c)) a.coeffs)
+        (List.map (fun (i, c) -> (i, a.mid *. c)) b.coeffs)
+    in
+    let err0 =
+      up
+        (up ((Float.abs a.mid *. b.err) +. (Float.abs b.mid *. a.err))
+        +. up ((ra *. rb) +. slop mid))
+    in
+    let coeffs, err = prune_and_slop coeffs err0 in
+    { mid; coeffs; err }
+
+  let sqr t = mul t t
+
+  (* Multiplication by an interval coefficient: s * x with s = [s] known
+     only as an enclosure. Centre on mid(s); the slope uncertainty
+     rad(s) scales the full magnitude of x into the error term. *)
+  let mul_interval (s : interval) t =
+    if not (is_finite s) then
+      invalid_arg "Affine.mul_interval: infinite coefficient";
+    let sm = mid s and sr = rad s in
+    let scaled = scale sm t in
+    let xmag = mag (to_interval t) in
+    { scaled with err = up (scaled.err +. up ((sr *. xmag) +. slop xmag)) }
+
+  (* Mean-value form of a differentiable univariate g at [x]:
+       g(x) = g(x0) + g'(xi) * (x - x0)   for some xi between x0 and x,
+     so with [fmid] enclosing g(x0) and [slope] enclosing g' over the
+     whole range of [x], [fmid + slope * (x - x0)] encloses g(x) while
+     keeping the linear correlation with x. Tight whenever the derivative
+     varies little over the box — exactly the regime where plain interval
+     evaluation of v - g(v) blows up. *)
+  let mean_value ~(x0 : float) ~(fmid : interval) ~(slope : interval) t =
+    if Float.is_nan x0 then invalid_arg "Affine.mean_value: NaN x0";
+    if not (is_finite fmid && is_finite slope) then
+      invalid_arg "Affine.mean_value: infinite enclosure";
+    let dx = add_const (-.x0) t in
+    let lin = mul_interval slope dx in
+    let centered = add_const (mid fmid) lin in
+    { centered with err = up (centered.err +. rad fmid) }
+end

@@ -1,0 +1,22 @@
+(** The [optpower certify] report: certified bounds vs numerical optimum.
+
+    One row per paper architecture × technology flavor: the proven Ptot
+    enclosure and minimiser bracket from {!Power_core.Absint.certify}
+    side by side with the production solver's optimum, and a verdict
+    (the same containment check as the [cert.solver-in-enclosure]
+    analysis rule). *)
+
+type row = {
+  label : string;  (** ["LL/RCA"]-style target label. *)
+  cert : Power_core.Absint.certificate;
+  optimum : Power_core.Numerical_opt.point;
+  ok : bool;  (** Solver optimum inside bracket and enclosure. *)
+}
+
+val rows : ?flavors:Device.Technology.t list -> unit -> row list
+(** Certify and solve every row × flavor (default: all three flavors),
+    in parallel over the domain pool, in Table 1 order per flavor. *)
+
+val violations : row list -> int
+
+val render : row list -> string

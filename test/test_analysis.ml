@@ -29,6 +29,7 @@ let check_fires ?(expect = 1) rule diags =
 let test_registry_complete () =
   Alcotest.(check int) "netlist rules" 9 (List.length Analysis.Rule.netlist);
   Alcotest.(check int) "model rules" 9 (List.length Analysis.Rule.model);
+  Alcotest.(check int) "cert rules" 6 (List.length Analysis.Rule.cert);
   let ids = List.map (fun (m : Analysis.Rule.meta) -> m.id) Analysis.Rule.all in
   Alcotest.(check int)
     "ids unique"
@@ -334,6 +335,11 @@ let test_render_sarif () =
       "\"level\": \"note\"";
       "\"level\": \"warning\"";
       "ruleIndex";
+      "\"helpUri\"";
+      "DESIGN.md#rule-net-const-fold";
+      "\"partialFingerprints\"";
+      "\"optpowerDiagnostic/v1\"";
+      "\"category\": \"net\"";
     ];
   (* Every registered rule is published in tool.driver.rules. *)
   List.iter
@@ -341,6 +347,49 @@ let test_render_sarif () =
       Alcotest.(check bool) ("sarif declares " ^ m.id) true
         (contains s (Printf.sprintf "\"id\": %S" m.id)))
     Analysis.Rule.all
+
+let test_merge_dedupe () =
+  let d rule msg =
+    D.make ~rule ~severity:D.Warning
+      ~location:(D.Circuit_loc { circuit = "c"; cell = None; net = None })
+      msg
+  in
+  let t diags = { Analysis.Engine.title = "netlist c"; diagnostics = diags } in
+  (* Same target visited by two drivers, one finding repeated verbatim. *)
+  let report =
+    Analysis.Engine.of_targets
+      [
+        t [ d "net.dead-logic" "m1"; d "net.const-fold" "m2" ];
+        t [ d "net.dead-logic" "m1"; d "net.dead-logic" "m3" ];
+      ]
+  in
+  Alcotest.(check int) "merged to one target" 1
+    (List.length report.Analysis.Engine.targets);
+  let merged = List.hd report.Analysis.Engine.targets in
+  Alcotest.(check int) "duplicate fingerprint dropped" 3
+    (List.length merged.Analysis.Engine.diagnostics);
+  Alcotest.(check int) "counts follow dedupe" 3 report.Analysis.Engine.warnings;
+  (* Fingerprints are stable across construction and ignore the hint. *)
+  let a = d "net.dead-logic" "m1" in
+  let b =
+    D.make ~rule:"net.dead-logic" ~severity:D.Warning
+      ~location:(D.Circuit_loc { circuit = "c"; cell = None; net = None })
+      ~fix_hint:"different hint" "m1"
+  in
+  Alcotest.(check string) "fingerprint ignores fix_hint" (D.fingerprint a)
+    (D.fingerprint b)
+
+let test_filter_rules () =
+  let report = sample_report () in
+  let only = Analysis.Engine.filter_rules [ "net.const-fold" ] report in
+  Alcotest.(check int) "targets survive" 1
+    (List.length only.Analysis.Engine.targets);
+  Alcotest.(check int) "one warning kept" 1 only.Analysis.Engine.warnings;
+  Alcotest.(check int) "info filtered out" 0 only.Analysis.Engine.infos;
+  Alcotest.(check int) "exit recomputed" 1 (Analysis.Engine.exit_code only);
+  let none = Analysis.Engine.filter_rules [ "net.undriven" ] report in
+  Alcotest.(check int) "empty filter is clean" 0
+    (Analysis.Engine.exit_code none)
 
 let test_json_escaping () =
   let d =
@@ -414,6 +463,8 @@ let () =
           Alcotest.test_case "text" `Quick test_render_text;
           Alcotest.test_case "json" `Quick test_render_json;
           Alcotest.test_case "sarif" `Quick test_render_sarif;
+          Alcotest.test_case "merge+dedupe" `Quick test_merge_dedupe;
+          Alcotest.test_case "filter rules" `Quick test_filter_rules;
           Alcotest.test_case "json escaping" `Quick test_json_escaping;
           Alcotest.test_case "diagnostic order" `Quick test_diagnostic_order;
         ] );

@@ -435,6 +435,200 @@ let test_grid_then_golden_validation () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* Interval arithmetic: outward rounding, extended division, signed-zero
+   and zero-width regressions, and random-point soundness. *)
+
+module Iv = Numerics.Interval
+
+let iv_bounds = Alcotest.(pair (float 0.0) (float 0.0))
+let bounds (x : Iv.t) = (x.Iv.lo, x.Iv.hi)
+
+let test_interval_construction () =
+  Alcotest.check_raises "nan endpoint"
+    (Invalid_argument "Interval.make: NaN endpoint") (fun () ->
+      ignore (Iv.make Float.nan 1.0));
+  Alcotest.check_raises "inverted endpoints"
+    (Invalid_argument "Interval.make: lo > hi") (fun () ->
+      ignore (Iv.make 2.0 1.0));
+  Alcotest.(check bool) "degenerate ok" true
+    (Iv.width (Iv.of_float 3.0) <= 1e-300);
+  Alcotest.(check bool) "entire is unbounded" false (Iv.is_finite Iv.entire);
+  Alcotest.(check bool) "finite box" true (Iv.is_finite (Iv.make 0.0 1.0))
+
+(* Regression: a -0.0 endpoint must be canonicalised to +0.0, else
+   extended division flips the sign of the infinite end (1/-0 = -inf). *)
+let test_interval_signed_zero_division () =
+  let neg_zero = -0.0 in
+  let d = Iv.div Iv.one (Iv.make neg_zero 2.0) in
+  Alcotest.(check bool) "1/[−0,2] is the upper half-line" true
+    (Float.abs (d.Iv.lo -. 0.5) < 1e-12 && d.Iv.hi = Float.infinity);
+  let d' = Iv.div Iv.one (Iv.make (-2.0) neg_zero) in
+  Alcotest.(check bool) "1/[−2,−0] is the lower half-line" true
+    (d'.Iv.lo = Float.neg_infinity && Float.abs (d'.Iv.hi +. 0.5) < 1e-12);
+  (* The stored endpoint itself is +0.0, not -0.0. *)
+  let z = Iv.make neg_zero neg_zero in
+  Alcotest.(check bool) "endpoints canonicalised" false
+    (Numerics.Finite.is_signed_zero z.Iv.lo
+    || Numerics.Finite.is_signed_zero z.Iv.hi)
+
+let test_interval_division_edges () =
+  Alcotest.check_raises "[0,0] denominator"
+    (Invalid_argument "Interval.div: division by the zero-width box [0, 0]")
+    (fun () -> ignore (Iv.div Iv.one Iv.zero));
+  let straddle = Iv.div Iv.one (Iv.make (-1.0) 1.0) in
+  Alcotest.check iv_bounds "0 interior: entire"
+    (Float.neg_infinity, Float.infinity)
+    (bounds straddle);
+  let both_zero = Iv.div (Iv.make (-1.0) 1.0) (Iv.make 0.0 2.0) in
+  Alcotest.check iv_bounds "0/0 case stays entire"
+    (Float.neg_infinity, Float.infinity)
+    (bounds both_zero);
+  (* Sign-definite denominator through zero-width numerator. *)
+  let z = Iv.div Iv.zero (Iv.make 1.0 2.0) in
+  Alcotest.(check bool) "0/[1,2] is a 1-ulp box around 0" true
+    (Iv.contains z 0.0 && Iv.mag z <= 1e-300)
+
+let test_interval_exp_edges () =
+  (* exp of a huge negative bound underflows to 0; the outward step must
+     not cross below zero. *)
+  let e = Iv.exp (Iv.make (-1e9) (-1e8)) in
+  Alcotest.(check bool) "underflow clamped at 0" true (e.Iv.lo >= 0.0);
+  let u = Iv.exp Iv.zero in
+  Alcotest.(check bool) "exp [0,0] contains 1" true
+    (Iv.contains u 1.0 && Iv.width u < 1e-12);
+  (* log straddling zero: -inf lower end, finite upper. *)
+  let l = Iv.log (Iv.make 0.0 (Stdlib.exp 1.0)) in
+  Alcotest.(check bool) "log [0,e]" true
+    (l.Iv.lo = Float.neg_infinity && l.Iv.hi >= 1.0 && l.Iv.hi < 1.0 +. 1e-12);
+  Alcotest.(check bool) "log of non-positive box rejected" true
+    (match Iv.log (Iv.make (-2.0) (-1.0)) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_interval_zero_width_ops () =
+  (* Degenerate boxes stay within a few ulps through every operation. *)
+  let x = Iv.of_float 0.7 in
+  List.iter
+    (fun (name, (r : Iv.t), exact) ->
+      Alcotest.(check bool)
+        (name ^ " contains exact") true (Iv.contains r exact);
+      Alcotest.(check bool)
+        (name ^ " stays thin") true
+        (Iv.width r <= 8.0 *. Float.abs exact *. epsilon_float +. 1e-300))
+    [
+      ("add", Iv.add x x, 1.4);
+      ("mul", Iv.mul x x, 0.49);
+      ("sqr", Iv.sqr x, 0.49);
+      ("div", Iv.div x x, 1.0);
+      ("exp", Iv.exp x, Stdlib.exp 0.7);
+      ("log", Iv.log x, Stdlib.log 0.7);
+      ("pow", Iv.pow_scalar x 1.3, 0.7 ** 1.3);
+    ];
+  Alcotest.(check bool) "thin box does not split" true
+    (Iv.split (Iv.of_float 0.7) = None)
+
+let test_interval_set_ops () =
+  let a = Iv.make 0.0 2.0 and b = Iv.make 1.0 3.0 in
+  Alcotest.check iv_bounds "hull" (0.0, 3.0) (bounds (Iv.hull a b));
+  Alcotest.check iv_bounds "intersect" (1.0, 2.0)
+    (bounds (Iv.meet_exn a b));
+  Alcotest.(check bool) "disjoint intersect" true
+    (Iv.intersect (Iv.make 0.0 1.0) (Iv.make 2.0 3.0) = None);
+  Alcotest.(check bool) "subset" true (Iv.subset b (Iv.make 0.0 4.0));
+  Alcotest.(check bool) "not subset" false (Iv.subset b a);
+  match Iv.split (Iv.make 0.0 4.0) with
+  | None -> Alcotest.fail "expected a split"
+  | Some (l, r) ->
+    Alcotest.(check bool) "split covers" true
+      (l.Iv.lo = 0.0 && r.Iv.hi = 4.0 && l.Iv.hi = r.Iv.lo)
+
+let iv_gen =
+  QCheck.(
+    map
+      (fun (a, b) -> (Float.min a b, Float.max a b))
+      (pair (float_range (-50.0) 50.0) (float_range (-50.0) 50.0)))
+
+(* Sample t in [0,1] deterministically from the pair to get an interior
+   point of each operand box. *)
+let interior (lo, hi) t = lo +. (t *. (hi -. lo))
+
+let prop_interval_arith_sound =
+  QCheck.Test.make ~name:"interval +,-,*,sqr enclose real arithmetic"
+    ~count:500
+    QCheck.(triple iv_gen iv_gen (float_range 0.0 1.0))
+    (fun ((alo, ahi), (blo, bhi), t) ->
+      let a = Iv.make alo ahi and b = Iv.make blo bhi in
+      let x = interior (alo, ahi) t and y = interior (blo, bhi) (1.0 -. t) in
+      Iv.contains (Iv.add a b) (x +. y)
+      && Iv.contains (Iv.sub a b) (x -. y)
+      && Iv.contains (Iv.mul a b) (x *. y)
+      && Iv.contains (Iv.sqr a) (x *. x)
+      && Iv.contains (Iv.neg a) (-.x)
+      && Iv.contains (Iv.scale 3.5 a) (3.5 *. x))
+
+let prop_interval_div_sound =
+  QCheck.Test.make ~name:"extended division encloses x/y" ~count:500
+    QCheck.(triple iv_gen iv_gen (float_range 0.0 1.0))
+    (fun ((alo, ahi), (blo, bhi), t) ->
+      QCheck.assume (not (blo = 0.0 && bhi = 0.0));
+      let a = Iv.make alo ahi and b = Iv.make blo bhi in
+      let x = interior (alo, ahi) t and y = interior (blo, bhi) (1.0 -. t) in
+      QCheck.assume (y <> 0.0);
+      Iv.contains (Iv.div a b) (x /. y))
+
+let prop_interval_transcendental_sound =
+  QCheck.Test.make ~name:"exp/log/pow enclose libm" ~count:500
+    QCheck.(pair (pair (float_range 0.001 30.0) (float_range 0.001 30.0))
+              (float_range 0.0 1.0))
+    (fun ((a, b), t) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let x = Iv.make lo hi in
+      let p = interior (lo, hi) t in
+      Iv.contains (Iv.exp x) (Stdlib.exp p)
+      && Iv.contains (Iv.log x) (Stdlib.log p)
+      && Iv.contains (Iv.pow_scalar x 1.37) (p ** 1.37)
+      && Iv.contains (Iv.pow_scalar x (-0.8)) (p ** -0.8))
+
+(* The affine form of (v - v^2/10) over a shared symbol must both enclose
+   every point value and beat the naive interval bound (that is the whole
+   point of tracking correlation). *)
+let prop_affine_sound_and_tighter =
+  QCheck.Test.make ~name:"affine forms enclose and tighten" ~count:300
+    QCheck.(pair (pair (float_range 0.1 2.0) (float_range 0.1 2.0))
+              (float_range 0.0 1.0))
+    (fun ((a, b), t) ->
+      let lo = Float.min a b and hi = Float.max a b +. 0.1 in
+      let v = Iv.make lo hi in
+      let av = Iv.Affine.of_interval ~id:0 v in
+      let f = Iv.Affine.sub av (Iv.Affine.scale 0.1 (Iv.Affine.sqr av)) in
+      let enc = Iv.Affine.to_interval f in
+      let p = interior (lo, hi) t in
+      let exact = p -. (0.1 *. p *. p) in
+      let naive = Iv.sub v (Iv.scale 0.1 (Iv.sqr v)) in
+      Iv.contains enc exact && Iv.width enc <= Iv.width naive +. 1e-12)
+
+let test_affine_const_and_interval_roundtrip () =
+  let c = Iv.Affine.const 2.5 in
+  Alcotest.(check bool) "const has no spread" true
+    (Iv.width (Iv.Affine.to_interval c) <= 1e-12);
+  let v = Iv.make 1.0 3.0 in
+  let f = Iv.Affine.of_interval ~id:7 v in
+  Alcotest.(check bool) "of_interval covers the box" true
+    (Iv.subset v (Iv.Affine.to_interval f));
+  (* Correlation: x - x over a shared symbol collapses to ~0. *)
+  let d = Iv.Affine.to_interval (Iv.Affine.sub f f) in
+  Alcotest.(check bool) "x - x collapses" true (Iv.mag d < 1e-9)
+
+let test_interval_finite_violation () =
+  Alcotest.(check bool) "finite box clean" true
+    (Iv.finite_violation (Iv.make 0.0 1.0) = None);
+  (match Iv.finite_violation Iv.entire with
+  | Some ("lo", Numerics.Finite.Neg_inf) -> ()
+  | _ -> Alcotest.fail "entire should report its -inf lower end");
+  match Iv.finite_violation (Iv.make 0.0 Float.infinity) with
+  | Some ("hi", Numerics.Finite.Pos_inf) -> ()
+  | _ -> Alcotest.fail "upper half-line should report its +inf end"
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -503,6 +697,27 @@ let () =
           Alcotest.test_case "argmin/map" `Quick test_interp_argmin_map;
           Alcotest.test_case "rejects unsorted" `Quick test_interp_rejects_unsorted;
         ] );
+      ( "interval",
+        [
+          Alcotest.test_case "construction" `Quick test_interval_construction;
+          Alcotest.test_case "signed-zero division" `Quick
+            test_interval_signed_zero_division;
+          Alcotest.test_case "division edges" `Quick test_interval_division_edges;
+          Alcotest.test_case "exp/log edges" `Quick test_interval_exp_edges;
+          Alcotest.test_case "zero-width ops" `Quick test_interval_zero_width_ops;
+          Alcotest.test_case "set operations" `Quick test_interval_set_ops;
+          Alcotest.test_case "affine basics" `Quick
+            test_affine_const_and_interval_roundtrip;
+          Alcotest.test_case "finite violations" `Quick
+            test_interval_finite_violation;
+        ]
+        @ qsuite
+            [
+              prop_interval_arith_sound;
+              prop_interval_div_sound;
+              prop_interval_transcendental_sound;
+              prop_affine_sound_and_tighter;
+            ] );
       ( "edge-cases",
         [
           Alcotest.test_case "percentile validation" `Quick test_percentile_validation;
