@@ -189,14 +189,7 @@ let sweep_cmd =
   in
   let run obs label =
     with_obs obs @@ fun () ->
-    let tech = Device.Technology.ll in
-    let f = Power_core.Paper_data.frequency in
-    let row = Power_core.Paper_data.table1_find label in
-    let problem = Power_core.Calibration.problem_of_row tech ~f row in
-    let points =
-      Power_core.Numerical_opt.sweep_vdd ~samples:25 ~vdd_lo:0.25 ~vdd_hi:1.2
-        problem
-    in
+    let points = Serve.Engine.sweep label in
     Printf.printf "%-8s %-8s %-10s %-10s %-10s\n" "Vdd" "Vth" "Pdyn[uW]"
       "Pstat[uW]" "Ptot[uW]";
     List.iter
@@ -691,12 +684,7 @@ let lint_cmd =
       only;
     let code =
       with_obs obs @@ fun () ->
-      let report = Analysis.Engine.run () in
-      let report =
-        match only with
-        | None -> report
-        | Some ids -> Analysis.Engine.filter_rules ids report
-      in
+      let report = Serve.Engine.lint ?only () in
       (match format with
       | `Text -> print (Analysis.Render.text ~max_per_rule report)
       | `Json -> print (Analysis.Render.json report)
@@ -732,7 +720,7 @@ let certify_cmd =
     let code =
       with_obs obs @@ fun () ->
       let flavors = Option.map (fun t -> [ t ]) flavor in
-      let rows = Report.Certify_report.rows ?flavors () in
+      let rows = Serve.Engine.certify ?flavors () in
       print (Report.Certify_report.render rows);
       if Report.Certify_report.violations rows > 0 then 1 else 0
     in
@@ -852,6 +840,239 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ jobs_arg $ normalize_arg $ trace_path_arg $ which_arg)
 
+(* Serving: the resident batch solve service and its client (DESIGN.md
+   §14). The one-shot [optimum] / [rank] subcommands run the exact same
+   Serve.Engine paths the service batches, so a reply from the socket is
+   bitwise-identical to the corresponding one-shot output. *)
+
+let tech_arg =
+  let doc =
+    "Technology flavor: $(b,ULL), $(b,LL) or $(b,HS) (default $(b,LL))."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("ULL", Device.Technology.ull);
+             ("LL", Device.Technology.ll);
+             ("HS", Device.Technology.hs) ])
+        Device.Technology.ll
+    & info [ "tech" ] ~docv:"FLAVOR" ~doc)
+
+let json_flag =
+  let doc = "Print the reply as wire JSON instead of a table." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the service." in
+  Arg.(
+    value
+    & opt string "/tmp/optpower.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let optimum_cmd =
+  let arch =
+    Arg.(
+      value & opt string "RCA"
+      & info [ "arch" ] ~docv:"LABEL" ~doc:"Table 1 architecture label.")
+  in
+  let run obs tech arch json =
+    with_obs obs @@ fun () ->
+    let p : Power_core.Numerical_opt.point = Serve.Engine.optimum ~tech arch in
+    if json then
+      print
+        (Serve.Json.to_string (Serve.Engine.optimum_json ~tech ~arch p) ^ "\n")
+    else
+      Printf.printf
+        "%s/%s: Vdd=%.3f V  Vth=%.3f V  Pdyn=%.2f uW  Pstat=%.2f uW  \
+         Ptot=%.2f uW\n"
+        (Device.Technology.name tech)
+        arch p.vdd p.vth (p.dynamic *. 1e6) (p.static *. 1e6) (p.total *. 1e6)
+  in
+  let doc = "Solve one architecture's optimal (Vdd*, Vth*) working point." in
+  Cmd.v (Cmd.info "optimum" ~doc)
+    Term.(const run $ obs_arg $ tech_arg $ arch $ json_flag)
+
+let rank_cmd =
+  let archs =
+    let doc =
+      "Comma-separated architecture labels (default: the full Table 1 \
+       catalog)."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "archs" ] ~docv:"LABEL,..." ~doc)
+  in
+  let run jobs obs tech archs json =
+    set_jobs jobs;
+    with_obs obs @@ fun () ->
+    let ranked = Serve.Engine.rank ~tech ?archs () in
+    if json then
+      print (Serve.Json.to_string (Serve.Engine.rank_json ~tech ranked) ^ "\n")
+    else begin
+      Printf.printf "%-4s %-16s %-8s %-8s %-10s\n" "#" "arch" "Vdd" "Vth"
+        "Ptot[uW]";
+      List.iteri
+        (fun i (arch, (p : Power_core.Numerical_opt.point)) ->
+          Printf.printf "%-4d %-16s %-8.3f %-8.3f %-10.2f\n" (i + 1) arch
+            p.vdd p.vth (p.total *. 1e6))
+        ranked
+    end
+  in
+  let doc =
+    "Rank architectures by optimal total power (solved as one warm-start \
+     continuation family)."
+  in
+  Cmd.v (Cmd.info "rank" ~doc)
+    Term.(const run $ jobs_arg $ obs_arg $ tech_arg $ archs $ json_flag)
+
+let serve_cmd =
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded request-queue capacity; submitters block when it is \
+             full (backpressure, nothing is dropped).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 32
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Max concurrent requests coalesced into one pool dispatch.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the session result cache (identical calls re-solve).")
+  in
+  let run jobs obs socket queue batch no_cache =
+    set_jobs jobs;
+    with_obs obs @@ fun () ->
+    let config =
+      {
+        Serve.Session.jobs;
+        queue_capacity = queue;
+        max_batch = batch;
+        cache = not no_cache;
+      }
+    in
+    (* Block the shutdown signals before spawning any thread (the mask is
+       inherited) and dedicate a watcher thread to them: with every
+       systhread parked in a blocking syscall an asynchronous
+       [Sys.Signal_handle] may never get a safepoint to run on, whereas
+       [sigwait] delivery is deterministic. *)
+    ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigint; Sys.sigterm ]);
+    let session = Serve.Session.create ~config () in
+    let listener = Serve.Server.listen_unix session ~path:socket in
+    let _watcher =
+      Thread.create
+        (fun () ->
+          ignore (Thread.wait_signal [ Sys.sigint; Sys.sigterm ]);
+          Serve.Server.stop listener)
+        ()
+    in
+    Printf.printf "optpower serve: listening on %s (pool size %d)\n%!" socket
+      (Parallel.Pool.size (Serve.Session.pool session));
+    Serve.Server.wait listener;
+    Printf.printf "optpower serve: drained, bye\n%!"
+  in
+  let doc =
+    "Run the resident batch solve service: JSON-lines requests over a Unix \
+     socket, coalesced across clients into shared pool dispatches. SIGINT \
+     or SIGTERM drains gracefully and exits."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ jobs_arg $ obs_arg $ socket_arg $ queue $ batch $ no_cache)
+
+let client_cmd =
+  let meth =
+    let doc =
+      "Request method: $(b,optimum), $(b,sweep), $(b,rank), $(b,lint) or \
+       $(b,certify)."
+    in
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("optimum", "optimum"); ("sweep", "sweep");
+                  ("rank", "rank"); ("lint", "lint"); ("certify", "certify") ]))
+          None
+      & info [] ~docv:"METHOD" ~doc)
+  in
+  let arch =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "arch" ] ~docv:"LABEL"
+          ~doc:"Architecture label (optimum, sweep).")
+  in
+  let tech =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tech" ] ~docv:"FLAVOR"
+          ~doc:
+            "Technology flavor: ULL, LL or HS (certify also accepts \
+             $(b,all)).")
+  in
+  let samples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples" ] ~docv:"N" ~doc:"Sweep sample count.")
+  in
+  let archs =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "archs" ] ~docv:"LABEL,..." ~doc:"Rank architecture subset.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "only" ] ~docv:"RULE-ID,..." ~doc:"Lint rule filter.")
+  in
+  let run socket meth arch tech samples archs only =
+    let params =
+      List.filter_map Fun.id
+        [
+          Option.map (fun a -> ("arch", Serve.Json.Str a)) arch;
+          Option.map (fun t -> ("tech", Serve.Json.Str t)) tech;
+          Option.map
+            (fun n -> ("samples", Serve.Json.Num (float_of_int n)))
+            samples;
+          Option.map
+            (fun l ->
+              ("archs", Serve.Json.Arr (List.map (fun s -> Serve.Json.Str s) l)))
+            archs;
+          Option.map
+            (fun l ->
+              ("only", Serve.Json.Arr (List.map (fun s -> Serve.Json.Str s) l)))
+            only;
+        ]
+    in
+    let client = Serve.Client.connect socket in
+    let result = Serve.Client.rpc client ~meth params in
+    Serve.Client.close client;
+    match result with
+    | Ok payload -> print (Serve.Json.to_string payload ^ "\n")
+    | Error (code, msg) ->
+      Printf.eprintf "optpower client: %s: %s\n" code msg;
+      exit 1
+  in
+  let doc =
+    "Send one request to a running $(b,optpower serve) and print the JSON \
+     reply payload."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ socket_arg $ meth $ arch $ tech $ samples $ archs $ only)
+
 let main =
   let doc =
     "Reproduction of 'Architectural and Technology Influence on the Optimal \
@@ -885,6 +1106,10 @@ let main =
       thermal_cmd;
       lint_cmd;
       certify_cmd;
+      optimum_cmd;
+      rank_cmd;
+      serve_cmd;
+      client_cmd;
       profile_cmd;
       all_cmd;
     ]

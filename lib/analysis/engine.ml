@@ -59,11 +59,11 @@ let lint_circuit ?config circuit = Netlist_rules.run ?config circuit
 let catalog_labels () =
   List.map (fun e -> e.Multipliers.Catalog.label) Multipliers.Catalog.entries
 
-let netlist_targets ?config ?labels () =
+let netlist_targets ?pool ?config ?labels () =
   let labels = match labels with Some l -> l | None -> catalog_labels () in
   (* Catalog builds are memoised process-wide; the pool workers share the
      physically-shared read-only specs. *)
-  Parallel.Pool.map
+  Parallel.Pool.map ?pool
     (fun label ->
       Obs.Span.with_ ~name:"lint.netlist" ~attrs:[ ("target", label) ]
       @@ fun () ->
@@ -74,7 +74,7 @@ let netlist_targets ?config ?labels () =
       { title = "netlist " ^ label; diagnostics })
     labels
 
-let model_targets ?(tech = Device.Technology.ll) () =
+let model_targets ?pool ?(tech = Device.Technology.ll) () =
   let technologies =
     List.map
       (fun t ->
@@ -91,7 +91,7 @@ let model_targets ?(tech = Device.Technology.ll) () =
   in
   let f = Power_core.Paper_data.frequency in
   let rows =
-    Parallel.Pool.map
+    Parallel.Pool.map ?pool
       (fun (row : Power_core.Paper_data.table1_row) ->
         let label = Device.Technology.name tech ^ "/" ^ row.label in
         Obs.Span.with_ ~name:"lint.model" ~attrs:[ ("target", label) ]
@@ -109,7 +109,7 @@ let model_targets ?(tech = Device.Technology.ll) () =
   in
   technologies @ rows
 
-let cert_targets ?(flavors = Device.Technology.all) () =
+let cert_targets ?pool ?(flavors = Device.Technology.all) () =
   let f = Power_core.Paper_data.frequency in
   let technologies =
     List.map
@@ -133,7 +133,7 @@ let cert_targets ?(flavors = Device.Technology.all) () =
       flavors
   in
   let rows =
-    Parallel.Pool.map
+    Parallel.Pool.map ?pool
       (fun (tech, (row : Power_core.Paper_data.table1_row)) ->
         let label = Device.Technology.name tech ^ "/" ^ row.label in
         Obs.Span.with_ ~name:"lint.cert" ~attrs:[ ("target", label) ]
@@ -150,10 +150,12 @@ let cert_targets ?(flavors = Device.Technology.all) () =
   in
   technologies @ rows
 
-let run ?config () =
+let run ?pool ?config () =
   Obs.Span.with_ ~name:"lint.run" (fun () ->
       of_targets
-        (netlist_targets ?config () @ model_targets () @ cert_targets ()))
+        (netlist_targets ?pool ?config ()
+        @ model_targets ?pool ()
+        @ cert_targets ?pool ()))
 
 let filter_rules ids report =
   of_targets

@@ -32,24 +32,31 @@ val lint_circuit :
 (** All netlist rules over one circuit. *)
 
 val netlist_targets :
-  ?config:Netlist_rules.config -> ?labels:string list -> unit -> target list
+  ?pool:Parallel.Pool.t -> ?config:Netlist_rules.config ->
+  ?labels:string list -> unit -> target list
 (** One target per catalog label (default: the paper's thirteen), built
     with [Multipliers.Catalog.build] and linted in parallel. *)
 
-val model_targets : ?tech:Device.Technology.t -> unit -> target list
+val model_targets :
+  ?pool:Parallel.Pool.t -> ?tech:Device.Technology.t -> unit -> target list
 (** Technology audits for every flavor, then one target per Table 1 row:
     calibration-row sanity plus the optimisation audit of the row's
     calibrated problem on [tech] (default LL), in parallel. *)
 
-val cert_targets : ?flavors:Device.Technology.t list -> unit -> target list
+val cert_targets :
+  ?pool:Parallel.Pool.t -> ?flavors:Device.Technology.t list -> unit ->
+  target list
 (** Certificate cross-checks ({!Cert_rules}): one linearization-residual
     target per flavor, then one target per flavor × Table 1 row auditing
     the row's calibrated problem against its interval certificate, in
     parallel. Default: all three flavors. *)
 
-val run : ?config:Netlist_rules.config -> unit -> report
+val run :
+  ?pool:Parallel.Pool.t -> ?config:Netlist_rules.config -> unit -> report
 (** [netlist_targets], then [model_targets], then [cert_targets] —
-    everything [optpower lint] checks. *)
+    everything [optpower lint] checks. [pool] (default: the shared
+    process-wide pool) carries every parallel map, so a resident serve
+    session can keep lint work on its own domains. *)
 
 val filter_rules : string list -> report -> report
 (** Keep only findings whose rule id is in the list (targets stay, counts

@@ -99,28 +99,41 @@ let optimum_warm ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
    floating-point bit of the result, are identical at any [-j]. *)
 let continuation_chunk = 16
 
-let optima_continued ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
-    ?(chunk = continuation_chunk) ~problem_of items =
+(* One warm chain on the calling domain: the head solves cold (Eq. 13 seed
+   or grid fallback), every successor warm-starts from its predecessor's
+   optimum. This is exactly the chunk body of [optima_continued]; the serve
+   layer re-batches chunks from several concurrent requests through one
+   pool dispatch by calling it directly, which is why results there are
+   bitwise-identical to a one-shot [optima_continued] per request. *)
+let solve_chain ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi) problems
+    =
+  let prev = ref None in
+  List.map
+    (fun problem ->
+      let pt =
+        match !prev with
+        | None -> optimum ~vdd_lo ~vdd_hi problem
+        | Some p -> optimum_warm ~vdd_lo ~vdd_hi ~from:p problem
+      in
+      prev := Some pt;
+      pt)
+    problems
+
+let optima_continued ?pool ?(vdd_lo = default_vdd_lo)
+    ?(vdd_hi = default_vdd_hi) ?(chunk = continuation_chunk) ~problem_of items
+    =
   if chunk < 1 then invalid_arg "Numerical_opt.optima_continued: chunk < 1";
   let arr = Array.of_list items in
   let n = Array.length arr in
   let nchunks = (n + chunk - 1) / chunk in
   Obs.Span.with_ ~name:"opt.continued" (fun () ->
       List.concat
-        (Parallel.Pool.map
+        (Parallel.Pool.map ?pool
            (fun c ->
              let start = c * chunk in
              let stop = Stdlib.min n (start + chunk) in
-             let prev = ref None in
-             List.init (stop - start) (fun k ->
-                 let problem = problem_of arr.(start + k) in
-                 let pt =
-                   match !prev with
-                   | None -> optimum ~vdd_lo ~vdd_hi problem
-                   | Some p -> optimum_warm ~vdd_lo ~vdd_hi ~from:p problem
-                 in
-                 prev := Some pt;
-                 pt))
+             solve_chain ~vdd_lo ~vdd_hi
+               (List.init (stop - start) (fun k -> problem_of arr.(start + k))))
            (List.init nchunks Fun.id)))
 
 (* Array-flavoured warm chain for the streaming Monte-Carlo engine: one
@@ -166,13 +179,13 @@ let optimum_grid2 ?(vdd_range = Power_law.vdd_search_range)
    stays bitwise-identical to the unchunked map at any pool size. *)
 let sweep_chunk = 32
 
-let sweep_vdd ?(samples = 200) ~vdd_lo ~vdd_hi problem =
+let sweep_vdd ?pool ?(samples = 200) ~vdd_lo ~vdd_hi problem =
   if samples < 2 then invalid_arg "Numerical_opt.sweep_vdd: samples < 2";
   let step = (vdd_hi -. vdd_lo) /. float_of_int (samples - 1) in
   let nchunks = (samples + sweep_chunk - 1) / sweep_chunk in
   Obs.Span.with_ ~name:"opt.sweep" (fun () ->
       List.concat
-        (Parallel.Pool.map
+        (Parallel.Pool.map ?pool
            (fun c ->
              let start = c * sweep_chunk in
              let stop = Stdlib.min samples (start + sweep_chunk) in

@@ -51,7 +51,21 @@ val optimum_warm :
     even when the neighbour is further away than that — only the iteration
     count grows. *)
 
+val continuation_chunk : int
+(** The fixed chunk length (16) {!optima_continued} cuts item lists into.
+    Exposed so the serve layer can re-create the exact same chunking when
+    it coalesces several requests into one pool dispatch. *)
+
+val solve_chain :
+  ?vdd_lo:float -> ?vdd_hi:float -> Power_law.problem list -> point list
+(** One warm-start continuation chain, entirely on the calling domain: the
+    head solves cold via {!optimum}, every successor via {!optimum_warm}
+    from its predecessor. [optima_continued] is exactly [solve_chain]
+    applied to each fixed-size chunk through the pool; callers that own
+    their parallel decomposition (the serve batcher) use this directly. *)
+
 val optima_continued :
+  ?pool:Parallel.Pool.t ->
   ?vdd_lo:float ->
   ?vdd_hi:float ->
   ?chunk:int ->
@@ -60,13 +74,14 @@ val optima_continued :
   point list
 (** Continuation solve of a family of related problems (a Vdd or frequency
     sweep, a technology ladder, Monte-Carlo dies): the items are cut into
-    contiguous chunks of [chunk] (default 16) mapped through
-    {!Parallel.Pool}, and inside each chunk every solve is warm-started
-    from its predecessor's optimum ({!optimum_warm}); chunk heads solve
-    cold via {!optimum}. Results are returned in item order. The chunk
-    size is a constant independent of the pool size, so the warm chains —
-    and every floating-point bit of the result — are identical at any
-    [-j]. [problem_of] must be pure (it may run on any pool domain).
+    contiguous chunks of [chunk] (default {!continuation_chunk}) mapped
+    through {!Parallel.Pool} ([pool] defaults to the shared process-wide
+    pool), and inside each chunk every solve is warm-started from its
+    predecessor's optimum ({!optimum_warm}); chunk heads solve cold via
+    {!optimum}. Results are returned in item order. The chunk size is a
+    constant independent of the pool size, so the warm chains — and every
+    floating-point bit of the result — are identical at any [-j].
+    [problem_of] must be pure (it may run on any pool domain).
     @raise Invalid_argument if [chunk < 1]. *)
 
 val solve_chain_into :
@@ -101,12 +116,13 @@ val optimum_grid2 :
     {!Power_law.vdd_search_range}, the same bracket as {!optimum}. *)
 
 val sweep_vdd :
-  ?samples:int -> vdd_lo:float -> vdd_hi:float ->
+  ?pool:Parallel.Pool.t -> ?samples:int -> vdd_lo:float -> vdd_hi:float ->
   Power_law.problem -> point list
 (** Ptot(Vdd) along the constraint locus — one Figure 1 curve. Points whose
     implied threshold is negative are included (the paper's curves extend
     there); callers may filter. Evaluated through the domain pool in
-    fixed-size contiguous chunks; bitwise-identical at any pool size. *)
+    fixed-size contiguous chunks ([pool] defaults to the shared pool);
+    bitwise-identical at any pool size. *)
 
 val dyn_static_ratio : point -> float
 (** Pdyn/Pstat — the ratio annotated at each optimum in Figure 1. *)

@@ -205,6 +205,14 @@ let counters ?(normalize = false) () =
          v <> 0 && not (normalize && hidden_when_normalized (cat_of name)))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let counter_value name =
+  List.fold_left
+    (fun acc l ->
+      match Hashtbl.find_opt l.lcounters name with
+      | Some r -> acc + !r
+      | None -> acc)
+    0 (locals ())
+
 let histograms ?(normalize = false) () =
   let merged : (string, hist_summary) Hashtbl.t = Hashtbl.create 8 in
   List.iter

@@ -97,6 +97,11 @@ val counters : ?normalize:bool -> unit -> (string * int) list
     omitted. [normalize] (default false) drops the ["sched"] and ["cache"]
     categories. *)
 
+val counter_value : string -> int
+(** Merged value of one counter across every domain, 0 when the counter was
+    never incremented (or does not exist). Same no-overlap caveat as
+    {!counters}: read only while no instrumented work is in flight. *)
+
 val histograms : ?normalize:bool -> unit -> (string * hist_summary) list
 
 module Report : sig

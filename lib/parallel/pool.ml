@@ -84,6 +84,12 @@ let shutdown pool =
   if not was_stopped then Array.iter Domain.join pool.workers;
   pool.workers <- [||]
 
+let pending pool =
+  Mutex.lock pool.mutex;
+  let n = Queue.length pool.tasks in
+  Mutex.unlock pool.mutex;
+  n
+
 (* Shared default pool, created lazily and torn down at exit so worker
    domains never outlive the main one. *)
 let default_mutex = Mutex.create ()

@@ -53,6 +53,11 @@ val shutdown : t -> unit
 (** Stop and join the worker domains. Subsequent [map]s on the pool still
     return correct results but run entirely on the caller. Idempotent. *)
 
+val pending : t -> int
+(** Tasks currently sitting in the pool's queue, not yet picked up by any
+    worker. 0 on an idle or shut-down pool — the "no leaked tasks" drain
+    assertion of the serve layer. *)
+
 val get_default : unit -> t
 (** The shared process-wide pool, created on first use and shut down
     automatically at exit. *)

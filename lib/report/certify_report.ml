@@ -23,7 +23,7 @@ let check (cert : Ab.certificate) (optimum : Power_core.Numerical_opt.point) =
   && optimum.Pl.total >= enc.Iv.lo *. (1.0 -. 1e-9)
   && optimum.Pl.total <= enc.Iv.hi *. (1.0 +. 1e-6)
 
-let rows ?(flavors = Device.Technology.all) () =
+let rows ?pool ?(flavors = Device.Technology.all) () =
   let f = Power_core.Paper_data.frequency in
   let cases =
     List.concat_map
@@ -31,7 +31,7 @@ let rows ?(flavors = Device.Technology.all) () =
         List.map (fun r -> (tech, r)) Power_core.Paper_data.table1)
       flavors
   in
-  Parallel.Pool.map
+  Parallel.Pool.map ?pool
     (fun (tech, (prow : Power_core.Paper_data.table1_row)) ->
       let label = Device.Technology.name tech ^ "/" ^ prow.label in
       Obs.Span.with_ ~name:"certify.row" ~attrs:[ ("target", label) ]

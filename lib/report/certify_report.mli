@@ -13,9 +13,12 @@ type row = {
   ok : bool;  (** Solver optimum inside bracket and enclosure. *)
 }
 
-val rows : ?flavors:Device.Technology.t list -> unit -> row list
+val rows :
+  ?pool:Parallel.Pool.t -> ?flavors:Device.Technology.t list -> unit ->
+  row list
 (** Certify and solve every row × flavor (default: all three flavors),
-    in parallel over the domain pool, in Table 1 order per flavor. *)
+    in parallel over the domain pool ([pool] defaults to the shared one),
+    in Table 1 order per flavor. *)
 
 val violations : row list -> int
 

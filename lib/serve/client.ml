@@ -1,0 +1,84 @@
+type t = {
+  fd : Unix.file_descr;
+  mutable residue : string;
+  mutable next_id : int;
+}
+
+let of_fd fd = { fd; residue = ""; next_id = 1 }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  of_fd fd
+
+let send_line c s =
+  let line = s ^ "\n" in
+  let rec w off len =
+    if len > 0 then begin
+      let n = Unix.write_substring c.fd line off len in
+      w (off + n) (len - n)
+    end
+  in
+  w 0 (String.length line)
+
+let recv_line c =
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match String.index_opt c.residue '\n' with
+    | Some i ->
+      let line = String.sub c.residue 0 i in
+      c.residue <-
+        String.sub c.residue (i + 1) (String.length c.residue - i - 1);
+      Some line
+    | None -> (
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> None
+      | n ->
+        c.residue <- c.residue ^ Bytes.sub_string chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let request c frame =
+  send_line c (Json.to_string frame);
+  match recv_line c with
+  | None -> failwith "Serve.Client.request: connection closed"
+  | Some line -> (
+    match Json.parse line with
+    | Ok reply -> reply
+    | Error msg -> failwith ("Serve.Client.request: bad reply: " ^ msg))
+
+let rpc c ?id ~meth params =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+      let n = c.next_id in
+      c.next_id <- n + 1;
+      Json.Num (float_of_int n)
+  in
+  let reply =
+    request c
+      (Json.Obj
+         [
+           ("id", id);
+           ("method", Json.Str meth);
+           ("params", Json.Obj params);
+         ])
+  in
+  match Json.member "ok" reply with
+  | Some payload -> Ok payload
+  | None -> (
+    match Json.member "error" reply with
+    | Some err ->
+      let field name =
+        match Json.member name err with Some (Json.Str s) -> s | _ -> ""
+      in
+      Error (field "code", field "message")
+    | None -> failwith "Serve.Client.rpc: reply has neither ok nor error")
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

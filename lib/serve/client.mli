@@ -1,0 +1,32 @@
+(** Minimal blocking JSON-lines client for [optpower serve] — used by
+    [optpower client], the serve tests and the load bench. *)
+
+type t
+
+val connect : string -> t
+(** Connect to a server's Unix-domain socket path.
+    @raise Unix.Unix_error when nothing is listening. *)
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an already-connected stream (tests use one end of a
+    [socketpair]). *)
+
+val send_line : t -> string -> unit
+(** Write one raw frame plus the newline — also the escape hatch for
+    sending deliberately malformed frames in tests. *)
+
+val recv_line : t -> string option
+(** Next reply line (newline stripped), [None] on EOF. *)
+
+val request : t -> Json.t -> Json.t
+(** Send one frame, read one reply line, parse it.
+    @raise Failure on EOF or an unparseable reply. *)
+
+val rpc :
+  t -> ?id:Json.t -> meth:string -> (string * Json.t) list ->
+  (Json.t, string * string) result
+(** One call round-trip: builds [{"id":…,"method":…,"params":{…}}], sends
+    it and splits the reply into [Ok payload] or [Error (code, message)].
+    [id] defaults to an internal per-client sequence number. *)
+
+val close : t -> unit

@@ -1,0 +1,142 @@
+module N = Power_core.Numerical_opt
+
+let problem_of_label tech label =
+  Power_core.Calibration.problem_of_row tech
+    ~f:Power_core.Paper_data.frequency
+    (Power_core.Paper_data.table1_find label)
+
+let optimum ?(tech = Device.Technology.ll) arch =
+  N.optimum (problem_of_label tech arch)
+
+let sweep ?pool ?(tech = Device.Technology.ll) ?(samples = 25)
+    ?(vdd_lo = 0.25) ?(vdd_hi = 1.2) arch =
+  N.sweep_vdd ?pool ~samples ~vdd_lo ~vdd_hi (problem_of_label tech arch)
+
+let catalog_labels =
+  List.map
+    (fun (r : Power_core.Paper_data.table1_row) -> r.label)
+    Power_core.Paper_data.table1
+
+(* Sorting is stable and the solve order is the catalog order, so ties
+   (there are none today, but the contract matters) stay deterministic. *)
+let rank_sort pairs =
+  List.stable_sort
+    (fun (_, (a : N.point)) (_, (b : N.point)) ->
+      Float.compare a.total b.total)
+    pairs
+
+let rank ?pool ?(tech = Device.Technology.ll) ?archs () =
+  let archs = match archs with Some a -> a | None -> catalog_labels in
+  let points =
+    N.optima_continued ?pool ~problem_of:(problem_of_label tech) archs
+  in
+  rank_sort (List.combine archs points)
+
+let lint ?pool ?only () =
+  let report = Analysis.Engine.run ?pool () in
+  match only with
+  | None -> report
+  | Some ids -> Analysis.Engine.filter_rules ids report
+
+let certify ?pool ?flavors () = Report.Certify_report.rows ?pool ?flavors ()
+
+(* Wire encodings. *)
+
+let point_json (p : N.point) =
+  Json.Obj
+    [
+      ("vdd", Json.Num p.vdd);
+      ("vth", Json.Num p.vth);
+      ("pdyn", Json.Num p.dynamic);
+      ("pstat", Json.Num p.static);
+      ("ptot", Json.Num p.total);
+    ]
+
+let optimum_json ~tech ~arch point =
+  Json.Obj
+    [
+      ("method", Json.Str "optimum");
+      ("tech", Json.Str (Device.Technology.name tech));
+      ("arch", Json.Str arch);
+      ("optimum", point_json point);
+    ]
+
+let sweep_json ~tech ~arch points =
+  Json.Obj
+    [
+      ("method", Json.Str "sweep");
+      ("tech", Json.Str (Device.Technology.name tech));
+      ("arch", Json.Str arch);
+      ("points", Json.Arr (List.map point_json points));
+    ]
+
+let rank_json ~tech ranked =
+  Json.Obj
+    [
+      ("method", Json.Str "rank");
+      ("tech", Json.Str (Device.Technology.name tech));
+      ( "ranking",
+        Json.Arr
+          (List.map
+             (fun (arch, (p : N.point)) ->
+               Json.Obj
+                 [
+                   ("arch", Json.Str arch);
+                   ("vdd", Json.Num p.vdd);
+                   ("vth", Json.Num p.vth);
+                   ("ptot", Json.Num p.total);
+                 ])
+             ranked) );
+    ]
+
+let lint_json report =
+  (* The lint report already has a canonical JSON rendering
+     (Analysis.Render.json, also what `optpower lint --format json`
+     prints); re-read it into wire JSON rather than maintaining a second
+     encoder. The parse cannot fail on our own renderer's output. *)
+  let doc =
+    match Json.parse (Analysis.Render.json report) with
+    | Ok j -> j
+    | Error msg -> failwith ("Engine.lint_json: unparseable report: " ^ msg)
+  in
+  Json.Obj
+    [
+      ("method", Json.Str "lint");
+      ("exit_code", Json.Num (float_of_int (Analysis.Engine.exit_code report)));
+      ("report", doc);
+    ]
+
+let certify_json rows =
+  Json.Obj
+    [
+      ("method", Json.Str "certify");
+      ( "violations",
+        Json.Num (float_of_int (Report.Certify_report.violations rows)) );
+      ( "rows",
+        Json.Arr
+          (List.map
+             (fun (r : Report.Certify_report.row) ->
+               let cert = r.cert in
+               Json.Obj
+                 [
+                   ("label", Json.Str r.label);
+                   ("ok", Json.Bool r.ok);
+                   ("ptot_lo", Json.Num cert.ptot.lo);
+                   ("ptot_hi", Json.Num cert.ptot.hi);
+                   ("vdd_lo", Json.Num cert.vdd_bracket.lo);
+                   ("vdd_hi", Json.Num cert.vdd_bracket.hi);
+                   ("optimum", point_json r.optimum);
+                 ])
+             rows) );
+    ]
+
+let run_call ?pool (call : Protocol.call) =
+  match call with
+  | Protocol.Optimum { tech; arch } ->
+    optimum_json ~tech ~arch (optimum ~tech arch)
+  | Protocol.Sweep { tech; arch; samples; vdd_lo; vdd_hi } ->
+    sweep_json ~tech ~arch (sweep ?pool ~tech ~samples ~vdd_lo ~vdd_hi arch)
+  | Protocol.Rank { tech; archs } ->
+    rank_json ~tech (rank ?pool ~tech ~archs ())
+  | Protocol.Lint { only } -> lint_json (lint ?pool ?only ())
+  | Protocol.Certify { flavors } -> certify_json (certify ?pool ~flavors ())

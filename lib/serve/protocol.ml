@@ -1,0 +1,208 @@
+type error_code =
+  | Parse
+  | Frame
+  | Unknown_method
+  | Params
+  | Shutdown
+  | Internal
+
+let code_string = function
+  | Parse -> "parse-error"
+  | Frame -> "frame-error"
+  | Unknown_method -> "unknown-method"
+  | Params -> "invalid-params"
+  | Shutdown -> "shutting-down"
+  | Internal -> "internal-error"
+
+type call =
+  | Optimum of { tech : Device.Technology.t; arch : string }
+  | Sweep of {
+      tech : Device.Technology.t;
+      arch : string;
+      samples : int;
+      vdd_lo : float;
+      vdd_hi : float;
+    }
+  | Rank of { tech : Device.Technology.t; archs : string list }
+  | Lint of { only : string list option }
+  | Certify of { flavors : Device.Technology.t list }
+
+type request = { id : Json.t; call : call }
+
+let max_frame_bytes = 65536
+let max_sweep_samples = 16384
+
+let method_name = function
+  | Optimum _ -> "optimum"
+  | Sweep _ -> "sweep"
+  | Rank _ -> "rank"
+  | Lint _ -> "lint"
+  | Certify _ -> "certify"
+
+(* Validation helpers: every failure raises [Invalid Params] with a
+   message; [parse_frame] catches and turns it into the error triple. *)
+
+exception Invalid of error_code * string
+
+let invalid fmt = Printf.ksprintf (fun m -> raise (Invalid (Params, m))) fmt
+
+let catalog_labels =
+  List.map
+    (fun (r : Power_core.Paper_data.table1_row) -> r.label)
+    Power_core.Paper_data.table1
+
+let arch_of_json = function
+  | Some (Json.Str label) ->
+    if List.mem label catalog_labels then label
+    else invalid "unknown architecture %S (see Table 1 labels)" label
+  | Some _ -> invalid "\"arch\" must be a string"
+  | None -> invalid "missing required parameter \"arch\""
+
+let tech_of_string = function
+  | "ULL" -> Device.Technology.ull
+  | "LL" -> Device.Technology.ll
+  | "HS" -> Device.Technology.hs
+  | s -> invalid "unknown technology %S (expected ULL, LL or HS)" s
+
+let tech_of_json = function
+  | None -> Device.Technology.ll
+  | Some (Json.Str s) -> tech_of_string s
+  | Some _ -> invalid "\"tech\" must be a string"
+
+let finite_number name = function
+  | Json.Num v when Float.is_finite v -> v
+  | Json.Num _ -> invalid "%S must be finite" name
+  | _ -> invalid "%S must be a number" name
+
+let int_param name ~default ~min ~max params =
+  match Json.member name params with
+  | None -> default
+  | Some j ->
+    let v = finite_number name j in
+    if Float.is_integer v && v >= float_of_int min && v <= float_of_int max
+    then int_of_float v
+    else invalid "%S must be an integer in [%d, %d]" name min max
+
+let float_param name ~default params =
+  match Json.member name params with
+  | None -> default
+  | Some j -> finite_number name j
+
+let string_list name = function
+  | Json.Arr items ->
+    List.map
+      (function
+        | Json.Str s -> s
+        | _ -> invalid "%S must be an array of strings" name)
+      items
+  | _ -> invalid "%S must be an array of strings" name
+
+let parse_call meth params =
+  match meth with
+  | "optimum" ->
+    Optimum
+      {
+        tech = tech_of_json (Json.member "tech" params);
+        arch = arch_of_json (Json.member "arch" params);
+      }
+  | "sweep" ->
+    let samples =
+      int_param "samples" ~default:25 ~min:2 ~max:max_sweep_samples params
+    in
+    let vdd_lo = float_param "vdd_lo" ~default:0.25 params in
+    let vdd_hi = float_param "vdd_hi" ~default:1.2 params in
+    if not (vdd_lo > 0.0 && vdd_hi > vdd_lo && vdd_hi <= 20.0) then
+      invalid "sweep range must satisfy 0 < vdd_lo < vdd_hi <= 20";
+    Sweep
+      {
+        tech = tech_of_json (Json.member "tech" params);
+        arch = arch_of_json (Json.member "arch" params);
+        samples;
+        vdd_lo;
+        vdd_hi;
+      }
+  | "rank" ->
+    let archs =
+      match Json.member "archs" params with
+      | None -> catalog_labels
+      | Some j ->
+        let archs = string_list "archs" j in
+        if archs = [] then invalid "\"archs\" must not be empty";
+        List.iter
+          (fun a ->
+            if not (List.mem a catalog_labels) then
+              invalid "unknown architecture %S (see Table 1 labels)" a)
+          archs;
+        archs
+    in
+    Rank { tech = tech_of_json (Json.member "tech" params); archs }
+  | "lint" ->
+    let only =
+      match Json.member "only" params with
+      | None -> None
+      | Some j ->
+        let ids = string_list "only" j in
+        List.iter
+          (fun id ->
+            match Analysis.Rule.find id with
+            | _ -> ()
+            | exception Not_found ->
+              invalid "unknown rule id %S (see lint --list-rules)" id)
+          ids;
+        Some ids
+    in
+    Lint { only }
+  | "certify" ->
+    let flavors =
+      match Json.member "tech" params with
+      | None -> Device.Technology.all
+      | Some (Json.Str "all") -> Device.Technology.all
+      | Some (Json.Str s) -> [ tech_of_string s ]
+      | Some _ -> invalid "\"tech\" must be a string"
+    in
+    Certify { flavors }
+  | m -> raise (Invalid (Unknown_method, Printf.sprintf "unknown method %S" m))
+
+let parse_frame line =
+  if String.length line > max_frame_bytes then
+    Error
+      ( Json.Null,
+        Frame,
+        Printf.sprintf "frame exceeds %d bytes" max_frame_bytes )
+  else
+    match Json.parse line with
+    | Error msg -> Error (Json.Null, Parse, msg)
+    | Ok json ->
+      let id = Option.value ~default:Json.Null (Json.member "id" json) in
+      (match json with
+      | Json.Obj _ -> (
+        match Json.member "method" json with
+        | Some (Json.Str meth) ->
+          let params =
+            Option.value ~default:(Json.Obj []) (Json.member "params" json)
+          in
+          (match params with
+          | Json.Obj _ -> (
+            match parse_call meth params with
+            | call -> Ok { id; call }
+            | exception Invalid (code, msg) -> Error (id, code, msg))
+          | _ -> Error (id, Params, "\"params\" must be an object"))
+        | Some _ -> Error (id, Parse, "\"method\" must be a string")
+        | None -> Error (id, Parse, "missing \"method\""))
+      | _ -> Error (id, Parse, "request frame must be a JSON object"))
+
+let ok_frame ~id payload =
+  Json.to_string (Json.Obj [ ("id", id); ("ok", payload) ])
+
+let error_frame ~id code message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.Str (code_string code));
+               ("message", Json.Str message);
+             ] );
+       ])

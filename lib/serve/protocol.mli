@@ -1,0 +1,71 @@
+(** The wire protocol of [optpower serve] — JSON-lines request/reply
+    framing (DESIGN.md §14).
+
+    One request per line, one reply line per request, in order:
+
+    {v
+    -> {"id":1,"method":"optimum","params":{"arch":"RCA","tech":"LL"}}
+    <- {"id":1,"ok":{"method":"optimum","arch":"RCA","tech":"LL", ...}}
+    -> {"id":2,"method":"nope"}
+    <- {"id":2,"error":{"code":"unknown-method","message":"..."}}
+    v}
+
+    Every malformed frame yields a {e structured error reply} with a
+    stable [code]; the session is never crashed or wedged by input. The
+    parsed {!call} carries fully validated, defaulted parameters, so
+    everything past this layer is total. *)
+
+type error_code =
+  | Parse  (** Frame is not valid JSON, or not a request object. *)
+  | Frame  (** Frame exceeds {!max_frame_bytes} or was truncated by EOF. *)
+  | Unknown_method
+  | Params  (** Unknown architecture/technology/rule, non-finite or
+                out-of-range numeric parameter, wrong type. *)
+  | Shutdown  (** Session is draining; request was not accepted. *)
+  | Internal
+
+val code_string : error_code -> string
+(** Stable wire names: ["parse-error"], ["frame-error"],
+    ["unknown-method"], ["invalid-params"], ["shutting-down"],
+    ["internal-error"]. *)
+
+(** A validated request body. Parameter defaults are baked in here so that
+    two frames differing only in explicit-vs-defaulted parameters are the
+    {e same} call (and hit the same session cache entry). *)
+type call =
+  | Optimum of { tech : Device.Technology.t; arch : string }
+  | Sweep of {
+      tech : Device.Technology.t;
+      arch : string;
+      samples : int;  (** Default 25, the CLI sweep's default. *)
+      vdd_lo : float;  (** Default 0.25 V. *)
+      vdd_hi : float;  (** Default 1.2 V. *)
+    }
+  | Rank of { tech : Device.Technology.t; archs : string list }
+      (** [archs] defaults to the full Table 1 catalog. *)
+  | Lint of { only : string list option }
+  | Certify of { flavors : Device.Technology.t list }
+      (** Defaults to all three flavors. *)
+
+type request = { id : Json.t; call : call }
+(** [id] is echoed verbatim in the reply ([Null] when absent). *)
+
+val max_frame_bytes : int
+(** Longest accepted request frame (bytes, newline excluded): 65536. *)
+
+val max_sweep_samples : int
+(** Upper bound on [sweep.samples] (16384) — a service-side sanity cap. *)
+
+val parse_frame :
+  string -> (request, Json.t * error_code * string) result
+(** Parse and validate one frame. The error carries the request id when
+    one could be recovered from the malformed frame (so the client can
+    still correlate), [Null] otherwise. *)
+
+val method_name : call -> string
+
+val ok_frame : id:Json.t -> Json.t -> string
+(** [{"id":<id>,"ok":<payload>}] — no trailing newline. *)
+
+val error_frame : id:Json.t -> error_code -> string -> string
+(** [{"id":<id>,"error":{"code":...,"message":...}}] — no newline. *)
