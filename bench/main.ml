@@ -295,6 +295,43 @@ let bench_diag_dse_pruned =
       let result = Power_core.Dse.prune dse_candidates in
       List.iter certify_slice result.Power_core.Dse.kept)
 
+(* The generator-space Pareto explorer on a ~2k-candidate space: 18
+   Booth substrates (radix x signedness x depth) x 5 parallelisation
+   factors x 3 flavors x 8 frequency slices = 2160 candidates. The
+   extension bench times the production (pruned) path; the diag pair is
+   the A/B behind it — identical axes with pruning off versus on, both
+   producing bitwise-identical fronts. Substrate characterisation is
+   memoized process-wide; a lazy first exploration pays it outside the
+   A/B asymmetry. *)
+let dse_pareto_axes =
+  {
+    Power_core.Explorer.bits = 8;
+    radices = [ 2; 4; 8 ];
+    signednesses = [ Multipliers.Booth.Unsigned; Multipliers.Booth.Signed ];
+    stages = [ 1; 2; 3 ];
+    copies = [ 1; 2; 4; 6; 8 ];
+    fmults = [ 0.25; 0.5; 0.75; 1.0; 1.5; 2.0; 3.0; 4.0 ];
+    techs = Device.Technology.all;
+  }
+
+let dse_pareto_warm =
+  lazy (ignore (Power_core.Explorer.explore ~prune:true dse_pareto_axes))
+
+let bench_dse_pareto =
+  slow "extension:dse-pareto-2k" (fun () ->
+      Lazy.force dse_pareto_warm;
+      ignore (Power_core.Explorer.explore ~prune:true dse_pareto_axes))
+
+let bench_diag_dse_pareto_exhaustive =
+  make_bench ~limit:6 ~quota:2.4 "diag:dse-pareto-exhaustive-2k" (fun () ->
+      Lazy.force dse_pareto_warm;
+      ignore (Power_core.Explorer.explore ~prune:false dse_pareto_axes))
+
+let bench_diag_dse_pareto_pruned =
+  make_bench ~limit:6 ~quota:2.4 "diag:dse-pareto-pruned-2k" (fun () ->
+      Lazy.force dse_pareto_warm;
+      ignore (Power_core.Explorer.explore ~prune:true dse_pareto_axes))
+
 (* Order-statistics A/B: full sort versus in-place quickselect, both on a
    fresh copy of the same 50k-element array. *)
 let percentile_base =
@@ -354,6 +391,9 @@ let benchmarks =
     bench_dse_prune;
     bench_diag_dse_exhaustive;
     bench_diag_dse_pruned;
+    bench_dse_pareto;
+    bench_diag_dse_pareto_exhaustive;
+    bench_diag_dse_pareto_pruned;
   ]
 
 let contains_substring s sub =

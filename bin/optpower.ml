@@ -359,21 +359,97 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ bits $ vectors)
 
 let explore_cmd =
-  let cycles =
-    Arg.(value & opt int 100 & info [ "cycles" ] ~doc:"Simulated data cycles.")
+  let bits =
+    Arg.(value & opt int 8
+         & info [ "bits" ] ~docv:"W" ~doc:"Operand width (even, >= 4).")
   in
-  let run jobs obs cycles =
+  let radices =
+    Arg.(value & opt (list int) [ 2; 4; 8 ]
+         & info [ "radix" ] ~docv:"R,..."
+             ~doc:"Booth radix axis (entries from {2, 4, 8}).")
+  in
+  let stages =
+    Arg.(value & opt (list int) [ 1; 2; 3 ]
+         & info [ "stages" ] ~docv:"N,..." ~doc:"Pipeline-depth axis.")
+  in
+  let copies =
+    Arg.(value & opt (list int) [ 1; 2; 4 ]
+         & info [ "copies" ] ~docv:"K,..." ~doc:"Parallelisation axis.")
+  in
+  let signed =
+    Arg.(value & flag
+         & info [ "signed" ] ~doc:"Explore signed (Booth-recoded) operands.")
+  in
+  let fmults =
+    Arg.(value & opt (list float) [ 0.5; 1.0; 2.0; 4.0 ]
+         & info [ "fmult" ] ~docv:"X,..."
+             ~doc:"Frequency slices, as multiples of the paper's 31.25 MHz.")
+  in
+  let tech =
+    Arg.(value & opt (some (enum [ ("ULL", Device.Technology.ull);
+                                   ("LL", Device.Technology.ll);
+                                   ("HS", Device.Technology.hs) ])) None
+         & info [ "tech" ] ~docv:"FLAVOR"
+             ~doc:"Restrict to one technology flavor; default: all three.")
+  in
+  let no_prune =
+    Arg.(value & flag
+         & info [ "no-prune" ]
+             ~doc:"Solve every candidate exactly (the differential oracle).")
+  in
+  let catalog =
+    Arg.(value & flag
+         & info [ "catalog" ]
+             ~doc:
+               "Legacy mode: characterise the 17 catalog architectures from \
+                scratch instead of exploring the generator space.")
+  in
+  let cycles =
+    Arg.(value & opt (some int) None
+         & info [ "cycles" ] ~docv:"N"
+             ~doc:"Simulated data cycles per characterisation.")
+  in
+  let run jobs obs bits radices stages copies signed fmults tech no_prune
+      catalog cycles =
     set_jobs jobs;
     with_obs obs @@ fun () ->
-    print
-      (Report.Studies.render_exploration ~cycles
-         ~f:Power_core.Paper_data.frequency ())
+    if catalog then
+      print
+        (Report.Studies.render_exploration
+           ~cycles:(Option.value ~default:100 cycles)
+           ~f:Power_core.Paper_data.frequency ())
+    else begin
+      let axes =
+        {
+          Power_core.Explorer.bits;
+          radices;
+          signednesses =
+            [ (if signed then Multipliers.Booth.Signed
+               else Multipliers.Booth.Unsigned) ];
+          stages;
+          copies;
+          fmults;
+          techs =
+            (match tech with
+            | None -> Device.Technology.all
+            | Some t -> [ t ]);
+        }
+      in
+      print (Report.Dse_report.render_axes axes ^ "\n\n");
+      let result =
+        Power_core.Explorer.explore ~prune:(not no_prune) ?cycles axes
+      in
+      print (Report.Dse_report.render result ^ "\n")
+    end
   in
   let doc =
-    "Design-space exploration: all 17 architectures on all three flavors, \
-     from scratch."
+    "Pruned Pareto design-space exploration over the Booth generator \
+     (radix x signedness x depth x parallelism x flavor x frequency); \
+     $(b,--catalog) keeps the legacy 17-architecture study."
   in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run $ jobs_arg $ obs_arg $ cycles)
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run $ jobs_arg $ obs_arg $ bits $ radices $ stages $ copies
+          $ signed $ fmults $ tech $ no_prune $ catalog $ cycles)
 
 let export_cmd =
   let arch =
@@ -991,8 +1067,8 @@ let serve_cmd =
 let client_cmd =
   let meth =
     let doc =
-      "Request method: $(b,optimum), $(b,sweep), $(b,rank), $(b,lint) or \
-       $(b,certify)."
+      "Request method: $(b,optimum), $(b,sweep), $(b,rank), $(b,lint), \
+       $(b,certify) or $(b,explore)."
     in
     Arg.(
       required
@@ -1000,7 +1076,8 @@ let client_cmd =
           (some
              (enum
                 [ ("optimum", "optimum"); ("sweep", "sweep");
-                  ("rank", "rank"); ("lint", "lint"); ("certify", "certify") ]))
+                  ("rank", "rank"); ("lint", "lint"); ("certify", "certify");
+                  ("explore", "explore") ]))
           None
       & info [] ~docv:"METHOD" ~doc)
   in
@@ -1038,7 +1115,49 @@ let client_cmd =
       & opt (some (list string)) None
       & info [ "only" ] ~docv:"RULE-ID,..." ~doc:"Lint rule filter.")
   in
-  let run socket meth arch tech samples archs only =
+  let bits =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bits" ] ~docv:"W" ~doc:"Explore operand width.")
+  in
+  let radices =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "radix" ] ~docv:"R,..." ~doc:"Explore radix axis.")
+  in
+  let stages =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "stages" ] ~docv:"N,..." ~doc:"Explore pipeline-depth axis.")
+  in
+  let copies =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "copies" ] ~docv:"K,..." ~doc:"Explore parallelisation axis.")
+  in
+  let signed =
+    Arg.(value & flag & info [ "signed" ] ~doc:"Explore signed operands.")
+  in
+  let fmults =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "fmult" ] ~docv:"X,..." ~doc:"Explore frequency multiples.")
+  in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ] ~doc:"Explore exhaustively (no pruning).")
+  in
+  let run socket meth arch tech samples archs only bits radices stages copies
+      signed fmults no_prune =
+    let int_arr l =
+      Serve.Json.Arr (List.map (fun v -> Serve.Json.Num (float_of_int v)) l)
+    in
     let params =
       List.filter_map Fun.id
         [
@@ -1055,6 +1174,19 @@ let client_cmd =
             (fun l ->
               ("only", Serve.Json.Arr (List.map (fun s -> Serve.Json.Str s) l)))
             only;
+          Option.map
+            (fun b -> ("bits", Serve.Json.Num (float_of_int b)))
+            bits;
+          Option.map (fun l -> ("radices", int_arr l)) radices;
+          Option.map (fun l -> ("stages", int_arr l)) stages;
+          Option.map (fun l -> ("copies", int_arr l)) copies;
+          (if signed then Some ("signed", Serve.Json.Bool true) else None);
+          Option.map
+            (fun l ->
+              ("fmults",
+               Serve.Json.Arr (List.map (fun v -> Serve.Json.Num v) l)))
+            fmults;
+          (if no_prune then Some ("prune", Serve.Json.Bool false) else None);
         ]
     in
     let client = Serve.Client.connect socket in
@@ -1071,7 +1203,8 @@ let client_cmd =
      reply payload."
   in
   Cmd.v (Cmd.info "client" ~doc)
-    Term.(const run $ socket_arg $ meth $ arch $ tech $ samples $ archs $ only)
+    Term.(const run $ socket_arg $ meth $ arch $ tech $ samples $ archs $ only
+          $ bits $ radices $ stages $ copies $ signed $ fmults $ no_prune)
 
 let main =
   let doc =

@@ -1,0 +1,111 @@
+(* Design-space explorer rules (the dse.* family of Rule.dse). *)
+
+module B = Multipliers.Booth
+module E = Power_core.Explorer
+
+let model_loc ?parameter model = Diagnostic.Model_loc { model; parameter }
+
+let diag rule model ?parameter ?severity ?fix_hint message =
+  let meta = Rule.find rule in
+  Diagnostic.make ~rule
+    ~severity:(Option.value severity ~default:meta.Rule.severity)
+    ~location:(model_loc ?parameter model)
+    ?fix_hint message
+
+let sign_tag = function B.Unsigned -> "u" | B.Signed -> "s"
+
+(* Every point of the axes grid must either satisfy the generator contract
+   or be a depth overshoot the enumeration is allowed to skip; anything
+   else (bad radix, odd width, non-positive copies) poisons the whole
+   grid and is an error. A grid whose every substrate combo is skipped
+   enumerates nothing at all — also an error. *)
+let generator_params ~label (axes : E.axes) =
+  let combos =
+    List.concat_map
+      (fun radix ->
+        List.concat_map
+          (fun signedness ->
+            List.map (fun stages -> (radix, signedness, stages)) axes.stages)
+          axes.signednesses)
+      axes.radices
+  in
+  let findings =
+    List.filter_map
+      (fun (radix, signedness, stages) ->
+        match
+          B.validate ~radix ~signedness ~stages ~copies:1 ~bits:axes.bits
+        with
+        | Ok () -> None
+        | Error msg ->
+          let parameter =
+            Printf.sprintf "r%d%s p%d w%d" radix (sign_tag signedness) stages
+              axes.bits
+          in
+          let depth_overshoot =
+            radix = 2 || radix = 4 || radix = 8
+          in
+          let depth_overshoot =
+            depth_overshoot && axes.bits >= 4 && axes.bits mod 2 = 0
+            && stages >= 1
+          in
+          Some
+            (diag "dse.generator-params" label ~parameter
+               ~severity:
+                 (if depth_overshoot then Diagnostic.Info
+                  else Diagnostic.Error)
+               ~fix_hint:
+                 (if depth_overshoot then
+                    "the explorer skips this point; narrow the stages axis \
+                     to silence"
+                  else "fix the axes grid - see Booth.validate")
+               msg))
+      combos
+  in
+  let copies =
+    List.filter_map
+      (fun c ->
+        if c >= 1 then None
+        else
+          Some
+            (diag "dse.generator-params" label
+               ~parameter:(Printf.sprintf "copies=%d" c)
+               ~fix_hint:"parallelisation copies must be >= 1"
+               (Printf.sprintf "copies must be >= 1 (got %d)" c)))
+      axes.copies
+  in
+  let empty =
+    if E.substrate_combos axes = [] then
+      [
+        diag "dse.generator-params" label
+          ~fix_hint:"widen the radix/stages axes"
+          "no (radix, signedness, stages) combination validates - the \
+           grid enumerates nothing";
+      ]
+    else []
+  in
+  findings @ copies @ empty
+
+(* Differential audit of the admissible-bound property: the pruned run
+   must never finish a slice with an empty front while the exhaustive run
+   (same axes) found feasible candidates there. *)
+let front_nonempty ?pool ~label (axes : E.axes) =
+  let pruned = E.explore ?pool ~prune:true axes in
+  let exhaustive = E.explore ?pool ~prune:false axes in
+  List.concat
+    (List.map2
+       (fun (p : E.slice) (x : E.slice) ->
+         if x.front <> [] && p.front = [] then
+           [
+             diag "dse.front-nonempty" label
+               ~parameter:(Printf.sprintf "f=%g" p.f)
+               ~fix_hint:
+                 "a certified lower bound was compared non-strictly, or an \
+                  achieved value entered the ledger - audit \
+                  Explorer.threshold_against and the ledger sourcing"
+               (Printf.sprintf
+                  "pruned front empty at f = %g Hz while the exhaustive \
+                   front holds %d entries"
+                  p.f (List.length x.front));
+           ]
+         else [])
+       pruned.slices exhaustive.slices)

@@ -1,0 +1,24 @@
+(** Design-space explorer rules (the [dse.*] family of {!Rule.dse}).
+
+    [dse.generator-params] audits an axes grid against the Booth
+    generator's validity contract before any netlist is built;
+    [dse.front-nonempty] differentially audits the admissible-bound
+    property — the certified prune must never empty a front the
+    exhaustive path found feasible candidates for. *)
+
+val generator_params :
+  label:string -> Power_core.Explorer.axes -> Diagnostic.t list
+(** Grid-level validity: every (radix, signedness, stages) point either
+    satisfies {!Multipliers.Booth.validate} or is a pipeline-depth
+    overshoot the enumeration skips (reported [Info]); bad radices, odd
+    widths and non-positive copies are errors, as is a grid with no valid
+    substrate at all. *)
+
+val front_nonempty :
+  ?pool:Parallel.Pool.t ->
+  label:string ->
+  Power_core.Explorer.axes ->
+  Diagnostic.t list
+(** Runs the pruned and exhaustive explorers on the axes and reports an
+    error for any slice where pruning emptied a feasible front. Run it on
+    a small analytic grid — it costs two full explorations. *)

@@ -150,12 +150,53 @@ let cert_targets ?pool ?(flavors = Device.Technology.all) () =
   in
   technologies @ rows
 
+(* A small analytic grid keeps the differential front audit cheap (one
+   4-bit substrate build, cached process-wide) while still exercising the
+   full prune pipeline. *)
+let dse_audit_axes =
+  {
+    Power_core.Explorer.bits = 4;
+    radices = [ 4 ];
+    signednesses = [ Multipliers.Booth.Unsigned ];
+    stages = [ 1 ];
+    copies = [ 1; 2 ];
+    fmults = [ 0.5; 1.0 ];
+    techs = Device.Technology.all;
+  }
+
+let dse_targets ?pool () =
+  let grid =
+    Obs.Span.with_ ~name:"lint.dse" ~attrs:[ ("target", "axes default") ]
+    @@ fun () ->
+    let diagnostics =
+      List.stable_sort Diagnostic.compare
+        (Dse_rules.generator_params ~label:"axes default"
+           Power_core.Explorer.default_axes)
+    in
+    Obs.Counter.incr c_targets;
+    Obs.Counter.add c_diags (List.length diagnostics);
+    { title = "dse axes default"; diagnostics }
+  in
+  let front =
+    Obs.Span.with_ ~name:"lint.dse" ~attrs:[ ("target", "front audit") ]
+    @@ fun () ->
+    let diagnostics =
+      List.stable_sort Diagnostic.compare
+        (Dse_rules.front_nonempty ?pool ~label:"front audit" dse_audit_axes)
+    in
+    Obs.Counter.incr c_targets;
+    Obs.Counter.add c_diags (List.length diagnostics);
+    { title = "dse front audit"; diagnostics }
+  in
+  [ grid; front ]
+
 let run ?pool ?config () =
   Obs.Span.with_ ~name:"lint.run" (fun () ->
       of_targets
         (netlist_targets ?pool ?config ()
         @ model_targets ?pool ()
-        @ cert_targets ?pool ()))
+        @ cert_targets ?pool ()
+        @ dse_targets ?pool ()))
 
 let filter_rules ids report =
   of_targets

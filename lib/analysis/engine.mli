@@ -51,12 +51,17 @@ val cert_targets :
     the row's calibrated problem against its interval certificate, in
     parallel. Default: all three flavors. *)
 
+val dse_targets : ?pool:Parallel.Pool.t -> unit -> target list
+(** Design-space explorer audits ({!Dse_rules}): the default axes grid
+    against the generator contract, and the differential front-nonempty
+    check on a small analytic grid. *)
+
 val run :
   ?pool:Parallel.Pool.t -> ?config:Netlist_rules.config -> unit -> report
-(** [netlist_targets], then [model_targets], then [cert_targets] —
-    everything [optpower lint] checks. [pool] (default: the shared
-    process-wide pool) carries every parallel map, so a resident serve
-    session can keep lint work on its own domains. *)
+(** [netlist_targets], then [model_targets], then [cert_targets], then
+    [dse_targets] — everything [optpower lint] checks. [pool] (default:
+    the shared process-wide pool) carries every parallel map, so a
+    resident serve session can keep lint work on its own domains. *)
 
 val filter_rules : string list -> report -> report
 (** Keep only findings whose rule id is in the list (targets stay, counts

@@ -108,6 +108,20 @@ let cert =
        sweep-bracket audit";
   ]
 
-let all = netlist @ model @ cert
+let dse =
+  [
+    rule "dse.generator-params" Diagnostic.Error "Generator parameter validity"
+      "The explorer's substrate axis is only meaningful over the \
+       generator's contract: radix in {2,4,8}, even width >= 4 and a \
+       pipeline depth within the recoded row count - an invalid grid \
+       would silently characterise the wrong circuit family";
+    rule "dse.front-nonempty" Diagnostic.Error "Certified prune emptied a feasible front"
+      "Pruning discards a candidate only when a surviving front member \
+       dominates it, so a feasible candidate set must always leave a \
+       non-empty Pareto front - an empty one means a bound was used as \
+       an achieved value (the admissible-bound property is broken)";
+  ]
+
+let all = netlist @ model @ cert @ dse
 
 let find id = List.find (fun m -> m.id = id) all

@@ -23,8 +23,12 @@ val cert : meta list
 (** Rules cross-checking solver results against the interval certifier
     ({!Power_core.Absint}) — implementations in {!Cert_rules}. *)
 
+val dse : meta list
+(** Rules guarding the design-space explorer ({!Power_core.Explorer}) —
+    implementations in [Dse_rules]. *)
+
 val all : meta list
-(** [netlist @ model @ cert]. *)
+(** [netlist @ model @ cert @ dse]. *)
 
 val find : string -> meta
 (** @raise Not_found for an unregistered id. *)

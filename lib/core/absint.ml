@@ -242,3 +242,68 @@ let beats ?(tol = 1e-3) ?(max_splits = 64) (b : box) ~threshold =
           go (l :: r :: rest)
   in
   go [ b.vdd ]
+
+(* One-sided exclusion test: a certified "min Ptot over the box is
+   strictly above [threshold]". Two structural cheapenings over [beats]:
+
+   - pdyn clip. Pdyn = K vdd^2 with K = a N Cavg f.lo is a monotone lower
+     envelope of Ptot, so any vdd with K vdd^2 > threshold cannot hold a
+     sub-threshold point. One square root locates the crossing; a single
+     interval evaluation at the clip point verifies it outward-rounded,
+     after which the branch-and-bound only ever works the [lo, clip]
+     prefix of the supply axis.
+
+   - lower-bound-only leaves. Exclusion never needs the achieved upper
+     values [certify] maintains, so leaves evaluate the naive/affine .lo
+     alone and skip the derivative enclosure and the endpoint-spanned
+     refinement that [ptot_over] pays for two-sided tightness.
+
+   [true] is the proof (candidate cannot reach the threshold); [false] is
+   conservative — an inconclusive leaf at the tol/budget floor, never an
+   unsound exclusion. *)
+let excludes ?(tol = 2e-3) ?(max_splits = 32) (b : box) ~threshold =
+  if not (threshold > 0.0 && Float.is_finite threshold) then false
+  else begin
+    let p = b.problem.Power_law.params in
+    let k =
+      p.Arch_params.activity *. p.n_cells *. p.avg_cap *. b.f.Iv.lo
+    in
+    let domain =
+      if k <= 0.0 then b.vdd
+      else
+        let guess = Float.sqrt (threshold /. k) *. 1.0001 in
+        if guess >= b.vdd.Iv.hi || guess <= b.vdd.Iv.lo then b.vdd
+        else
+          let clip = Iv.make guess b.vdd.Iv.hi in
+          let pdyn_at = Power_law.pdyn_iv b.problem ~f:b.f ~vdd:clip in
+          if pdyn_at.Iv.lo > threshold then Iv.make b.vdd.Iv.lo guess
+          else b.vdd
+    in
+    let lower vdd =
+      let sub = { b with vdd } in
+      let naive =
+        Power_law.ptot_on_constraint_iv sub.problem ~f:sub.f ~vdd:sub.vdd
+      in
+      match affine_range sub.problem ~f:sub.f ~vdd:sub.vdd with
+      | Some aff -> Float.max naive.Iv.lo aff.Iv.lo
+      | None -> naive.Iv.lo
+    in
+    let splits = ref 0 in
+    let rec go = function
+      | [] -> true
+      | vdd :: rest ->
+        Obs.Counter.incr c_boxes;
+        if lower vdd > threshold then (
+          Obs.Counter.incr c_prunes;
+          go rest)
+        else if Iv.width vdd <= tol || !splits >= max_splits then false
+        else (
+          match Iv.split vdd with
+          | None -> false
+          | Some (l, r) ->
+            incr splits;
+            Obs.Counter.incr c_splits;
+            go (l :: r :: rest))
+    in
+    go [ domain ]
+  end

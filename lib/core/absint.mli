@@ -71,3 +71,16 @@ val beats : ?tol:float -> ?max_splits:int -> box -> threshold:float -> bool
     at the first inconclusive leaf. [tol] (default [1e-3]) is the
     refinement floor, [max_splits] (default 64) the work budget —
     exhausting either returns [true], never an unsound [false]. *)
+
+val excludes :
+  ?tol:float -> ?max_splits:int -> box -> threshold:float -> bool
+(** [excludes b ~threshold] — is [min Ptot] over [b] certifiably {e strictly
+    above} [threshold]? [true] is the proof; [false] is conservative (an
+    inconclusive leaf at the [tol]/[max_splits] floor). The dual of
+    {!beats}, specialised for the explorer's incumbent pruning: a
+    one-shot pdyn-based clip discards the high-supply tail (Pdyn =
+    K·vdd² already exceeds the threshold there) before a lower-bound-only
+    branch-and-bound works the remaining prefix, skipping the achieved
+    upper values, derivative enclosures and endpoint refinements that
+    two-sided certification pays for. Defaults: [tol] 2e-3, [max_splits]
+    32. Counters [cert.boxes]/[cert.splits]/[cert.prunes]. *)

@@ -46,3 +46,6 @@ let prune ?tol ?max_splits candidates =
     in
     Obs.Counter.add c_pruned (List.length pruned);
     { kept; pruned; incumbent }
+
+let prune_against ?tol ?max_splits box ~incumbent =
+  Absint.excludes ?tol ?max_splits box ~threshold:incumbent

@@ -25,3 +25,12 @@ val prune : ?tol:float -> ?max_splits:int -> candidate list -> result
 (** [tol] and [max_splits] bound the per-candidate {!Absint.beats} work
     (defaults [1e-3] and 64): tighter and higher prune more, never
     unsoundly. Counters [dse.candidates], [dse.pruned]. *)
+
+val prune_against :
+  ?tol:float -> ?max_splits:int -> Absint.box -> incumbent:float -> bool
+(** Single-candidate incumbent pruning for the streaming explorer:
+    [true] certifies the box's min Ptot is strictly above [incumbent]
+    (via {!Absint.excludes} — its pdyn clip plus lower-bound-only
+    branch-and-bound), so a candidate whose power can only land above an
+    already-achieved value is discarded without an exact solve. [false]
+    keeps the candidate. Defaults [tol] 2e-3, [max_splits] 32. *)

@@ -1,0 +1,458 @@
+(* Pruned Pareto design-space exploration (ROADMAP item 1): the 13-row
+   table blown open into an enumerable (generator × transform × flavor)
+   space, evaluated exactly only where a candidate could still matter.
+
+   Soundness of the pruning ledger. The per-design ledger stores only
+   certified lower bounds on min-over-vdd Ptot: the .lo of an
+   Absint.certify enclosure from an exact evaluation, or a threshold an
+   Absint.excludes proof showed the design to be strictly above. Achieved
+   solver totals are never entered — an achieved value bounds the minimum
+   from above, not below. Slices run in ascending frequency and
+   min-over-vdd Ptot on the constraint locus is nondecreasing in f (pdyn
+   grows ∝ f; χ′ ∝ f lowers the implied vth, raising pstat pointwise), so
+   a ledger bound certified at a lower f keeps bounding the design at
+   every later slice.
+
+   Front identity. A candidate is discarded only when its certified lower
+   bound strictly exceeds the achieved power of a front member no worse in
+   latency and area — that member then dominates the candidate outright,
+   and dominance is transitive through any later front culling. Hence the
+   pruned and exhaustive paths finish every slice with the same front set;
+   both arms run the identical exact-evaluation task (seeded solve +
+   certification), so the retained floats agree bit for bit. Planning and
+   folding happen sequentially on the caller against round-start state
+   (Pool.map_rounds), which extends the bit-identity to any pool size. *)
+
+module Iv = Numerics.Interval
+
+type axes = {
+  bits : int;
+  radices : int list;
+  signednesses : Multipliers.Booth.signedness list;
+  stages : int list;
+  copies : int list;
+  fmults : float list;  (** Multiples of {!Paper_data.frequency}. *)
+  techs : Device.Technology.t list;
+}
+
+let default_axes =
+  {
+    bits = 8;
+    radices = [ 2; 4; 8 ];
+    signednesses = [ Multipliers.Booth.Unsigned ];
+    stages = [ 1; 2; 3 ];
+    copies = [ 1; 2; 4 ];
+    fmults = [ 0.5; 1.0; 2.0; 4.0 ];
+    techs = Device.Technology.all;
+  }
+
+(* Substrates: one generator build per (radix, signedness, stages) at the
+   axes' width. The parallelism axis is the analytic Transform.parallelize
+   scaling — matching how Section 4 reasons about replication — so copies
+   never trigger a rebuild. *)
+let substrate_combos axes =
+  List.concat_map
+    (fun radix ->
+      List.concat_map
+        (fun signedness ->
+          List.filter_map
+            (fun stages ->
+              match
+                Multipliers.Booth.validate ~radix ~signedness ~stages
+                  ~copies:1 ~bits:axes.bits
+              with
+              | Ok () -> Some (radix, signedness, stages)
+              | Error _ -> None)
+            axes.stages)
+        axes.signednesses)
+    axes.radices
+
+let space_size axes =
+  List.length (substrate_combos axes)
+  * List.length axes.copies * List.length axes.techs
+  * List.length axes.fmults
+
+(* Tech-free netlist characterization, shared across every candidate that
+   reuses a substrate. *)
+type chars = {
+  n_cells : float;
+  activity : float;
+  avg_cap : float;
+  avg_leak_factor : float;
+  ld_eff : float;
+  area : float;
+}
+
+let build_memo =
+  Memo.create ~name:"dse.build" (fun (radix, signedness, stages, bits) ->
+      Multipliers.Booth.generate ~signedness ~stages ~radix ~bits ())
+
+(* Keyed by the circuit's structural hash (plus the stimulus parameters),
+   not the generator tuple: distinct parameter points that elaborate to the
+   same structure share one STA/placement/activity run. Hand-rolled rather
+   than Parallel.Memo because the compute needs the spec, which is not part
+   of the key. *)
+let chars_mutex = Mutex.create ()
+
+let chars_table : (int * int * int, chars) Hashtbl.t = Hashtbl.create 64
+
+let c_chars_hit = Obs.Counter.make ~cat:"cache" "memo.dse.chars.hit"
+let c_chars_miss = Obs.Counter.make ~cat:"cache" "memo.dse.chars.miss"
+
+let characterize ~seed ~cycles (spec : Multipliers.Spec.t) =
+  let key = (Netlist.Circuit.structural_hash spec.circuit, seed, cycles) in
+  Mutex.lock chars_mutex;
+  let cached = Hashtbl.find_opt chars_table key in
+  Mutex.unlock chars_mutex;
+  match cached with
+  | Some c ->
+    Obs.Counter.incr c_chars_hit;
+    c
+  | None ->
+    Obs.Counter.incr c_chars_miss;
+    let stats = Multipliers.Spec.stats spec in
+    let placement = Netlist.Placement.place spec.circuit in
+    let avg_cap =
+      (Netlist.Placement.refine_stats spec.circuit placement)
+        .avg_cap_with_wires
+    in
+    let measured = Multipliers.Harness.measure_activity ~seed ~cycles spec in
+    let c =
+      {
+        n_cells = float_of_int stats.cell_total;
+        activity = measured.activity;
+        avg_cap;
+        avg_leak_factor = stats.avg_leak_factor;
+        ld_eff = Multipliers.Spec.logical_depth_effective spec;
+        area = stats.area;
+      }
+    in
+    Mutex.lock chars_mutex;
+    Hashtbl.replace chars_table key c;
+    Mutex.unlock chars_mutex;
+    c
+
+let params_of_chars ~label ~reference (c : chars) =
+  {
+    Arch_params.label;
+    n_cells = c.n_cells;
+    activity = c.activity;
+    avg_cap = c.avg_cap;
+    io_cell = c.avg_leak_factor *. reference.Device.Technology.io;
+    ld_eff = c.ld_eff;
+    area = c.area;
+  }
+
+type entry = {
+  label : string;
+  design : string;  (** Tech-qualified design identity — the ledger key. *)
+  radix : int;
+  signedness : Multipliers.Booth.signedness;
+  stages : int;
+  copies : int;
+  tech : string;
+  f : float;
+  power : float;  (** Achieved optimal Ptot, W. *)
+  vdd : float;  (** Supply at the optimum, V. *)
+  cert_lo : float;  (** Certified lower bound on min Ptot, W. *)
+  latency : float;  (** Effective logical depth after transforms. *)
+  area : float;  (** Cell count after transforms (area proxy). *)
+}
+
+type slice = { f : float; front : entry list }
+
+type totals = {
+  enumerated : int;
+  bound_pruned : int;  (** Discarded by the O(1) ledger lookup. *)
+  cert_pruned : int;  (** Discarded by an {!Absint.excludes} proof. *)
+  exact_solves : int;
+  front_size : int;  (** Summed over slices. *)
+}
+
+type result = { pruned : bool; slices : slice list; totals : totals }
+
+let c_enumerated = Obs.Counter.make "dse.enumerated"
+let c_bound_pruned = Obs.Counter.make "dse.bound_pruned"
+let c_cert_pruned = Obs.Counter.make "dse.cert_pruned"
+let c_exact_solves = Obs.Counter.make "dse.exact_solves"
+let c_front_size = Obs.Counter.make "pareto.front_size"
+
+(* [a] dominates [b]: no worse on every axis, strictly better somewhere. *)
+let dominates a b =
+  a.power <= b.power && a.latency <= b.latency && a.area <= b.area
+  && (a.power < b.power || a.latency < b.latency || a.area < b.area)
+
+(* In-place dominance culling: drop the newcomer if any incumbent covers
+   it, else evict everything it covers. *)
+let front_insert front e =
+  if List.exists (fun s -> dominates s e) front then front
+  else e :: List.filter (fun s -> not (dominates e s)) front
+
+(* Least achieved power among front members no worse than the candidate on
+   the other two axes; pruning against the front alone loses nothing — a
+   front member dominating a culled solution also dominates anything that
+   solution dominated. *)
+let threshold_against front ~latency ~area =
+  List.fold_left
+    (fun acc s ->
+      if s.latency <= latency && s.area <= area then Float.min acc s.power
+      else acc)
+    infinity front
+
+type cand = {
+  idx : int;
+  design : string;
+  label : string;
+  radix : int;
+  signedness : Multipliers.Booth.signedness;
+  stages : int;
+  copies : int;
+  tech_name : string;
+  problem : Power_law.problem;
+  rank : float;  (** Eq. 13 closed-form Ptot; [infinity] when infeasible. *)
+  latency : float;
+  carea : float;
+}
+
+let sign_tag = function
+  | Multipliers.Booth.Unsigned -> "u"
+  | Multipliers.Booth.Signed -> "s"
+
+let design_label ~radix ~signedness ~stages ~copies ~bits ~tech =
+  Printf.sprintf "r%d%s w%d p%d x%d @%s" radix (sign_tag signedness) bits
+    stages copies tech
+
+(* Rank-gate heuristic for the certified prune: attempt the interval proof
+   only when the closed form puts the candidate well above the threshold
+   (or could not place it at all). Affects which proofs are attempted —
+   never the front, since a skipped proof just means an exact solve. *)
+let excludes_gate ~rank ~threshold =
+  (not (Float.is_finite rank)) || rank > 1.02 *. threshold
+
+type acc = {
+  front : entry list;
+  a_bound_pruned : int;
+  a_cert_pruned : int;
+  a_exact : int;
+}
+
+let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
+    ?(reference = Device.Technology.ll) axes =
+  if axes.fmults = [] then invalid_arg "Explorer.explore: empty fmults";
+  if axes.techs = [] then invalid_arg "Explorer.explore: empty techs";
+  if axes.copies = [] then invalid_arg "Explorer.explore: empty copies";
+  List.iter
+    (fun c ->
+      if c < 1 then invalid_arg "Explorer.explore: copies must be >= 1")
+    axes.copies;
+  let combos = substrate_combos axes in
+  if combos = [] then
+    invalid_arg "Explorer.explore: no valid (radix, signedness, stages) combo";
+  (* Build + characterize each substrate once, in parallel; the memo pair
+     makes repeat explorations (and the exhaustive arm of an A/B run)
+     skip straight to cached characterizations. *)
+  let substrates =
+    Parallel.Pool.map ?pool
+      (fun (radix, signedness, stages) ->
+        let spec = Memo.find build_memo (radix, signedness, stages, axes.bits) in
+        ((radix, signedness, stages), characterize ~seed ~cycles spec))
+      combos
+  in
+  (* Design axes (everything except f), enumerated in a fixed order. *)
+  let designs =
+    List.concat_map
+      (fun ((radix, signedness, stages), chars) ->
+        List.concat_map
+          (fun copies ->
+            let base =
+              params_of_chars
+                ~label:
+                  (Printf.sprintf "booth r%d%s w%d p%d" radix
+                     (sign_tag signedness) axes.bits stages)
+                ~reference chars
+            in
+            let transformed =
+              if copies = 1 then base
+              else (Transform.parallelize ~copies ()).Transform.apply base
+            in
+            List.map
+              (fun tech ->
+                let tech_name = Device.Technology.name tech in
+                let params =
+                  Tech_compare.adapt_params ~reference tech transformed
+                in
+                let design =
+                  design_label ~radix ~signedness ~stages ~copies
+                    ~bits:axes.bits ~tech:tech_name
+                in
+                (radix, signedness, stages, copies, tech, tech_name, design,
+                 params))
+              axes.techs)
+          axes.copies)
+      substrates
+  in
+  let fs =
+    List.sort_uniq compare
+      (List.map (fun m -> m *. Paper_data.frequency) axes.fmults)
+  in
+  List.iter
+    (fun f -> if f <= 0.0 then invalid_arg "Explorer.explore: fmult <= 0")
+    fs;
+  (* Certified lower bounds per design, carried across ascending-f slices
+     (see the header comment for why that is sound). *)
+  let ledger : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let ledger_raise design lo =
+    if Float.is_finite lo then
+      match Hashtbl.find_opt ledger design with
+      | Some prev when prev >= lo -> ()
+      | _ -> Hashtbl.replace ledger design lo
+  in
+  let totals = ref { enumerated = 0; bound_pruned = 0; cert_pruned = 0;
+                     exact_solves = 0; front_size = 0 }
+  in
+  let slices =
+    List.map
+      (fun f ->
+        let cands =
+          List.mapi
+            (fun idx
+                 (radix, signedness, stages, copies, tech, tech_name, design,
+                  params) ->
+              let problem = Power_law.make tech params ~f in
+              let rank =
+                match Closed_form.evaluate problem with
+                | r -> r.Closed_form.ptot
+                | exception Closed_form.Infeasible _ -> infinity
+              in
+              {
+                idx;
+                design;
+                label = design;
+                radix;
+                signedness;
+                stages;
+                copies;
+                tech_name;
+                problem;
+                rank;
+                latency = params.Arch_params.ld_eff;
+                carea = params.Arch_params.n_cells;
+              })
+            designs
+        in
+        Obs.Counter.add c_enumerated (List.length cands);
+        (* Incumbent-first order: cheap closed-form rank ascending, so the
+           strongest thresholds form before the bulk of the space plans. *)
+        let sorted =
+          List.sort
+            (fun a b ->
+              match Float.compare a.rank b.rank with
+              | 0 -> Int.compare a.idx b.idx
+              | c -> c)
+            cands
+        in
+        (* Plan and fold both run sequentially on the caller over the same
+           items in the same order, so a queue of prune reasons pushed by
+           plan is popped by fold in lockstep. *)
+        let reasons : [ `Bound | `Cert ] Queue.t = Queue.create () in
+        let plan acc c =
+          if not prune then Some c.problem
+          else begin
+            let threshold =
+              threshold_against acc.front ~latency:c.latency ~area:c.carea
+            in
+            let ledger_lo =
+              Option.value ~default:neg_infinity
+                (Hashtbl.find_opt ledger c.design)
+            in
+            if ledger_lo > threshold then begin
+              Obs.Counter.incr c_bound_pruned;
+              Queue.add `Bound reasons;
+              None
+            end
+            else if
+              Float.is_finite threshold
+              && excludes_gate ~rank:c.rank ~threshold
+              && Dse.prune_against (Absint.box c.problem)
+                   ~incumbent:threshold
+            then begin
+              Obs.Counter.incr c_cert_pruned;
+              ledger_raise c.design threshold;
+              Queue.add `Cert reasons;
+              None
+            end
+            else Some c.problem
+          end
+        in
+        let task problem =
+          let point = Numerical_opt.optimum problem in
+          if Float.is_finite point.Power_law.total then
+            Some (point, Absint.certify (Absint.box problem))
+          else None
+        in
+        let fold acc c result =
+          match result with
+          | None -> (
+            match Queue.pop reasons with
+            | `Bound -> { acc with a_bound_pruned = acc.a_bound_pruned + 1 }
+            | `Cert -> { acc with a_cert_pruned = acc.a_cert_pruned + 1 })
+          | Some None ->
+            (* Solver found no finite working point: infeasible at this
+               throughput — drop, but count the solve. *)
+            Obs.Counter.incr c_exact_solves;
+            { acc with a_exact = acc.a_exact + 1 }
+          | Some (Some (point, cert)) ->
+            Obs.Counter.incr c_exact_solves;
+            ledger_raise c.design cert.Absint.ptot.Iv.lo;
+            let e =
+              {
+                label = c.label;
+                design = c.design;
+                radix = c.radix;
+                signedness = c.signedness;
+                stages = c.stages;
+                copies = c.copies;
+                tech = c.tech_name;
+                f;
+                power = point.Power_law.total;
+                vdd = point.Power_law.vdd;
+                cert_lo = cert.Absint.ptot.Iv.lo;
+                latency = c.latency;
+                area = c.carea;
+              }
+            in
+            {
+              acc with
+              a_exact = acc.a_exact + 1;
+              front = front_insert acc.front e;
+            }
+        in
+        let final =
+          Parallel.Pool.map_rounds ?pool ~round ~plan ~task ~fold
+            ~init:
+              { front = []; a_bound_pruned = 0; a_cert_pruned = 0;
+                a_exact = 0 }
+            sorted
+        in
+        let front =
+          List.sort
+            (fun a b ->
+              match Float.compare a.power b.power with
+              | 0 -> String.compare a.design b.design
+              | c -> c)
+            final.front
+        in
+        Obs.Counter.add c_front_size (List.length front);
+        let t = !totals in
+        totals :=
+          {
+            enumerated = t.enumerated + List.length cands;
+            bound_pruned = t.bound_pruned + final.a_bound_pruned;
+            cert_pruned = t.cert_pruned + final.a_cert_pruned;
+            exact_solves = t.exact_solves + final.a_exact;
+            front_size = t.front_size + List.length front;
+          };
+        { f; front })
+      fs
+  in
+  { pruned = prune; slices; totals = !totals }

@@ -1,0 +1,99 @@
+(** Pruned Pareto design-space exploration — ROADMAP item 1.
+
+    Enumerates a (Booth generator × analytic parallelisation × technology
+    flavor × throughput) candidate space — thousands of points per run —
+    and emits one power/latency/area Pareto front per frequency slice.
+    The pruned path ranks candidates with the Eq. 13 closed form (a cheap
+    admissible pre-ordering), discards candidates whose {e certified}
+    lower bound on min Ptot strictly exceeds an achieved front value (an
+    O(1) per-design ledger lookup, then an {!Absint.excludes} interval
+    proof), and runs the exact seeded solves only for the survivors, in
+    incumbent-first order through {!Parallel.Pool.map_rounds}.
+
+    {b Invariants.} The pruned and exhaustive paths produce bitwise
+    identical fronts at any pool size: pruning discards only candidates
+    strictly dominated by a surviving front member (dominance is
+    transitive through later culling), both arms run the identical exact
+    task, and all front/ledger state advances sequentially on the caller.
+    The ledger carries certified bounds across slices in ascending
+    frequency, sound because min-over-vdd Ptot on the constraint locus is
+    nondecreasing in f. A feasible candidate set always yields a
+    non-empty front — the empty-threshold case prunes nothing (the
+    [dse.front-nonempty] lint rule).
+
+    Counters: [dse.enumerated], [dse.bound_pruned], [dse.cert_pruned],
+    [dse.exact_solves], [pareto.front_size]; caches [memo.dse.build.*],
+    [memo.dse.chars.*]. *)
+
+type axes = {
+  bits : int;
+  radices : int list;
+  signednesses : Multipliers.Booth.signedness list;
+  stages : int list;  (** Pipeline depths; combos beyond
+      {!Multipliers.Booth.max_stages} for a radix are skipped. *)
+  copies : int list;  (** Analytic {!Transform.parallelize} axis. *)
+  fmults : float list;  (** Multiples of {!Paper_data.frequency};
+      deduplicated and processed in ascending order. *)
+  techs : Device.Technology.t list;
+}
+
+val default_axes : axes
+(** 8-bit, radix {2,4,8}, unsigned, 1–3 stages, 1/2/4 copies, f ×
+    {0.5,1,2,4}, all three STM flavors — 324 candidates. *)
+
+val substrate_combos : axes -> (int * Multipliers.Booth.signedness * int) list
+(** The valid (radix, signedness, stages) generator builds the axes
+    induce — combos {!Multipliers.Booth.validate} rejects are skipped. *)
+
+val space_size : axes -> int
+(** Candidates the axes enumerate (invalid radix/stage combos excluded). *)
+
+type entry = {
+  label : string;
+  design : string;  (** Tech-qualified design identity — the ledger key. *)
+  radix : int;
+  signedness : Multipliers.Booth.signedness;
+  stages : int;
+  copies : int;
+  tech : string;
+  f : float;
+  power : float;  (** Achieved optimal Ptot, W. *)
+  vdd : float;  (** Supply at the optimum, V. *)
+  cert_lo : float;  (** Certified lower bound on min Ptot, W. *)
+  latency : float;  (** Effective logical depth after transforms. *)
+  area : float;  (** Cell count after transforms (area proxy). *)
+}
+
+type slice = { f : float; front : entry list }
+(** One frequency's Pareto front, sorted by ascending power (ties by
+    design label). *)
+
+type totals = {
+  enumerated : int;
+  bound_pruned : int;  (** Discarded by the O(1) ledger lookup. *)
+  cert_pruned : int;  (** Discarded by an {!Absint.excludes} proof. *)
+  exact_solves : int;
+  front_size : int;  (** Summed over slices. *)
+}
+
+type result = { pruned : bool; slices : slice list; totals : totals }
+
+val explore :
+  ?pool:Parallel.Pool.t ->
+  ?round:int ->
+  ?prune:bool ->
+  ?seed:int ->
+  ?cycles:int ->
+  ?reference:Device.Technology.t ->
+  axes ->
+  result
+(** Run the exploration. [prune] (default true) selects the pruned path;
+    [false] solves every candidate exactly — the differential oracle the
+    A/B bench and the [@explore] property test compare against. [round]
+    (default 16) is the {!Parallel.Pool.map_rounds} scheduling quantum
+    (any value yields the same fronts). [seed]/[cycles] (defaults 7/160)
+    parameterize the activity characterization; [reference] (default LL)
+    is the flavor substrates are characterised on before
+    {!Tech_compare.adapt_params}.
+    @raise Invalid_argument on empty axes, non-positive frequencies or
+    copies, or when no (radix, signedness, stages) combo validates. *)

@@ -97,3 +97,227 @@ let core circuit ~a ~b =
 let basic ~bits =
   Registered.build ~expect_cells:(Registered.array_cells ~bits)
     ~name:"booth_basic" ~label:"Booth r4" ~bits ~core ()
+
+(* --- Parameterized generator: radix 2/4/8 x signedness x depth --- *)
+
+type signedness = Unsigned | Signed
+
+let digit_bits radix =
+  match radix with
+  | 2 -> 1
+  | 4 -> 2
+  | 8 -> 3
+  | _ -> invalid_arg "Booth: radix must be 2, 4 or 8"
+
+(* One recoded row per radix-2^m digit: pipelining a Booth tree deeper
+   than one register bank per partial-product row has no architectural
+   reading, so the row count bounds the depth axis. *)
+let max_stages ~radix ~bits = (bits + digit_bits radix) / digit_bits radix
+
+let validate ~radix ~signedness:_ ~stages ~copies ~bits =
+  if radix <> 2 && radix <> 4 && radix <> 8 then
+    Error (Printf.sprintf "radix must be 2, 4 or 8 (got %d)" radix)
+  else if bits < 4 || bits mod 2 <> 0 then
+    Error (Printf.sprintf "width must be even and >= 4 (got %d)" bits)
+  else if stages < 1 || stages > max_stages ~radix ~bits then
+    Error
+      (Printf.sprintf "stages must be in [1, %d] for radix %d at %d bits (got %d)"
+         (max_stages ~radix ~bits) radix bits stages)
+  else if copies < 1 then
+    Error (Printf.sprintf "copies must be >= 1 (got %d)" copies)
+  else if copies > 1 && stages > 1 then
+    Error "stages and copies are exclusive (pipeline or replicate, not both)"
+  else Ok ()
+
+let estimated_cells ~radix ~signedness ~stages ~copies ~bits =
+  let m = digit_bits radix in
+  let digits = (bits + m) / m in
+  let row_w = bits + m - 1 in
+  let decode, per_bit =
+    match radix with 2 -> (2, 2) | 4 -> (5, 4) | _ -> (10, 7)
+  in
+  let rows = digits * ((row_w * per_bit) + decode + 2) in
+  let triple = if radix = 8 then 6 * (bits + 2) else 0 in
+  (* 3:2 compression of [digits] rows down to two, the final prefix adder
+     and its padding ties. *)
+  let reduce = (2 * digits * row_w) + (8 * bits) in
+  let signed_extra =
+    match signedness with Unsigned -> 0 | Signed -> (4 * bits) + (6 * bits)
+  in
+  let unsigned_core = rows + triple + reduce in
+  let one_core = unsigned_core + signed_extra in
+  if copies > 1 then
+    (* Replicated cores plus per-copy loadable operand registers, the
+       one-hot ring and the output merge mux (Parallelize.wrap). *)
+    (copies * (one_core + (2 * bits * 3))) + copies + (2 * bits * copies)
+    + (4 * bits)
+  else one_core + (4 * bits) + (6 * stages * bits)
+
+(* Generalized radix-2^m recoding. Digit k reads the m+1-bit window
+   b[mk-1 .. mk+m-1] (b[-1] = 0, zero-extended above the msb) and is worth
+   sum b[mk+i] 2^i + b[mk-1] - b[mk+m-1] 2^m over {-2^(m-1) .. 2^(m-1)}.
+   The row places |d|*a XOR neg over columns base .. base+w+m-2, the +neg
+   correction at base, and the compact sign extension ((not neg) at
+   base+w+m-1 plus a lumped constant) exactly as the radix-4 [core] above;
+   the -0 encoding wraps to zero modulo 2^(2w) by the same algebra. *)
+let gen_core ~radix circuit ~a ~b =
+  let width = Array.length a in
+  if Array.length b <> width then
+    invalid_arg "Booth.gen_core: operand width mismatch";
+  if width < 4 || width mod 2 <> 0 then
+    invalid_arg "Booth.gen_core: width must be even and >= 4";
+  let m = digit_bits radix in
+  let out_width = 2 * width in
+  let zero = C.tie0 circuit in
+  let abit i = if i < 0 || i >= width then zero else a.(i) in
+  let bbit i = if i < 0 || i >= width then zero else b.(i) in
+  let digits = (width + m) / m in
+  let row_w = width + m - 1 in
+  (* Radix-8's hard multiple 3a = a + 2a, built once over w+2 bits. *)
+  let triple =
+    if radix <> 8 then [||]
+    else
+      let lift f = Array.init (width + 2) f in
+      let pad = lift (fun i -> if i < width then Some a.(i) else None) in
+      let shifted =
+        lift (fun i -> if i >= 1 && i <= width then Some a.(i - 1) else None)
+      in
+      let sum, _carry = Adders.ripple_carry_bits circuit pad shifted in
+      Array.map (function Some n -> n | None -> zero) sum
+  in
+  let columns = Array.make out_width [] in
+  let place column net =
+    if column < out_width then columns.(column) <- Some net :: columns.(column)
+  in
+  for k = 0 to digits - 1 do
+    let base = m * k in
+    let neg, magnitude =
+      match radix with
+      | 2 ->
+        (* d = b[k-1] - b[k]: one = hi xor lo, neg = hi. *)
+        let lo = bbit (k - 1) and hi = bbit k in
+        let one = C.add_gate circuit Cell.Xor2 [| hi; lo |] in
+        (hi, fun i -> C.add_gate circuit Cell.And2 [| one; abit i |])
+      | 4 ->
+        let low = bbit ((2 * k) - 1)
+        and mid = bbit (2 * k)
+        and high = bbit ((2 * k) + 1) in
+        let one = C.add_gate circuit Cell.Xor2 [| mid; low |] in
+        let spread = C.add_gate circuit Cell.Xor2 [| high; low |] in
+        let not_one = C.add_gate circuit Cell.Inv [| one |] in
+        let two = C.add_gate circuit Cell.And2 [| not_one; spread |] in
+        ( high,
+          fun i ->
+            let f1 = C.add_gate circuit Cell.And2 [| one; abit i |] in
+            let f2 = C.add_gate circuit Cell.And2 [| two; abit (i - 1) |] in
+            C.add_gate circuit Cell.Or2 [| f1; f2 |] )
+      | _ ->
+        (* d = -4h + 2mm + l + p over {-4..4}; magnitude selects between
+           a, 2a, the hard multiple 3a and 4a. *)
+        let p = bbit ((3 * k) - 1)
+        and l = bbit (3 * k)
+        and mm = bbit ((3 * k) + 1)
+        and h = bbit ((3 * k) + 2) in
+        let lp_x = C.add_gate circuit Cell.Xor2 [| l; p |] in
+        let lp_a = C.add_gate circuit Cell.And2 [| l; p |] in
+        let mh = C.add_gate circuit Cell.Xor2 [| mm; h |] in
+        let not_lpx = C.add_gate circuit Cell.Inv [| lp_x |] in
+        let not_mh = C.add_gate circuit Cell.Inv [| mh |] in
+        let sel1 = C.add_gate circuit Cell.And2 [| lp_x; not_mh |] in
+        let sel3 = C.add_gate circuit Cell.And2 [| lp_x; mh |] in
+        let m_lpa = C.add_gate circuit Cell.Xor2 [| mm; lp_a |] in
+        let sel2 = C.add_gate circuit Cell.And2 [| not_lpx; m_lpa |] in
+        let not_mlpa = C.add_gate circuit Cell.Inv [| m_lpa |] in
+        let even = C.add_gate circuit Cell.And2 [| not_lpx; not_mlpa |] in
+        let sel4 = C.add_gate circuit Cell.And2 [| even; mh |] in
+        ( h,
+          fun i ->
+            let t3 = if i < Array.length triple then triple.(i) else zero in
+            let g1 = C.add_gate circuit Cell.And2 [| sel1; abit i |] in
+            let g2 = C.add_gate circuit Cell.And2 [| sel2; abit (i - 1) |] in
+            let g3 = C.add_gate circuit Cell.And2 [| sel3; t3 |] in
+            let g4 = C.add_gate circuit Cell.And2 [| sel4; abit (i - 2) |] in
+            let o1 = C.add_gate circuit Cell.Or2 [| g1; g2 |] in
+            let o2 = C.add_gate circuit Cell.Or2 [| g3; g4 |] in
+            C.add_gate circuit Cell.Or2 [| o1; o2 |] )
+    in
+    for i = 0 to row_w - 1 do
+      let bit = C.add_gate circuit Cell.Xor2 [| magnitude i; neg |] in
+      place (base + i) bit
+    done;
+    (* Top digit is never negative: its window sign bit is zero-extended. *)
+    if k < digits - 1 then begin
+      let not_neg = C.add_gate circuit Cell.Inv [| neg |] in
+      place (base + row_w) not_neg
+    end;
+    place base neg
+  done;
+  let constant =
+    let mask = (1 lsl out_width) - 1 in
+    let rec total k acc =
+      if k >= digits - 1 then acc land mask
+      else total (k + 1) (acc - (1 lsl ((m * k) + row_w)))
+    in
+    total 0 0
+  in
+  let one = C.tie1 circuit in
+  for column = 0 to out_width - 1 do
+    if (constant lsr column) land 1 = 1 then place column one
+  done;
+  let reduced = Adders.reduce_to_two ~drop_overflow:true circuit columns in
+  let row_a = Array.make out_width None and row_b = Array.make out_width None in
+  Array.iteri
+    (fun i column ->
+      match column with
+      | [] -> ()
+      | [ x ] -> row_a.(i) <- x
+      | [ x; y ] ->
+        row_a.(i) <- x;
+        row_b.(i) <- y
+      | _ -> assert false)
+    reduced;
+  let solid = function Some n -> n | None -> zero in
+  Adders.sklansky circuit (Array.map solid row_a) (Array.map solid row_b)
+
+let generate ?(signedness = Unsigned) ?(stages = 1) ?(copies = 1) ~radix ~bits
+    () =
+  (match validate ~radix ~signedness ~stages ~copies ~bits with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Booth.generate: " ^ msg));
+  let sign_tag = match signedness with Unsigned -> "u" | Signed -> "s" in
+  let name =
+    Printf.sprintf "booth_r%d%s_p%d_x%d_w%d" radix sign_tag stages copies bits
+  in
+  let label =
+    Printf.sprintf "Booth r%d%s w%d%s%s" radix sign_tag bits
+      (if stages > 1 then Printf.sprintf " pipe%d" stages else "")
+      (if copies > 1 then Printf.sprintf " par%d" copies else "")
+  in
+  let unsigned_core circuit ~a ~b = gen_core ~radix circuit ~a ~b in
+  let flat_core =
+    match signedness with
+    | Unsigned -> unsigned_core
+    | Signed -> Signed_mult.core ~unsigned:unsigned_core
+  in
+  let expect_cells =
+    estimated_cells ~radix ~signedness ~stages ~copies ~bits
+  in
+  let spec =
+    if copies > 1 then
+      { (Parallelize.wrap ~expect_cells ~name ~bits ~copies ~core:flat_core ())
+        with Spec.name = label }
+    else begin
+      let core =
+        if stages = 1 then flat_core
+        else fun circuit ~a ~b ->
+          Pipeliner.by_depth circuit ~stages
+            ~outputs:(flat_core circuit ~a ~b)
+      in
+      let spec = Registered.build ~expect_cells ~name ~label ~bits ~core () in
+      if stages = 1 then spec
+      else
+        { spec with Spec.style = Spec.Pipelined stages;
+                    latency_ticks = 2 + stages }
+    end
+  in
+  Spec_optimize.run spec

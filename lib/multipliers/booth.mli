@@ -30,3 +30,63 @@ val recode :
   Netlist.Circuit.t -> b:Netlist.Circuit.net array -> digit array
 (** The w/2 + 1 radix-4 Booth digits of an (even-width) operand, exposed
     for white-box testing. *)
+
+(** {1 Parameterized generator}
+
+    The design-space explorer's substrate axis: one generator over radix
+    (2/4/8), signedness and pipeline depth, the way the ice40 Booth repo
+    ships its [su_N_pipeline_*] family as generated variants. Radix 2 is
+    the non-overlapping d = b[k−1] − b[k] recoding (w+1 single-bit rows);
+    radix 4 the classic modified Booth above; radix 8 adds the hard
+    multiple 3a (one ripple adder, built once) and selects between a, 2a,
+    3a and 4a per digit. All three share the compact sign-extension and
+    wrap-around −0 algebra of the radix-4 [core]. *)
+
+type signedness = Unsigned | Signed
+
+val digit_bits : int -> int
+(** Bits consumed per digit: log2 of the radix.
+    @raise Invalid_argument unless the radix is 2, 4 or 8. *)
+
+val max_stages : radix:int -> bits:int -> int
+(** Upper bound of the pipeline-depth axis: the recoded row count
+    (one register bank per partial-product row at most). *)
+
+val validate :
+  radix:int -> signedness:signedness -> stages:int -> copies:int ->
+  bits:int -> (unit, string) result
+(** The generator's parameter-validity contract, shared with the
+    [dse.generator-params] lint rule: radix ∈ {2,4,8}, even width ≥ 4,
+    1 ≤ stages ≤ {!max_stages}, copies ≥ 1, and stages/copies mutually
+    exclusive. *)
+
+val estimated_cells :
+  radix:int -> signedness:signedness -> stages:int -> copies:int ->
+  bits:int -> int
+(** Capacity hint threaded into [Circuit.create]'s vector pre-allocation
+    (and through {!Parallelize.wrap} on the replicated path): recoder,
+    partial-product rows, the radix-8 hard-multiple adder, reduction tree,
+    prefix adder, I/O and pipeline registers. Over-estimates round the
+    first allocation up; any value is behaviourally equivalent. *)
+
+val gen_core :
+  radix:int ->
+  Netlist.Circuit.t ->
+  a:Netlist.Circuit.net array ->
+  b:Netlist.Circuit.net array ->
+  Netlist.Circuit.net array
+(** Bare combinational generalized-Booth tree (radix 2, 4 or 8) — the
+    unsigned multiply core, usable with {!Parallelize.wrap} and the
+    exhaustive [Bitpar] differential sweeps.
+    @raise Invalid_argument on an odd or < 4 width or a bad radix. *)
+
+val generate :
+  ?signedness:signedness -> ?stages:int -> ?copies:int -> radix:int ->
+  bits:int -> unit -> Spec.t
+(** Registered multiplier from the generator parameter space (defaults:
+    unsigned, 1 stage, 1 copy). [stages ≥ 2] pipelines the core with
+    {!Pipeliner.by_depth} (style [Pipelined], latency [2 + stages]);
+    [copies ≥ 2] replicates it through {!Parallelize.wrap}; [Signed]
+    wraps the unsigned core in the Baugh-Wooley-style correction of
+    {!Signed_mult.core}. The result is cleaned by [Spec_optimize].
+    @raise Invalid_argument when {!validate} rejects the combination. *)

@@ -13,7 +13,7 @@ let parallel_of ~label ~copies core =
     build =
       (fun () ->
         rename label
-          (Parallelize.wrap ~name:label ~bits:default_bits ~copies ~core));
+          (Parallelize.wrap ~name:label ~bits:default_bits ~copies ~core ()));
   }
 
 let raw_entries =

@@ -46,9 +46,14 @@ let one_hot_mux circuit ~selects ~buses =
           (fun acc n -> C.add_gate circuit Cell.Or2 [| acc; n |])
           first rest)
 
-let wrap ~name ~bits ~copies ~core =
+let wrap ?expect_cells ~name ~bits ~copies ~core () =
   if copies < 2 then invalid_arg "Parallelize.wrap: copies < 2";
-  let circuit = C.create name in
+  let circuit =
+    match expect_cells with
+    | None -> C.create name
+    | Some cells ->
+      C.create ~expect_cells:cells ~expect_nets:((2 * cells) + (2 * bits)) name
+  in
   let a_bus = C.add_input_bus circuit "a" bits in
   let b_bus = C.add_input_bus circuit "b" bits in
   let phases = ring_counter circuit ~length:copies ~hot:0 in

@@ -8,6 +8,7 @@
     cancels the benefit (Wallace par4 in the paper). *)
 
 val wrap :
+  ?expect_cells:int ->
   name:string ->
   bits:int ->
   copies:int ->
@@ -16,8 +17,12 @@ val wrap :
     a:Netlist.Circuit.net array ->
     b:Netlist.Circuit.net array ->
     Netlist.Circuit.net array) ->
+  unit ->
   Spec.t
-(** @raise Invalid_argument if [copies < 2]. *)
+(** [expect_cells] is the {!Netlist.Circuit.create} capacity hint
+    (cells/nets vector pre-allocation) — generator paths that can size the
+    replicated array up front pass it; any value is behaviourally
+    equivalent. @raise Invalid_argument if [copies < 2]. *)
 
 val ring_counter :
   Netlist.Circuit.t -> length:int -> hot:int -> Netlist.Circuit.net array

@@ -205,6 +205,11 @@ let counters ?(normalize = false) () =
          v <> 0 && not (normalize && hidden_when_normalized (cat_of name)))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let counters_prefixed ?normalize prefix =
+  List.filter
+    (fun (name, _) -> String.starts_with ~prefix name)
+    (counters ?normalize ())
+
 let counter_value name =
   List.fold_left
     (fun acc l ->

@@ -97,6 +97,11 @@ val counters : ?normalize:bool -> unit -> (string * int) list
     omitted. [normalize] (default false) drops the ["sched"] and ["cache"]
     categories. *)
 
+val counters_prefixed :
+  ?normalize:bool -> string -> (string * int) list
+(** {!counters} restricted to names starting with the prefix — the
+    explorer's [dse.]/[pareto.] counter fingerprint blocks. *)
+
 val counter_value : string -> int
 (** Merged value of one counter across every domain, 0 when the counter was
     never incremented (or does not exist). Same no-overlap caveat as

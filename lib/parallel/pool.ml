@@ -243,3 +243,43 @@ let mapi ?pool f items =
 let map_reduce ?pool ~map:mapper ~reduce ~init items =
   let mapped = map_array ?pool mapper (Array.of_list items) in
   Array.fold_left reduce init mapped
+
+let map_rounds ?pool ~round ~plan ~task ~fold ~init items =
+  if round < 1 then invalid_arg "Pool.map_rounds: round must be >= 1";
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let acc = ref init in
+  let base = ref 0 in
+  while !base < n do
+    let count = Int.min round (n - !base) in
+    (* Planning is sequential on the caller against the round-start
+       accumulator: which items get work is a pure function of the fold
+       history, never of scheduling. *)
+    let planned =
+      Array.init count (fun i -> plan !acc items.(!base + i))
+    in
+    let work =
+      Array.of_list
+        (List.filteri
+           (fun _ -> Option.is_some)
+           (Array.to_list planned))
+    in
+    let outputs =
+      map_array ?pool (fun w -> task (Option.get w)) work
+    in
+    (* Re-align results with their items and fold in order. *)
+    let cursor = ref 0 in
+    for i = 0 to count - 1 do
+      let result =
+        match planned.(i) with
+        | None -> None
+        | Some _ ->
+          let r = outputs.(!cursor) in
+          incr cursor;
+          Some r
+      in
+      acc := fold !acc items.(!base + i) result
+    done;
+    base := !base + count
+  done;
+  !acc

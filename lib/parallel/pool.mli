@@ -78,3 +78,24 @@ val map_reduce :
 (** [map_reduce ~map ~reduce ~init xs] maps in parallel, then folds the
     results {e in list order} on the caller — [reduce] need not be
     associative or commutative for the outcome to be deterministic. *)
+
+val map_rounds :
+  ?pool:t ->
+  round:int ->
+  plan:('acc -> 'a -> 'b option) ->
+  task:('b -> 'c) ->
+  fold:('acc -> 'a -> 'c option -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** Deterministic incumbent-style processing: items advance in rounds of
+    [round]. Each round, [plan acc item] runs {e sequentially on the
+    caller} against the round-start accumulator and either schedules work
+    ([Some payload]) or skips the item ([None]); the scheduled payloads
+    are mapped through [task] on the pool (pure, parallel); then [fold]
+    consumes every item of the round {e in list order} with its result
+    ([None] when planned away). Because planning sees only the fold
+    history — never partial results from its own round — and folding is
+    ordered, the final accumulator is bitwise independent of the pool
+    size: the explorer's any-[-j] reproducibility rests on this.
+    @raise Invalid_argument if [round < 1]. *)

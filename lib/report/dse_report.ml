@@ -1,0 +1,77 @@
+(* The `optpower explore` report: one Pareto-front table per frequency
+   slice, the prune funnel, and the dse./pareto. counter fingerprint. *)
+
+module E = Power_core.Explorer
+
+let sign_tag = function
+  | Multipliers.Booth.Unsigned -> "unsigned"
+  | Multipliers.Booth.Signed -> "signed"
+
+let fmt_mhz f = Printf.sprintf "%.2f MHz" (f /. 1e6)
+
+let front_table (s : E.slice) =
+  let columns =
+    [
+      Table.column ~align:Table.Left "design";
+      Table.column "Ptot";
+      Table.column "Vdd [V]";
+      Table.column "cert lo";
+      Table.column "LDeff";
+      Table.column "cells";
+    ]
+  in
+  let rows =
+    List.map
+      (fun (e : E.entry) ->
+        [
+          e.label;
+          Table.fmt_uw e.power;
+          Table.fmt_f e.vdd;
+          Table.fmt_uw e.cert_lo;
+          Table.fmt_f ~decimals:1 e.latency;
+          Table.fmt_f ~decimals:0 e.area;
+        ])
+      s.front
+  in
+  Table.render ~columns ~rows
+
+let funnel (r : E.result) =
+  let t = r.totals in
+  Printf.sprintf
+    "%s: %d candidates -> %d ledger-pruned, %d cert-pruned, %d exact solves \
+     -> %d front entries"
+    (if r.pruned then "pruned" else "exhaustive")
+    t.enumerated t.bound_pruned t.cert_pruned t.exact_solves t.front_size
+
+let counter_block () =
+  let lines =
+    List.map
+      (fun (name, v) -> Printf.sprintf "  %-20s %d" name v)
+      (Obs.counters_prefixed "dse." @ Obs.counters_prefixed "pareto.")
+  in
+  if lines = [] then "" else "counters:\n" ^ String.concat "\n" lines
+
+let render (r : E.result) =
+  let slices =
+    List.map
+      (fun (s : E.slice) ->
+        Printf.sprintf "Pareto front at %s (%d entries)\n%s" (fmt_mhz s.f)
+          (List.length s.front) (front_table s))
+      r.slices
+  in
+  let counters = counter_block () in
+  String.concat "\n"
+    (slices @ [ funnel r ] @ (if counters = "" then [] else [ counters ]))
+
+let render_axes (axes : E.axes) =
+  Printf.sprintf
+    "space: %d candidates — %d-bit, radix {%s}, %s, stages {%s}, copies \
+     {%s}, f x {%s}, flavors {%s}"
+    (E.space_size axes) axes.bits
+    (String.concat "," (List.map string_of_int axes.radices))
+    (String.concat "/" (List.map sign_tag axes.signednesses))
+    (String.concat "," (List.map string_of_int axes.stages))
+    (String.concat "," (List.map string_of_int axes.copies))
+    (String.concat "," (List.map (Printf.sprintf "%g") axes.fmults))
+    (String.concat ","
+       (List.map Device.Technology.name axes.techs))

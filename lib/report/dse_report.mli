@@ -1,0 +1,19 @@
+(** Rendering for [optpower explore] — the design-space explorer's Pareto
+    fronts, prune funnel and counter fingerprint. *)
+
+val front_table : Power_core.Explorer.slice -> string
+(** One slice's front as an ASCII table (power, supply, certified lower
+    bound, effective depth, cell count). *)
+
+val funnel : Power_core.Explorer.result -> string
+(** One-line enumeration → prune → solve → front summary. *)
+
+val counter_block : unit -> string
+(** The current [dse.]/[pareto.] counters, one per line; empty string
+    when none fired. *)
+
+val render : Power_core.Explorer.result -> string
+(** Full report: per-slice front tables, funnel, counters. *)
+
+val render_axes : Power_core.Explorer.axes -> string
+(** One-line description of the candidate space. *)

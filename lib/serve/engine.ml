@@ -40,6 +40,8 @@ let lint ?pool ?only () =
 
 let certify ?pool ?flavors () = Report.Certify_report.rows ?pool ?flavors ()
 
+let explore ?pool ?prune axes = Power_core.Explorer.explore ?pool ?prune axes
+
 (* Wire encodings. *)
 
 let point_json (p : N.point) =
@@ -130,6 +132,48 @@ let certify_json rows =
              rows) );
     ]
 
+let explore_json (r : Power_core.Explorer.result) =
+  let entry_json (e : Power_core.Explorer.entry) =
+    Json.Obj
+      [
+        ("design", Json.Str e.design);
+        ("radix", Json.Num (float_of_int e.radix));
+        ( "signed",
+          Json.Bool (e.signedness = Multipliers.Booth.Signed) );
+        ("stages", Json.Num (float_of_int e.stages));
+        ("copies", Json.Num (float_of_int e.copies));
+        ("tech", Json.Str e.tech);
+        ("ptot", Json.Num e.power);
+        ("vdd", Json.Num e.vdd);
+        ("cert_lo", Json.Num e.cert_lo);
+        ("latency", Json.Num e.latency);
+        ("area", Json.Num e.area);
+      ]
+  in
+  let slice_json (s : Power_core.Explorer.slice) =
+    Json.Obj
+      [
+        ("f", Json.Num s.f);
+        ("front", Json.Arr (List.map entry_json s.front));
+      ]
+  in
+  let t = r.totals in
+  Json.Obj
+    [
+      ("method", Json.Str "explore");
+      ("pruned", Json.Bool r.pruned);
+      ( "totals",
+        Json.Obj
+          [
+            ("enumerated", Json.Num (float_of_int t.enumerated));
+            ("bound_pruned", Json.Num (float_of_int t.bound_pruned));
+            ("cert_pruned", Json.Num (float_of_int t.cert_pruned));
+            ("exact_solves", Json.Num (float_of_int t.exact_solves));
+            ("front_size", Json.Num (float_of_int t.front_size));
+          ] );
+      ("slices", Json.Arr (List.map slice_json r.slices));
+    ]
+
 let run_call ?pool (call : Protocol.call) =
   match call with
   | Protocol.Optimum { tech; arch } ->
@@ -140,3 +184,19 @@ let run_call ?pool (call : Protocol.call) =
     rank_json ~tech (rank ?pool ~tech ~archs ())
   | Protocol.Lint { only } -> lint_json (lint ?pool ?only ())
   | Protocol.Certify { flavors } -> certify_json (certify ?pool ~flavors ())
+  | Protocol.Explore { bits; radices; stages; copies; signed; fmults; techs; prune }
+    ->
+    let axes =
+      {
+        Power_core.Explorer.bits;
+        radices;
+        signednesses =
+          [ (if signed then Multipliers.Booth.Signed
+             else Multipliers.Booth.Unsigned) ];
+        stages;
+        copies;
+        fmults;
+        techs;
+      }
+    in
+    explore_json (explore ?pool ~prune axes)

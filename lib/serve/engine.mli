@@ -61,6 +61,13 @@ val certify :
   Report.Certify_report.row list
 (** The [optpower certify] body. *)
 
+val explore :
+  ?pool:Parallel.Pool.t ->
+  ?prune:bool ->
+  Power_core.Explorer.axes ->
+  Power_core.Explorer.result
+(** The [optpower explore] body — {!Power_core.Explorer.explore}. *)
+
 (** {1 Wire encodings}
 
     Shared by the serve handlers, the CLI [client] printer and the
@@ -85,6 +92,9 @@ val lint_json : Analysis.Engine.report -> Json.t
     with the exit code. *)
 
 val certify_json : Report.Certify_report.row list -> Json.t
+
+val explore_json : Power_core.Explorer.result -> Json.t
+(** Pareto fronts per slice plus the prune funnel totals. *)
 
 val run_call : ?pool:Parallel.Pool.t -> Protocol.call -> Json.t
 (** One-shot execution of a validated call: dispatch to the function above

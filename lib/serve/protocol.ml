@@ -26,11 +26,22 @@ type call =
   | Rank of { tech : Device.Technology.t; archs : string list }
   | Lint of { only : string list option }
   | Certify of { flavors : Device.Technology.t list }
+  | Explore of {
+      bits : int;
+      radices : int list;
+      stages : int list;
+      copies : int list;
+      signed : bool;
+      fmults : float list;
+      techs : Device.Technology.t list;
+      prune : bool;
+    }
 
 type request = { id : Json.t; call : call }
 
 let max_frame_bytes = 65536
 let max_sweep_samples = 16384
+let max_explore_candidates = 4096
 
 let method_name = function
   | Optimum _ -> "optimum"
@@ -38,6 +49,7 @@ let method_name = function
   | Rank _ -> "rank"
   | Lint _ -> "lint"
   | Certify _ -> "certify"
+  | Explore _ -> "explore"
 
 (* Validation helpers: every failure raises [Invalid Params] with a
    message; [parse_frame] catches and turns it into the error triple. *)
@@ -96,6 +108,30 @@ let string_list name = function
         | _ -> invalid "%S must be an array of strings" name)
       items
   | _ -> invalid "%S must be an array of strings" name
+
+let bool_param name ~default params =
+  match Json.member name params with
+  | None -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> invalid "%S must be a boolean" name
+
+(* [name] given as a single number is accepted as a one-element axis. *)
+let num_axis name ~default params =
+  match Json.member name params with
+  | None -> default
+  | Some (Json.Num _ as j) -> [ finite_number name j ]
+  | Some (Json.Arr items) ->
+    if items = [] then invalid "%S must not be empty" name;
+    List.map (finite_number name) items
+  | Some _ -> invalid "%S must be a number or an array of numbers" name
+
+let int_axis name ~default ~min ~max params =
+  List.map
+    (fun v ->
+      if Float.is_integer v && v >= float_of_int min && v <= float_of_int max
+      then int_of_float v
+      else invalid "%S entries must be integers in [%d, %d]" name min max)
+    (num_axis name ~default:(List.map float_of_int default) params)
 
 let parse_call meth params =
   match meth with
@@ -161,6 +197,51 @@ let parse_call meth params =
       | Some _ -> invalid "\"tech\" must be a string"
     in
     Certify { flavors }
+  | "explore" ->
+    let bits = int_param "bits" ~default:8 ~min:4 ~max:16 params in
+    if bits mod 2 <> 0 then invalid "\"bits\" must be even";
+    let radices = int_axis "radices" ~default:[ 2; 4; 8 ] ~min:2 ~max:8 params in
+    List.iter
+      (fun r ->
+        if r <> 2 && r <> 4 && r <> 8 then
+          invalid "\"radices\" entries must be 2, 4 or 8")
+      radices;
+    let stages = int_axis "stages" ~default:[ 1; 2; 3 ] ~min:1 ~max:16 params in
+    let copies = int_axis "copies" ~default:[ 1; 2; 4 ] ~min:1 ~max:64 params in
+    let signed = bool_param "signed" ~default:false params in
+    let fmults =
+      num_axis "fmults" ~default:[ 0.5; 1.0; 2.0; 4.0 ] params
+    in
+    List.iter
+      (fun m -> if not (m > 0.0) then invalid "\"fmults\" entries must be > 0")
+      fmults;
+    let techs =
+      match Json.member "tech" params with
+      | None -> Device.Technology.all
+      | Some (Json.Str "all") -> Device.Technology.all
+      | Some (Json.Str s) -> [ tech_of_string s ]
+      | Some _ -> invalid "\"tech\" must be a string"
+    in
+    let prune = bool_param "prune" ~default:true params in
+    let axes =
+      {
+        Power_core.Explorer.bits;
+        radices;
+        signednesses =
+          [ (if signed then Multipliers.Booth.Signed else Multipliers.Booth.Unsigned) ];
+        stages;
+        copies;
+        fmults;
+        techs;
+      }
+    in
+    let size = Power_core.Explorer.space_size axes in
+    if size = 0 then
+      invalid "axes enumerate no candidates (no radix/stages combo validates)";
+    if size > max_explore_candidates then
+      invalid "axes enumerate %d candidates (cap %d); narrow an axis" size
+        max_explore_candidates;
+    Explore { bits; radices; stages; copies; signed; fmults; techs; prune }
   | m -> raise (Invalid (Unknown_method, Printf.sprintf "unknown method %S" m))
 
 let parse_frame line =

@@ -46,6 +46,19 @@ type call =
   | Lint of { only : string list option }
   | Certify of { flavors : Device.Technology.t list }
       (** Defaults to all three flavors. *)
+  | Explore of {
+      bits : int;  (** Even, in [4, 16]; default 8. *)
+      radices : int list;  (** Subset of {2, 4, 8}; default all three. *)
+      stages : int list;  (** Default [1; 2; 3]. *)
+      copies : int list;  (** Default [1; 2; 4]. *)
+      signed : bool;  (** Default false (unsigned operands). *)
+      fmults : float list;  (** Default [0.5; 1; 2; 4], all > 0. *)
+      techs : Device.Technology.t list;
+          (** From ["tech"]: a single flavor or ["all"] (the default). *)
+      prune : bool;  (** Default true; [false] forces exhaustive solves. *)
+    }
+      (** Design-space exploration ({!Power_core.Explorer.explore});
+          the axes may enumerate at most {!max_explore_candidates}. *)
 
 type request = { id : Json.t; call : call }
 (** [id] is echoed verbatim in the reply ([Null] when absent). *)
@@ -55,6 +68,10 @@ val max_frame_bytes : int
 
 val max_sweep_samples : int
 (** Upper bound on [sweep.samples] (16384) — a service-side sanity cap. *)
+
+val max_explore_candidates : int
+(** Upper bound on the candidate count an [explore] request's axes may
+    enumerate (4096) — a service-side sanity cap. *)
 
 val parse_frame :
   string -> (request, Json.t * error_code * string) result

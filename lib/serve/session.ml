@@ -110,6 +110,27 @@ let plan pool (call : Protocol.call) =
           cell := Some (guard (fun () -> Engine.certify ~pool ~flavors ())));
       ],
       fun () -> Engine.certify_json (take cell) )
+  | Protocol.Explore
+      { bits; radices; stages; copies; signed; fmults; techs; prune } ->
+    let axes =
+      {
+        Power_core.Explorer.bits;
+        radices;
+        signednesses =
+          [ (if signed then Multipliers.Booth.Signed
+             else Multipliers.Booth.Unsigned) ];
+        stages;
+        copies;
+        fmults;
+        techs;
+      }
+    in
+    let cell = ref None in
+    ( [
+        (fun () ->
+          cell := Some (guard (fun () -> Engine.explore ~pool ~prune axes)));
+      ],
+      fun () -> Engine.explore_json (take cell) )
 
 let finalize job outcome =
   Mutex.lock job.jm;

@@ -1,0 +1,333 @@
+(* Differential and property tests of the parameterized Booth generator
+   and the pruned Pareto design-space explorer.
+
+   Also runnable alone: dune build @explore *)
+
+module B = Multipliers.Booth
+module E = Power_core.Explorer
+module C = Netlist.Circuit
+module Bp = Logicsim.Bitpar
+
+(* Exhaustive sweep of a bare generated core against the reference
+   multiply, 63 operand pairs per Bitpar batch. *)
+let exhaustive_core_sweep ~radix ~bits =
+  let c = C.create (Printf.sprintf "gen_r%d_w%d" radix bits) in
+  let a = Array.init bits (fun i -> C.add_input c (Printf.sprintf "a%d" i)) in
+  let b = Array.init bits (fun i -> C.add_input c (Printf.sprintf "b%d" i)) in
+  let p = B.gen_core ~radix c ~a ~b in
+  Array.iteri (fun i net -> C.mark_output c net (Printf.sprintf "p%d" i)) p;
+  let sim = Bp.create (Logicsim.Compiled.compile c) in
+  let bit v i =
+    if (v lsr i) land 1 = 1 then Netlist.Logic.One else Netlist.Logic.Zero
+  in
+  let fails = ref 0 in
+  let check_batch pairs =
+    List.iteri
+      (fun lane (x, y) ->
+        for i = 0 to bits - 1 do
+          Bp.set_input sim ~net:a.(i) ~lane (bit x i);
+          Bp.set_input sim ~net:b.(i) ~lane (bit y i)
+        done)
+      pairs;
+    Bp.run sim;
+    List.iteri
+      (fun lane (x, y) ->
+        let got = ref 0 in
+        Array.iteri
+          (fun i net ->
+            if Bp.value sim ~net ~lane = Netlist.Logic.One then
+              got := !got lor (1 lsl i))
+          p;
+        if !got <> x * y then incr fails)
+      pairs
+  in
+  let batch = ref [] in
+  let count = ref 0 in
+  for x = 0 to (1 lsl bits) - 1 do
+    for y = 0 to (1 lsl bits) - 1 do
+      batch := (x, y) :: !batch;
+      incr count;
+      if !count = Bp.lanes then begin
+        check_batch !batch;
+        batch := [];
+        count := 0
+      end
+    done
+  done;
+  if !batch <> [] then check_batch !batch;
+  !fails
+
+let test_cores_exhaustive () =
+  List.iter
+    (fun radix ->
+      List.iter
+        (fun bits ->
+          Alcotest.(check int)
+            (Printf.sprintf "radix-%d width-%d core" radix bits)
+            0
+            (exhaustive_core_sweep ~radix ~bits))
+        [ 4; 6; 8 ])
+    [ 2; 4; 8 ]
+
+(* Signed variants: signed product semantics, so the unsigned
+   [check_random] oracle does not apply — drive the two's-complement
+   encodings through the harness directly. *)
+let test_signed_exhaustive_4bit () =
+  List.iter
+    (fun radix ->
+      let spec = B.generate ~signedness:B.Signed ~radix ~bits:4 () in
+      let sim = Multipliers.Harness.fresh_simulator spec in
+      for x = -8 to 7 do
+        for y = -8 to 7 do
+          let got =
+            Multipliers.Harness.compute spec sim
+              (Multipliers.Signed_mult.of_signed ~bits:4 x)
+              (Multipliers.Signed_mult.of_signed ~bits:4 y)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "r%d %d*%d" radix x y)
+            (x * y)
+            (Multipliers.Signed_mult.to_signed ~bits:8 got)
+        done
+      done)
+    [ 2; 4; 8 ]
+
+let test_pipelined_and_replicated () =
+  List.iter
+    (fun radix ->
+      List.iter
+        (fun (tag, spec) ->
+          Alcotest.(check int)
+            (Printf.sprintf "r%d %s" radix tag)
+            0
+            (List.length
+               (Multipliers.Harness.check_random ~seed:11 spec ~samples:40)))
+        [
+          ("2-stage", B.generate ~stages:2 ~radix ~bits:8 ());
+          ("3-stage", B.generate ~stages:3 ~radix ~bits:8 ());
+          ("2-copy", B.generate ~copies:2 ~radix ~bits:8 ());
+        ])
+    [ 2; 4; 8 ]
+
+let test_validate_rejects () =
+  let rejected ?(signedness = B.Unsigned) ?(stages = 1) ?(copies = 1)
+      ~radix ~bits () =
+    match B.validate ~radix ~signedness ~stages ~copies ~bits with
+    | Error _ -> true
+    | Ok () -> false
+  in
+  Alcotest.(check bool) "radix 3" true (rejected ~radix:3 ~bits:8 ());
+  Alcotest.(check bool) "odd width" true (rejected ~radix:4 ~bits:7 ());
+  Alcotest.(check bool) "width 2" true (rejected ~radix:4 ~bits:2 ());
+  Alcotest.(check bool) "stages 0" true (rejected ~radix:4 ~stages:0 ~bits:8 ());
+  Alcotest.(check bool) "depth overshoot" true
+    (rejected ~radix:8 ~stages:9 ~bits:8 ());
+  Alcotest.(check bool) "copies 0" true (rejected ~radix:4 ~copies:0 ~bits:8 ());
+  Alcotest.(check bool) "stages x copies" true
+    (rejected ~radix:4 ~stages:2 ~copies:2 ~bits:8 ());
+  Alcotest.(check bool) "valid combo accepted" false
+    (rejected ~radix:8 ~stages:2 ~bits:8 ());
+  Alcotest.(check bool) "generate raises on invalid" true
+    (match B.generate ~radix:3 ~bits:8 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_estimated_cells () =
+  let est copies =
+    B.estimated_cells ~radix:8 ~signedness:B.Unsigned ~stages:1 ~copies
+      ~bits:8
+  in
+  Alcotest.(check bool) "positive" true (est 1 > 0);
+  Alcotest.(check bool) "monotone in copies" true (est 4 > est 2 && est 2 > est 1)
+
+(* ------------------------- explorer properties ------------------------ *)
+
+let mid_axes =
+  {
+    E.bits = 6;
+    radices = [ 2; 4; 8 ];
+    signednesses = [ B.Unsigned ];
+    stages = [ 1; 2 ];
+    copies = [ 1; 2; 4 ];
+    fmults = [ 0.5; 1.0; 2.0; 4.0 ];
+    techs = Device.Technology.all;
+  }
+
+(* Full-precision fingerprint of a result's fronts: equality of the
+   strings is equality of the underlying float64 bits. *)
+let fingerprint (r : E.result) =
+  String.concat "\n"
+    (List.concat_map
+       (fun (s : E.slice) ->
+         Printf.sprintf "f=%h" s.f
+         :: List.map
+              (fun (e : E.entry) ->
+                Printf.sprintf "%s %h %h %h %h %h" e.design e.power e.vdd
+                  e.cert_lo e.latency e.area)
+              s.front)
+       r.slices)
+
+let exhaustive_fp = lazy (fingerprint (E.explore ~prune:false mid_axes))
+
+let test_pruned_matches_exhaustive_any_pool () =
+  let reference = Lazy.force exhaustive_fp in
+  List.iter
+    (fun jobs ->
+      let pool = Parallel.Pool.create ~jobs () in
+      let pruned = E.explore ~pool ~prune:true mid_axes in
+      Parallel.Pool.shutdown pool;
+      Alcotest.(check string)
+        (Printf.sprintf "front identical at -j %d" jobs)
+        reference (fingerprint pruned))
+    [ 1; 4; 8 ]
+
+let test_prune_funnel () =
+  let r = E.explore ~prune:true mid_axes in
+  let t = r.totals in
+  Alcotest.(check int) "enumerated = space size" (E.space_size mid_axes)
+    t.enumerated;
+  Alcotest.(check int) "funnel partitions the space" t.enumerated
+    (t.bound_pruned + t.cert_pruned + t.exact_solves);
+  Alcotest.(check bool) "front nonempty" true (t.front_size > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "skips >= 50%% of exact solves (%d of %d solved)"
+       t.exact_solves t.enumerated)
+    true
+    (2 * t.exact_solves <= t.enumerated);
+  (* Round size is a scheduling knob only. *)
+  Alcotest.(check string) "round size immaterial"
+    (fingerprint r)
+    (fingerprint (E.explore ~round:5 ~prune:true mid_axes))
+
+let test_explore_rejects () =
+  let raises axes =
+    match E.explore axes with
+    | (_ : E.result) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty fmults" true
+    (raises { mid_axes with fmults = [] });
+  Alcotest.(check bool) "negative fmult" true
+    (raises { mid_axes with fmults = [ -1.0 ] });
+  Alcotest.(check bool) "no valid substrate" true
+    (raises { mid_axes with radices = [ 2 ]; stages = [ 50 ] });
+  Alcotest.(check bool) "bad copies" true
+    (raises { mid_axes with copies = [ 0 ] })
+
+let test_chars_memo_hits () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  ignore (E.explore ~prune:true mid_axes);
+  ignore (E.explore ~prune:true mid_axes);
+  let hits = Obs.counter_value "memo.dse.chars.hit" in
+  Obs.set_enabled false;
+  Obs.reset ();
+  Alcotest.(check bool)
+    (Printf.sprintf "substrate characterization memoized (%d hits)" hits)
+    true (hits > 0)
+
+(* Seeded property: on random sub-axes the pruned and exhaustive paths
+   agree bitwise. bits = 4 keeps the substrate builds trivial. *)
+let prop_pruned_equals_exhaustive =
+  let subset ~min_len all st =
+    let picked = List.filter (fun _ -> QCheck.Gen.bool st) all in
+    if List.length picked >= min_len then picked
+    else [ List.nth all (QCheck.Gen.int_bound (List.length all - 1) st) ]
+  in
+  let gen_axes st =
+    {
+      E.bits = 4;
+      radices = subset ~min_len:1 [ 2; 4; 8 ] st;
+      signednesses = [ B.Unsigned ];
+      stages = subset ~min_len:1 [ 1; 2 ] st;
+      copies = subset ~min_len:1 [ 1; 2; 3 ] st;
+      fmults = subset ~min_len:1 [ 0.5; 1.0; 3.0 ] st;
+      techs = Device.Technology.all;
+    }
+  in
+  QCheck.Test.make ~name:"pruned = exhaustive on random sub-axes" ~count:6
+    (QCheck.make gen_axes)
+    (fun axes ->
+      fingerprint (E.explore ~prune:true axes)
+      = fingerprint (E.explore ~prune:false axes))
+
+(* ------------------------------ lint rules ---------------------------- *)
+
+let test_dse_rules_registered () =
+  Alcotest.(check int) "dse rules" 2 (List.length Analysis.Rule.dse);
+  List.iter
+    (fun id ->
+      let m = Analysis.Rule.find id in
+      Alcotest.(check string) "id matches" id m.Analysis.Rule.id)
+    [ "dse.generator-params"; "dse.front-nonempty" ]
+
+let test_generator_params_rule () =
+  let errors diags =
+    List.length
+      (List.filter
+         (fun (d : Analysis.Diagnostic.t) ->
+           d.severity = Analysis.Diagnostic.Error)
+         diags)
+  in
+  Alcotest.(check int) "default axes clean" 0
+    (errors (Analysis.Dse_rules.generator_params ~label:"t" E.default_axes));
+  Alcotest.(check bool) "odd width flagged" true
+    (errors
+       (Analysis.Dse_rules.generator_params ~label:"t"
+          { E.default_axes with bits = 7 })
+    > 0);
+  Alcotest.(check bool) "bad copies flagged" true
+    (errors
+       (Analysis.Dse_rules.generator_params ~label:"t"
+          { E.default_axes with copies = [ 0 ] })
+    > 0)
+
+let test_front_nonempty_rule () =
+  let axes =
+    {
+      E.bits = 4;
+      radices = [ 4 ];
+      signednesses = [ B.Unsigned ];
+      stages = [ 1 ];
+      copies = [ 1; 2 ];
+      fmults = [ 0.5; 1.0 ];
+      techs = Device.Technology.all;
+    }
+  in
+  Alcotest.(check int) "audit clean" 0
+    (List.length (Analysis.Dse_rules.front_nonempty ~label:"t" axes))
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "exhaustive core sweeps r2/r4/r8 w4-8" `Quick
+            test_cores_exhaustive;
+          Alcotest.test_case "signed variants, exhaustive 4-bit" `Quick
+            test_signed_exhaustive_4bit;
+          Alcotest.test_case "pipelined and replicated variants" `Quick
+            test_pipelined_and_replicated;
+          Alcotest.test_case "parameter validation" `Quick test_validate_rejects;
+          Alcotest.test_case "capacity estimate sanity" `Quick
+            test_estimated_cells;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "pruned = exhaustive at -j 1/4/8" `Quick
+            test_pruned_matches_exhaustive_any_pool;
+          Alcotest.test_case "prune funnel accounting" `Quick test_prune_funnel;
+          Alcotest.test_case "axes validation" `Quick test_explore_rejects;
+          Alcotest.test_case "substrate memo hits" `Quick test_chars_memo_hits;
+          QCheck_alcotest.to_alcotest prop_pruned_equals_exhaustive;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "dse rule registry" `Quick
+            test_dse_rules_registered;
+          Alcotest.test_case "dse.generator-params" `Quick
+            test_generator_params_rule;
+          Alcotest.test_case "dse.front-nonempty" `Quick
+            test_front_nonempty_rule;
+        ] );
+    ]

@@ -266,7 +266,7 @@ let test_parallelize_validation () =
     "copies < 2 rejected" true
     (match
        Multipliers.Parallelize.wrap ~name:"x" ~bits:4 ~copies:1
-         ~core:Multipliers.Rca.core
+         ~core:Multipliers.Rca.core ()
      with
     | _ -> false
     | exception Invalid_argument _ -> true)
@@ -275,7 +275,7 @@ let test_parallelize_structure () =
   let basic = Multipliers.Rca.basic ~bits:8 in
   let par2 =
     Multipliers.Parallelize.wrap ~name:"p2" ~bits:8 ~copies:2
-      ~core:Multipliers.Rca.core
+      ~core:Multipliers.Rca.core ()
   in
   let nb = (Multipliers.Spec.stats basic).cell_total in
   let np = (Multipliers.Spec.stats par2).cell_total in
@@ -298,7 +298,7 @@ let test_parallelize_structure () =
 let test_replicated_matches_functional_oracle () =
   let spec =
     Multipliers.Parallelize.wrap ~name:"par2" ~bits:6 ~copies:2
-      ~core:Multipliers.Rca.core
+      ~core:Multipliers.Rca.core ()
   in
   let c = spec.circuit in
   let sim = Sim.create c in
