@@ -306,6 +306,9 @@ let bench_diag_dse_pruned =
 let dse_pareto_axes =
   {
     Power_core.Explorer.bits = 8;
+    (* Pinned to the Booth family: this is the historical 2160-candidate
+       baseline the regression gate tracks. *)
+    families = [ Power_core.Explorer.Booth ];
     radices = [ 2; 4; 8 ];
     signednesses = [ Multipliers.Booth.Unsigned; Multipliers.Booth.Signed ];
     stages = [ 1; 2; 3 ];
@@ -331,6 +334,69 @@ let bench_diag_dse_pareto_pruned =
   make_bench ~limit:6 ~quota:2.4 "diag:dse-pareto-pruned-2k" (fun () ->
       Lazy.force dse_pareto_warm;
       ignore (Power_core.Explorer.explore ~prune:true dse_pareto_axes))
+
+(* Warm-store A/B: the same pruned exploration against a store recreated
+   empty every run (cold: every survivor pays its certification and exact
+   solve, plus the store writes) versus a pre-populated store (warm: the
+   outcomes replay from disk). In-process substrate memos are shared by
+   both arms, so the delta isolates exactly what the store saves across
+   processes — certifications, exact solves and the ledger proofs. The
+   store.* hit/miss/put counters ride the metrics block as the work
+   fingerprint of each arm. *)
+let rec remove_tree path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun name -> remove_tree (Filename.concat path name))
+      (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let store_ab_dir tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "optpower-bench-store-%s.%d" tag (Unix.getpid ()))
+
+let store_ab_axes =
+  {
+    Power_core.Explorer.bits = 6;
+    families = [ Power_core.Explorer.Booth ];
+    radices = [ 2; 4 ];
+    signednesses = [ Multipliers.Booth.Unsigned ];
+    stages = [ 1; 2 ];
+    copies = [ 1; 2 ];
+    fmults = [ 0.5; 1.0 ];
+    techs = Device.Technology.all;
+  }
+
+let store_ab_explore dir =
+  match Power_core.Warm.open_store ~path:dir () with
+  | None -> failwith "bench: cannot open the warm store"
+  | Some st ->
+    Fun.protect
+      ~finally:(fun () -> Store.close st)
+      (fun () ->
+        ignore (Power_core.Explorer.explore ~prune:true ~store:st store_ab_axes))
+
+(* One population pass shared by both arms: fills the in-process substrate
+   memos and writes the warm arm's store. *)
+let store_ab_warmed =
+  lazy
+    (let dir = store_ab_dir "warm" in
+     remove_tree dir;
+     store_ab_explore dir;
+     dir)
+
+let bench_diag_explore_cold =
+  slow "diag:explore-cold" (fun () ->
+      ignore (Lazy.force store_ab_warmed);
+      let dir = store_ab_dir "cold" in
+      remove_tree dir;
+      store_ab_explore dir)
+
+let bench_diag_explore_warm =
+  slow "diag:explore-warm" (fun () ->
+      store_ab_explore (Lazy.force store_ab_warmed))
 
 (* Order-statistics A/B: full sort versus in-place quickselect, both on a
    fresh copy of the same 50k-element array. *)
@@ -394,6 +460,8 @@ let benchmarks =
     bench_dse_pareto;
     bench_diag_dse_pareto_exhaustive;
     bench_diag_dse_pareto_pruned;
+    bench_diag_explore_cold;
+    bench_diag_explore_warm;
   ]
 
 let contains_substring s sub =
@@ -433,7 +501,8 @@ let serve_labels =
 
 let serve_with_session ~cache f =
   let config =
-    { Serve.Session.jobs = None; queue_capacity = 64; max_batch = 32; cache }
+    { Serve.Session.jobs = None; queue_capacity = 64; max_batch = 32; cache;
+      store = None }
   in
   let session = Serve.Session.create ~config () in
   Fun.protect

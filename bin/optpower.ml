@@ -49,6 +49,36 @@ let metrics_arg =
 
 let obs_arg = Term.(const (fun t m -> (t, m)) $ trace_path_arg $ metrics_arg)
 
+(* Warm-store flags shared by explore and serve: --store overrides the
+   directory, --no-store runs cold. Open failures degrade to cold. *)
+
+let store_path_arg =
+  let doc =
+    "Warm-store directory (default: $(b,OPTPOWER_STORE) or \
+     $(b,.optpower-store)). Cross-run cache of characterisations, \
+     certified bounds and exact optima; replays are bitwise-identical to \
+     cold solves."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let no_store_arg =
+  let doc = "Run cold: no warm store is opened or written." in
+  Arg.(value & flag & info [ "no-store" ] ~doc)
+
+(* Constraint caps must be finite > 0 — reject at parse time so the
+   error is a usage message, not an uncaught Invalid_argument. *)
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v > 0.0 -> Ok v
+    | Some _ -> Error (`Msg (Printf.sprintf "expected a finite value > 0, got %s" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid value '%s', expected a float" s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
+let open_warm ?readonly ~no_store path =
+  if no_store then None else Power_core.Warm.open_store ?readonly ?path ()
+
 let with_obs (trace, metrics) f =
   let active = trace <> None || metrics in
   if active then begin
@@ -358,10 +388,39 @@ let faults_cmd =
   let doc = "Stuck-at fault coverage of random vectors on the bare cores." in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ bits $ vectors)
 
+let family_enum =
+  [ ("booth", Power_core.Explorer.Booth);
+    ("dadda", Power_core.Explorer.Dadda);
+    ("wallace", Power_core.Explorer.Wallace) ]
+
 let explore_cmd =
   let bits =
     Arg.(value & opt int 8
          & info [ "bits" ] ~docv:"W" ~doc:"Operand width (even, >= 4).")
+  in
+  let families =
+    Arg.(value
+         & opt (list (enum family_enum))
+             [ Power_core.Explorer.Booth; Power_core.Explorer.Dadda;
+               Power_core.Explorer.Wallace ]
+         & info [ "family" ] ~docv:"F,..."
+             ~doc:
+               "Substrate families to enumerate: $(b,booth), $(b,dadda) \
+                and/or $(b,wallace) (default: all three).")
+  in
+  let max_latency =
+    Arg.(value & opt (some pos_float_conv) None
+         & info [ "max-latency" ] ~docv:"D"
+             ~doc:
+               "Keep only candidates with effective logic depth <= $(docv) \
+                (strictly positive).")
+  in
+  let max_area =
+    Arg.(value & opt (some pos_float_conv) None
+         & info [ "max-area" ] ~docv:"CELLS"
+             ~doc:
+               "Keep only candidates with at most $(docv) cells (strictly \
+                positive).")
   in
   let radices =
     Arg.(value & opt (list int) [ 2; 4; 8 ]
@@ -409,8 +468,8 @@ let explore_cmd =
          & info [ "cycles" ] ~docv:"N"
              ~doc:"Simulated data cycles per characterisation.")
   in
-  let run jobs obs bits radices stages copies signed fmults tech no_prune
-      catalog cycles =
+  let run jobs obs bits families max_latency max_area radices stages copies
+      signed fmults tech no_prune catalog cycles store_path no_store =
     set_jobs jobs;
     with_obs obs @@ fun () ->
     if catalog then
@@ -422,6 +481,7 @@ let explore_cmd =
       let axes =
         {
           Power_core.Explorer.bits;
+          families;
           radices;
           signednesses =
             [ (if signed then Multipliers.Booth.Signed
@@ -436,20 +496,26 @@ let explore_cmd =
         }
       in
       print (Report.Dse_report.render_axes axes ^ "\n\n");
+      let store = open_warm ~no_store store_path in
+      Fun.protect ~finally:(fun () -> Option.iter Store.close store)
+      @@ fun () ->
       let result =
-        Power_core.Explorer.explore ~prune:(not no_prune) ?cycles axes
+        Power_core.Explorer.explore ~prune:(not no_prune) ?cycles ?store
+          ?max_latency ?max_area axes
       in
       print (Report.Dse_report.render result ^ "\n")
     end
   in
   let doc =
-    "Pruned Pareto design-space exploration over the Booth generator \
-     (radix x signedness x depth x parallelism x flavor x frequency); \
-     $(b,--catalog) keeps the legacy 17-architecture study."
+    "Pruned Pareto design-space exploration over the multiplier generators \
+     (family x radix x signedness x depth x parallelism x flavor x \
+     frequency), warm-started from the on-disk store; $(b,--catalog) keeps \
+     the legacy 17-architecture study."
   in
   Cmd.v (Cmd.info "explore" ~doc)
-    Term.(const run $ jobs_arg $ obs_arg $ bits $ radices $ stages $ copies
-          $ signed $ fmults $ tech $ no_prune $ catalog $ cycles)
+    Term.(const run $ jobs_arg $ obs_arg $ bits $ families $ max_latency
+          $ max_area $ radices $ stages $ copies $ signed $ fmults $ tech
+          $ no_prune $ catalog $ cycles $ store_path_arg $ no_store_arg)
 
 let export_cmd =
   let arch =
@@ -827,11 +893,55 @@ let all_cmd =
   let doc = "Reproduce every calibrated table and figure in one run." in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg $ obs_arg)
 
+(* The store profile workload runs the same small exploration cold then
+   warm against a throwaway store, so the normalized report carries the
+   full store.* hit/miss/put fingerprint of one populate + one replay. *)
+let rec remove_tree path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun name -> remove_tree (Filename.concat path name))
+      (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let profile_store_workload () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "optpower-profile-store.%d" (Unix.getpid ()))
+  in
+  remove_tree dir;
+  let axes =
+    {
+      Power_core.Explorer.bits = 4;
+      families = [ Power_core.Explorer.Booth ];
+      radices = [ 4 ];
+      signednesses = [ Multipliers.Booth.Unsigned ];
+      stages = [ 1 ];
+      copies = [ 1; 2 ];
+      fmults = [ 0.5; 1.0 ];
+      techs = [ Device.Technology.ll ];
+    }
+  in
+  let pass () =
+    match Power_core.Warm.open_store ~path:dir () with
+    | None -> ignore (Power_core.Explorer.explore ~cycles:40 axes)
+    | Some st ->
+      Fun.protect ~finally:(fun () -> Store.close st)
+      @@ fun () ->
+      ignore (Power_core.Explorer.explore ~cycles:40 ~store:st axes)
+  in
+  Fun.protect ~finally:(fun () -> remove_tree dir)
+  @@ fun () ->
+  pass ();
+  pass ()
+
 let profile_cmd =
   let which_arg =
     let doc =
-      "Workload to profile: $(b,table1), $(b,fig1), $(b,mc), $(b,lint) or \
-       $(b,yield) or $(b,scratch)."
+      "Workload to profile: $(b,table1), $(b,fig1), $(b,mc), $(b,lint), \
+       $(b,yield), $(b,scratch) or $(b,store)."
     in
     Arg.(
       required
@@ -841,6 +951,7 @@ let profile_cmd =
                 [
                   ("table1", `Table1); ("fig1", `Fig1); ("mc", `Mc);
                   ("yield", `Yield); ("lint", `Lint); ("scratch", `Scratch);
+                  ("store", `Store);
                 ]))
           None
       & info [] ~docv:"WORKLOAD" ~doc)
@@ -890,6 +1001,7 @@ let profile_cmd =
       | `Scratch ->
           ( "profile.scratch",
             fun () -> ignore (Report.Experiments.scratch ~cycles:40 ()) )
+      | `Store -> ("profile.store", profile_store_workload)
     in
     let t0 = Obs.now_ns () in
     Obs.Span.with_ ~name work;
@@ -1024,15 +1136,17 @@ let serve_cmd =
       & info [ "no-cache" ]
           ~doc:"Disable the session result cache (identical calls re-solve).")
   in
-  let run jobs obs socket queue batch no_cache =
+  let run jobs obs socket queue batch no_cache store_path no_store =
     set_jobs jobs;
     with_obs obs @@ fun () ->
+    let store = open_warm ~no_store store_path in
     let config =
       {
         Serve.Session.jobs;
         queue_capacity = queue;
         max_batch = batch;
         cache = not no_cache;
+        store;
       }
     in
     (* Block the shutdown signals before spawning any thread (the mask is
@@ -1050,25 +1164,85 @@ let serve_cmd =
           Serve.Server.stop listener)
         ()
     in
-    Printf.printf "optpower serve: listening on %s (pool size %d)\n%!" socket
-      (Parallel.Pool.size (Serve.Session.pool session));
+    Printf.printf "optpower serve: listening on %s (pool size %d%s)\n%!"
+      socket
+      (Parallel.Pool.size (Serve.Session.pool session))
+      (match store with
+      | Some st -> Printf.sprintf ", warm store %s" (Store.path st)
+      | None -> ", cold");
     Serve.Server.wait listener;
     Printf.printf "optpower serve: drained, bye\n%!"
   in
   let doc =
     "Run the resident batch solve service: JSON-lines requests over a Unix \
-     socket, coalesced across clients into shared pool dispatches. SIGINT \
-     or SIGTERM drains gracefully and exits."
+     socket, coalesced across clients into shared pool dispatches, warm \
+     answers from the on-disk store across restarts. SIGINT or SIGTERM \
+     drains gracefully and exits."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ jobs_arg $ obs_arg $ socket_arg $ queue $ batch $ no_cache)
+      const run $ jobs_arg $ obs_arg $ socket_arg $ queue $ batch $ no_cache
+      $ store_path_arg $ no_store_arg)
+
+let store_cmd =
+  let action =
+    let doc =
+      "Action: $(b,stats) (print entry and traffic counts), $(b,gc) \
+       (compact the log into a fresh snapshot) or $(b,clear) (drop every \
+       entry)."
+    in
+    Arg.(
+      required
+      & pos 0
+          (some (enum [ ("stats", `Stats); ("gc", `Gc); ("clear", `Clear) ]))
+          None
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let run action store_path =
+    let readonly = action = `Stats in
+    match open_warm ~readonly ~no_store:false store_path with
+    | None ->
+      Printf.eprintf "optpower store: cannot open the store\n";
+      exit 1
+    | Some st ->
+      Fun.protect ~finally:(fun () -> Store.close st)
+      @@ fun () ->
+      (match action with
+      | `Stats ->
+        let s = Store.stats st in
+        Printf.printf "store %s\n" s.Store.path;
+        Printf.printf "  fingerprint  %s\n" (Store.fingerprint st);
+        Printf.printf "  mode         %s\n"
+          (match s.mode with
+          | Store.Read_write -> "read-write"
+          | Store.Read_only -> "read-only");
+        Printf.printf "  entries      %d\n" s.entries;
+        Printf.printf "  log bytes    %d\n" s.log_bytes;
+        Printf.printf "  index bytes  %d\n" s.index_bytes;
+        if s.invalidated then
+          Printf.printf "  (stale fingerprint discarded at open)\n";
+        if s.recovered > 0 then
+          Printf.printf "  (%d torn/corrupt records dropped at open)\n"
+            s.recovered
+      | `Gc ->
+        let retired = Store.gc st in
+        Printf.printf "store %s: compacted, %d superseded records retired\n"
+          (Store.path st) retired
+      | `Clear ->
+        Store.clear st;
+        Printf.printf "store %s: cleared\n" (Store.path st))
+  in
+  let doc =
+    "Inspect or maintain the on-disk warm store ($(b,stats), $(b,gc), \
+     $(b,clear))."
+  in
+  Cmd.v (Cmd.info "store" ~doc) Term.(const run $ action $ store_path_arg)
 
 let client_cmd =
   let meth =
     let doc =
       "Request method: $(b,optimum), $(b,sweep), $(b,rank), $(b,lint), \
-       $(b,certify) or $(b,explore)."
+       $(b,certify), $(b,explore) or $(b,store_stats)."
     in
     Arg.(
       required
@@ -1077,7 +1251,7 @@ let client_cmd =
              (enum
                 [ ("optimum", "optimum"); ("sweep", "sweep");
                   ("rank", "rank"); ("lint", "lint"); ("certify", "certify");
-                  ("explore", "explore") ]))
+                  ("explore", "explore"); ("store_stats", "store_stats") ]))
           None
       & info [] ~docv:"METHOD" ~doc)
   in
@@ -1153,8 +1327,28 @@ let client_cmd =
       value & flag
       & info [ "no-prune" ] ~doc:"Explore exhaustively (no pruning).")
   in
+  let families =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "family" ] ~docv:"F,..."
+          ~doc:"Explore substrate families (booth, dadda, wallace).")
+  in
+  let max_latency =
+    Arg.(
+      value
+      & opt (some pos_float_conv) None
+      & info [ "max-latency" ] ~docv:"D"
+          ~doc:"Explore effective-logic-depth cap.")
+  in
+  let max_area =
+    Arg.(
+      value
+      & opt (some pos_float_conv) None
+      & info [ "max-area" ] ~docv:"CELLS" ~doc:"Explore cell-count cap.")
+  in
   let run socket meth arch tech samples archs only bits radices stages copies
-      signed fmults no_prune =
+      signed fmults no_prune families max_latency max_area =
     let int_arr l =
       Serve.Json.Arr (List.map (fun v -> Serve.Json.Num (float_of_int v)) l)
     in
@@ -1187,6 +1381,13 @@ let client_cmd =
                Serve.Json.Arr (List.map (fun v -> Serve.Json.Num v) l)))
             fmults;
           (if no_prune then Some ("prune", Serve.Json.Bool false) else None);
+          Option.map
+            (fun l ->
+              ( "families",
+                Serve.Json.Arr (List.map (fun s -> Serve.Json.Str s) l) ))
+            families;
+          Option.map (fun v -> ("max_latency", Serve.Json.Num v)) max_latency;
+          Option.map (fun v -> ("max_area", Serve.Json.Num v)) max_area;
         ]
     in
     let client = Serve.Client.connect socket in
@@ -1204,7 +1405,8 @@ let client_cmd =
   in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(const run $ socket_arg $ meth $ arch $ tech $ samples $ archs $ only
-          $ bits $ radices $ stages $ copies $ signed $ fmults $ no_prune)
+          $ bits $ radices $ stages $ copies $ signed $ fmults $ no_prune
+          $ families $ max_latency $ max_area)
 
 let main =
   let doc =
@@ -1242,6 +1444,7 @@ let main =
       optimum_cmd;
       rank_cmd;
       serve_cmd;
+      store_cmd;
       client_cmd;
       profile_cmd;
       all_cmd;

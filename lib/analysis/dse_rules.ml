@@ -20,14 +20,20 @@ let sign_tag = function B.Unsigned -> "u" | B.Signed -> "s"
    grid and is an error. A grid whose every substrate combo is skipped
    enumerates nothing at all — also an error. *)
 let generator_params ~label (axes : E.axes) =
+  (* The Booth generator is the only family with a rejectable parameter
+     grid (radix/signedness/stages contracts); Dadda is combinational-only
+     and Wallace pipelines any depth, so only the Booth part is audited —
+     and only when the axes enumerate it. *)
   let combos =
-    List.concat_map
-      (fun radix ->
-        List.concat_map
-          (fun signedness ->
-            List.map (fun stages -> (radix, signedness, stages)) axes.stages)
-          axes.signednesses)
-      axes.radices
+    if not (List.mem E.Booth axes.families) then []
+    else
+      List.concat_map
+        (fun radix ->
+          List.concat_map
+            (fun signedness ->
+              List.map (fun stages -> (radix, signedness, stages)) axes.stages)
+            axes.signednesses)
+        axes.radices
   in
   let findings =
     List.filter_map
@@ -77,9 +83,9 @@ let generator_params ~label (axes : E.axes) =
     if E.substrate_combos axes = [] then
       [
         diag "dse.generator-params" label
-          ~fix_hint:"widen the radix/stages axes"
-          "no (radix, signedness, stages) combination validates - the \
-           grid enumerates nothing";
+          ~fix_hint:"widen the family/radix/stages axes"
+          "no (family, radix, signedness, stages) combination validates - \
+           the grid enumerates nothing";
       ]
     else []
   in

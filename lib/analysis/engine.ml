@@ -156,6 +156,7 @@ let cert_targets ?pool ?(flavors = Device.Technology.all) () =
 let dse_audit_axes =
   {
     Power_core.Explorer.bits = 4;
+    families = [ Power_core.Explorer.Booth ];
     radices = [ 4 ];
     signednesses = [ Multipliers.Booth.Unsigned ];
     stages = [ 1 ];

@@ -21,12 +21,36 @@
    both arms run the identical exact-evaluation task (seeded solve +
    certification), so the retained floats agree bit for bit. Planning and
    folding happen sequentially on the caller against round-start state
-   (Pool.map_rounds), which extends the bit-identity to any pool size. *)
+   (Pool.map_rounds), which extends the bit-identity to any pool size.
+
+   Warm store. With [?store], three record families persist across runs:
+   substrate characterizations (keyed by generator parameters, so a hit
+   skips the build entirely), exact solve outcomes (keyed by the full
+   hex-float problem serialization — a hit replays the very bits a cold
+   solve would produce, the solver being deterministic), and the certified
+   ledger (keyed by design serialization + slice frequency). All store
+   reads and writes happen on the calling domain (plan/fold and the
+   substrate pre/post passes), so warm runs stay bitwise-identical to
+   cold runs at any pool size; only the prune/hit counters move. *)
 
 module Iv = Numerics.Interval
 
+type family = Booth | Dadda | Wallace
+
+let family_name = function
+  | Booth -> "booth"
+  | Dadda -> "dadda"
+  | Wallace -> "wallace"
+
+let family_of_string = function
+  | "booth" -> Some Booth
+  | "dadda" -> Some Dadda
+  | "wallace" -> Some Wallace
+  | _ -> None
+
 type axes = {
   bits : int;
+  families : family list;
   radices : int list;
   signednesses : Multipliers.Booth.signedness list;
   stages : int list;
@@ -38,6 +62,7 @@ type axes = {
 let default_axes =
   {
     bits = 8;
+    families = [ Booth; Dadda; Wallace ];
     radices = [ 2; 4; 8 ];
     signednesses = [ Multipliers.Booth.Unsigned ];
     stages = [ 1; 2; 3 ];
@@ -46,26 +71,57 @@ let default_axes =
     techs = Device.Technology.all;
   }
 
-(* Substrates: one generator build per (radix, signedness, stages) at the
-   axes' width. The parallelism axis is the analytic Transform.parallelize
-   scaling — matching how Section 4 reasons about replication — so copies
-   never trigger a rebuild. *)
+type substrate = {
+  family : family;
+  radix : int;  (** Booth recoding radix; 0 for Dadda/Wallace. *)
+  signedness : Multipliers.Booth.signedness;
+  stages : int;
+}
+
+(* Substrates: one generator build per (family, radix, signedness, stages)
+   at the axes' width. Booth combos go through Booth.validate; the Dadda
+   reducer is combinational-only (pipeline depth 1); Wallace pipelines any
+   depth >= 2 via Pipeliner.by_depth. The parallelism axis is the analytic
+   Transform.parallelize scaling — matching how Section 4 reasons about
+   replication — so copies never trigger a rebuild. *)
 let substrate_combos axes =
   List.concat_map
-    (fun radix ->
-      List.concat_map
-        (fun signedness ->
+    (fun family ->
+      match family with
+      | Booth ->
+        List.concat_map
+          (fun radix ->
+            List.concat_map
+              (fun signedness ->
+                List.filter_map
+                  (fun stages ->
+                    match
+                      Multipliers.Booth.validate ~radix ~signedness ~stages
+                        ~copies:1 ~bits:axes.bits
+                    with
+                    | Ok () ->
+                      Some { family = Booth; radix; signedness; stages }
+                    | Error _ -> None)
+                  axes.stages)
+              axes.signednesses)
+          axes.radices
+      | Dadda ->
+        if List.mem 1 axes.stages && axes.bits >= 2 then
+          [ { family = Dadda; radix = 0;
+              signedness = Multipliers.Booth.Unsigned; stages = 1 } ]
+        else []
+      | Wallace ->
+        if axes.bits < 2 then []
+        else
           List.filter_map
             (fun stages ->
-              match
-                Multipliers.Booth.validate ~radix ~signedness ~stages
-                  ~copies:1 ~bits:axes.bits
-              with
-              | Ok () -> Some (radix, signedness, stages)
-              | Error _ -> None)
+              if stages >= 1 then
+                Some
+                  { family = Wallace; radix = 0;
+                    signedness = Multipliers.Booth.Unsigned; stages }
+              else None)
             axes.stages)
-        axes.signednesses)
-    axes.radices
+    axes.families
 
 let space_size axes =
   List.length (substrate_combos axes)
@@ -84,8 +140,14 @@ type chars = {
 }
 
 let build_memo =
-  Memo.create ~name:"dse.build" (fun (radix, signedness, stages, bits) ->
-      Multipliers.Booth.generate ~signedness ~stages ~radix ~bits ())
+  Memo.create ~name:"dse.build" (fun (family, radix, signedness, stages, bits) ->
+      match family with
+      | Booth -> Multipliers.Booth.generate ~signedness ~stages ~radix ~bits ()
+      | Dadda -> Multipliers.Spec_optimize.run (Multipliers.Dadda.basic ~bits)
+      | Wallace ->
+        Multipliers.Spec_optimize.run
+          (if stages <= 1 then Multipliers.Wallace.basic ~bits
+           else Multipliers.Wallace.pipelined ~bits ~stages))
 
 (* Keyed by the circuit's structural hash (plus the stimulus parameters),
    not the generator tuple: distinct parameter points that elaborate to the
@@ -132,6 +194,27 @@ let characterize ~seed ~cycles (spec : Multipliers.Spec.t) =
     Mutex.unlock chars_mutex;
     c
 
+(* Store codec for a characterization: six exact hex floats, keyed by the
+   generator parameters (never the structural hash — the whole point is to
+   answer before building the netlist). *)
+let sign_tag = function
+  | Multipliers.Booth.Unsigned -> "u"
+  | Multipliers.Booth.Signed -> "s"
+
+let chars_store_key ~bits ~seed ~cycles sub =
+  Printf.sprintf "%s r%d%s p%d w%d|seed:%d cyc:%d" (family_name sub.family)
+    sub.radix (sign_tag sub.signedness) sub.stages bits seed cycles
+
+let encode_chars c =
+  Warm.encode_floats
+    [ c.n_cells; c.activity; c.avg_cap; c.avg_leak_factor; c.ld_eff; c.area ]
+
+let decode_chars s =
+  match Warm.decode_floats s with
+  | Some [ n_cells; activity; avg_cap; avg_leak_factor; ld_eff; area ] ->
+    Some { n_cells; activity; avg_cap; avg_leak_factor; ld_eff; area }
+  | _ -> None
+
 let params_of_chars ~label ~reference (c : chars) =
   {
     Arch_params.label;
@@ -146,6 +229,7 @@ let params_of_chars ~label ~reference (c : chars) =
 type entry = {
   label : string;
   design : string;  (** Tech-qualified design identity — the ledger key. *)
+  family : family;
   radix : int;
   signedness : Multipliers.Booth.signedness;
   stages : int;
@@ -163,8 +247,10 @@ type slice = { f : float; front : entry list }
 
 type totals = {
   enumerated : int;
+  filtered : int;  (** Dropped by the latency/area constraint caps. *)
   bound_pruned : int;  (** Discarded by the O(1) ledger lookup. *)
   cert_pruned : int;  (** Discarded by an {!Absint.excludes} proof. *)
+  store_hits : int;  (** Exact outcomes replayed from the warm store. *)
   exact_solves : int;
   front_size : int;  (** Summed over slices. *)
 }
@@ -172,8 +258,10 @@ type totals = {
 type result = { pruned : bool; slices : slice list; totals : totals }
 
 let c_enumerated = Obs.Counter.make "dse.enumerated"
+let c_filtered = Obs.Counter.make "dse.constraint_filtered"
 let c_bound_pruned = Obs.Counter.make "dse.bound_pruned"
 let c_cert_pruned = Obs.Counter.make "dse.cert_pruned"
+let c_store_hits = Obs.Counter.make "dse.store_hits"
 let c_exact_solves = Obs.Counter.make "dse.exact_solves"
 let c_front_size = Obs.Counter.make "pareto.front_size"
 
@@ -203,24 +291,35 @@ type cand = {
   idx : int;
   design : string;
   label : string;
+  cfamily : family;
   radix : int;
   signedness : Multipliers.Booth.signedness;
   stages : int;
   copies : int;
   tech_name : string;
   problem : Power_law.problem;
+  dkey : string;  (** {!Warm.design_key} — the persisted-ledger identity. *)
   rank : float;  (** Eq. 13 closed-form Ptot; [infinity] when infeasible. *)
   latency : float;
   carea : float;
 }
 
-let sign_tag = function
-  | Multipliers.Booth.Unsigned -> "u"
-  | Multipliers.Booth.Signed -> "s"
+let design_label ~family ~radix ~signedness ~stages ~copies ~bits ~tech =
+  match family with
+  | Booth ->
+    Printf.sprintf "r%d%s w%d p%d x%d @%s" radix (sign_tag signedness) bits
+      stages copies tech
+  | Dadda -> Printf.sprintf "dadda w%d x%d @%s" bits copies tech
+  | Wallace ->
+    Printf.sprintf "wallace w%d p%d x%d @%s" bits stages copies tech
 
-let design_label ~radix ~signedness ~stages ~copies ~bits ~tech =
-  Printf.sprintf "r%d%s w%d p%d x%d @%s" radix (sign_tag signedness) bits
-    stages copies tech
+let substrate_label ~bits (sub : substrate) =
+  match sub.family with
+  | Booth ->
+    Printf.sprintf "booth r%d%s w%d p%d" sub.radix (sign_tag sub.signedness)
+      bits sub.stages
+  | Dadda -> Printf.sprintf "dadda w%d" bits
+  | Wallace -> Printf.sprintf "wallace w%d p%d" bits sub.stages
 
 (* Rank-gate heuristic for the certified prune: attempt the interval proof
    only when the closed form puts the candidate well above the threshold
@@ -233,42 +332,83 @@ type acc = {
   front : entry list;
   a_bound_pruned : int;
   a_cert_pruned : int;
+  a_store : int;
   a_exact : int;
 }
 
+(* The store key of an exact per-slice solve outcome. *)
+let opt_key c = Warm.problem_key c.problem
+
+let ledger_key ~dkey ~f = Printf.sprintf "%s|f:%h" dkey f
+
 let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
-    ?(reference = Device.Technology.ll) axes =
+    ?(reference = Device.Technology.ll) ?store ?max_latency ?max_area axes =
   if axes.fmults = [] then invalid_arg "Explorer.explore: empty fmults";
   if axes.techs = [] then invalid_arg "Explorer.explore: empty techs";
   if axes.copies = [] then invalid_arg "Explorer.explore: empty copies";
+  if axes.families = [] then invalid_arg "Explorer.explore: empty families";
   List.iter
     (fun c ->
       if c < 1 then invalid_arg "Explorer.explore: copies must be >= 1")
     axes.copies;
+  let check_cap name = function
+    | None -> ()
+    | Some x ->
+      if not (Float.is_finite x) || x <= 0.0 then
+        invalid_arg (Printf.sprintf "Explorer.explore: %s must be finite > 0" name)
+  in
+  check_cap "max_latency" max_latency;
+  check_cap "max_area" max_area;
   let combos = substrate_combos axes in
   if combos = [] then
-    invalid_arg "Explorer.explore: no valid (radix, signedness, stages) combo";
+    invalid_arg
+      "Explorer.explore: no valid (family, radix, signedness, stages) combo";
   (* Build + characterize each substrate once, in parallel; the memo pair
-     makes repeat explorations (and the exhaustive arm of an A/B run)
-     skip straight to cached characterizations. *)
-  let substrates =
-    Parallel.Pool.map ?pool
-      (fun (radix, signedness, stages) ->
-        let spec = Memo.find build_memo (radix, signedness, stages, axes.bits) in
-        ((radix, signedness, stages), characterize ~seed ~cycles spec))
+     makes repeat explorations (and the exhaustive arm of an A/B run) skip
+     straight to cached characterizations. Warm-store lookups and writes
+     both run on the caller — a hit skips the build entirely. *)
+  let lookups =
+    List.map
+      (fun sub ->
+        let skey = chars_store_key ~bits:axes.bits ~seed ~cycles sub in
+        let stored =
+          match store with
+          | None -> None
+          | Some st ->
+            Option.bind (Store.find st ~ns:Warm.ns_chars skey) decode_chars
+        in
+        (sub, skey, stored))
       combos
   in
+  let substrates =
+    Parallel.Pool.map ?pool
+      (fun ((sub : substrate), skey, stored) ->
+        match stored with
+        | Some c -> (sub, skey, c, false)
+        | None ->
+          let spec =
+            Memo.find build_memo
+              (sub.family, sub.radix, sub.signedness, sub.stages, axes.bits)
+          in
+          (sub, skey, characterize ~seed ~cycles spec, true))
+      lookups
+  in
+  (match store with
+  | None -> ()
+  | Some st ->
+    List.iter
+      (fun (_, skey, c, fresh) ->
+        if fresh then Store.put st ~ns:Warm.ns_chars skey (encode_chars c))
+      substrates);
   (* Design axes (everything except f), enumerated in a fixed order. *)
   let designs =
     List.concat_map
-      (fun ((radix, signedness, stages), chars) ->
+      (fun (sub, _, chars, _) ->
         List.concat_map
           (fun copies ->
             let base =
               params_of_chars
-                ~label:
-                  (Printf.sprintf "booth r%d%s w%d p%d" radix
-                     (sign_tag signedness) axes.bits stages)
+                ~label:(substrate_label ~bits:axes.bits sub)
                 ~reference chars
             in
             let transformed =
@@ -282,11 +422,15 @@ let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
                   Tech_compare.adapt_params ~reference tech transformed
                 in
                 let design =
-                  design_label ~radix ~signedness ~stages ~copies
+                  design_label ~family:sub.family ~radix:sub.radix
+                    ~signedness:sub.signedness ~stages:sub.stages ~copies
                     ~bits:axes.bits ~tech:tech_name
                 in
-                (radix, signedness, stages, copies, tech, tech_name, design,
-                 params))
+                let dkey =
+                  Warm.design_key
+                    { Power_law.tech; params; f = 1.0; chi_prime = 0.0 }
+                in
+                (sub, copies, tech, tech_name, design, dkey, params))
               axes.techs)
           axes.copies)
       substrates
@@ -307,16 +451,33 @@ let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
       | Some prev when prev >= lo -> ()
       | _ -> Hashtbl.replace ledger design lo
   in
-  let totals = ref { enumerated = 0; bound_pruned = 0; cert_pruned = 0;
-                     exact_solves = 0; front_size = 0 }
+  let totals =
+    ref
+      { enumerated = 0; filtered = 0; bound_pruned = 0; cert_pruned = 0;
+        store_hits = 0; exact_solves = 0; front_size = 0 }
   in
   let slices =
     List.map
       (fun f ->
+        (* Seed the in-run ledger with bounds a previous run certified for
+           this exact (design, f): they were carried to f by the same
+           ascending-slice monotonicity argument before being persisted. *)
+        (match store with
+        | None -> ()
+        | Some st ->
+          List.iter
+            (fun (_, _, _, _, design, dkey, _) ->
+              match Store.find st ~ns:Warm.ns_ledger (ledger_key ~dkey ~f) with
+              | None -> ()
+              | Some v -> (
+                match Warm.decode_floats v with
+                | Some [ lo ] -> ledger_raise design lo
+                | _ -> ()))
+            designs);
         let cands =
           List.mapi
             (fun idx
-                 (radix, signedness, stages, copies, tech, tech_name, design,
+                 ((sub : substrate), copies, tech, tech_name, design, dkey,
                   params) ->
               let problem = Power_law.make tech params ~f in
               let rank =
@@ -328,12 +489,14 @@ let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
                 idx;
                 design;
                 label = design;
-                radix;
-                signedness;
-                stages;
+                cfamily = sub.family;
+                radix = sub.radix;
+                signedness = sub.signedness;
+                stages = sub.stages;
                 copies;
                 tech_name;
                 problem;
+                dkey;
                 rank;
                 latency = params.Arch_params.ld_eff;
                 carea = params.Arch_params.n_cells;
@@ -341,6 +504,24 @@ let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
             designs
         in
         Obs.Counter.add c_enumerated (List.length cands);
+        (* Constraint caps apply identically in both arms — a pure
+           candidate predicate, so fronts stay bitwise-comparable. *)
+        let cands, n_filtered =
+          match (max_latency, max_area) with
+          | None, None -> (cands, 0)
+          | _ ->
+            let keep c =
+              (match max_latency with
+               | Some cap -> c.latency <= cap
+               | None -> true)
+              && match max_area with
+                 | Some cap -> c.carea <= cap
+                 | None -> true
+            in
+            let kept, dropped = List.partition keep cands in
+            (kept, List.length dropped)
+        in
+        Obs.Counter.add c_filtered n_filtered;
         (* Incumbent-first order: cheap closed-form rank ascending, so the
            strongest thresholds form before the bulk of the space plans. *)
         let sorted =
@@ -353,10 +534,23 @@ let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
         in
         (* Plan and fold both run sequentially on the caller over the same
            items in the same order, so a queue of prune reasons pushed by
-           plan is popped by fold in lockstep. *)
+           plan is popped by fold in lockstep. Store replay rides the task
+           payload: a hit carries the stored outcome through the pool
+           untouched, so fold sees solve and replay results uniformly. *)
         let reasons : [ `Bound | `Cert ] Queue.t = Queue.create () in
+        let replay c =
+          match store with
+          | None -> None
+          | Some st -> (
+            match Store.find st ~ns:Warm.ns_opt (opt_key c) with
+            | None -> None
+            | Some v -> Warm.decode_opt v)
+        in
         let plan acc c =
-          if not prune then Some c.problem
+          if not prune then
+            match replay c with
+            | Some outcome -> Some (`Hit outcome)
+            | None -> Some (`Solve c.problem)
           else begin
             let threshold =
               threshold_against acc.front ~latency:c.latency ~area:c.carea
@@ -370,44 +564,49 @@ let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
               Queue.add `Bound reasons;
               None
             end
-            else if
-              Float.is_finite threshold
-              && excludes_gate ~rank:c.rank ~threshold
-              && Dse.prune_against (Absint.box c.problem)
-                   ~incumbent:threshold
-            then begin
-              Obs.Counter.incr c_cert_pruned;
-              ledger_raise c.design threshold;
-              Queue.add `Cert reasons;
-              None
-            end
-            else Some c.problem
+            else
+              match replay c with
+              | Some outcome -> Some (`Hit outcome)
+              | None ->
+                if
+                  Float.is_finite threshold
+                  && excludes_gate ~rank:c.rank ~threshold
+                  && Dse.prune_against (Absint.box c.problem)
+                       ~incumbent:threshold
+                then begin
+                  Obs.Counter.incr c_cert_pruned;
+                  (* The proof is strict (min Ptot > threshold), so the
+                     next float up is still a sound lower bound — and it
+                     makes the persisted ledger able to re-prune this
+                     candidate without re-running the proof. *)
+                  ledger_raise c.design (Float.succ threshold);
+                  Queue.add `Cert reasons;
+                  None
+                end
+                else Some (`Solve c.problem)
           end
         in
-        let task problem =
-          let point = Numerical_opt.optimum problem in
-          if Float.is_finite point.Power_law.total then
-            Some (point, Absint.certify (Absint.box problem))
-          else None
+        let task = function
+          | `Hit outcome -> `Hit outcome
+          | `Solve problem ->
+            let point = Numerical_opt.optimum problem in
+            if Float.is_finite point.Power_law.total then
+              let cert = Absint.certify (Absint.box problem) in
+              `Solved (Some (point, cert.Absint.ptot.Iv.lo))
+            else `Solved None
         in
-        let fold acc c result =
-          match result with
-          | None -> (
-            match Queue.pop reasons with
-            | `Bound -> { acc with a_bound_pruned = acc.a_bound_pruned + 1 }
-            | `Cert -> { acc with a_cert_pruned = acc.a_cert_pruned + 1 })
-          | Some None ->
-            (* Solver found no finite working point: infeasible at this
-               throughput — drop, but count the solve. *)
-            Obs.Counter.incr c_exact_solves;
-            { acc with a_exact = acc.a_exact + 1 }
-          | Some (Some (point, cert)) ->
-            Obs.Counter.incr c_exact_solves;
-            ledger_raise c.design cert.Absint.ptot.Iv.lo;
+        let consume_outcome acc c outcome =
+          match outcome with
+          | None ->
+            (* No finite working point: infeasible at this throughput. *)
+            acc
+          | Some (point, cert_lo) ->
+            ledger_raise c.design cert_lo;
             let e =
               {
                 label = c.label;
                 design = c.design;
+                family = c.cfamily;
                 radix = c.radix;
                 signedness = c.signedness;
                 stages = c.stages;
@@ -416,24 +615,54 @@ let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
                 f;
                 power = point.Power_law.total;
                 vdd = point.Power_law.vdd;
-                cert_lo = cert.Absint.ptot.Iv.lo;
+                cert_lo;
                 latency = c.latency;
                 area = c.carea;
               }
             in
-            {
-              acc with
-              a_exact = acc.a_exact + 1;
-              front = front_insert acc.front e;
-            }
+            { acc with front = front_insert acc.front e }
+        in
+        let fold acc c result =
+          match result with
+          | None -> (
+            match Queue.pop reasons with
+            | `Bound -> { acc with a_bound_pruned = acc.a_bound_pruned + 1 }
+            | `Cert -> { acc with a_cert_pruned = acc.a_cert_pruned + 1 })
+          | Some (`Hit outcome) ->
+            Obs.Counter.incr c_store_hits;
+            let acc = consume_outcome acc c outcome in
+            { acc with a_store = acc.a_store + 1 }
+          | Some (`Solved outcome) ->
+            Obs.Counter.incr c_exact_solves;
+            (match store with
+            | None -> ()
+            | Some st ->
+              Store.put st ~ns:Warm.ns_opt (opt_key c)
+                (Warm.encode_opt outcome));
+            let acc = consume_outcome acc c outcome in
+            { acc with a_exact = acc.a_exact + 1 }
         in
         let final =
           Parallel.Pool.map_rounds ?pool ~round ~plan ~task ~fold
             ~init:
               { front = []; a_bound_pruned = 0; a_cert_pruned = 0;
-                a_exact = 0 }
+                a_store = 0; a_exact = 0 }
             sorted
         in
+        (* Persist this slice's certified bounds for the designs it
+           actually walked — the next run's slice preload. *)
+        (match store with
+        | None -> ()
+        | Some st ->
+          List.iter
+            (fun c ->
+              match Hashtbl.find_opt ledger c.design with
+              | Some lo when Float.is_finite lo ->
+                Store.put st ~ns:Warm.ns_ledger
+                  (ledger_key ~dkey:c.dkey ~f)
+                  (Warm.encode_floats [ lo ])
+              | _ -> ())
+            sorted);
         let front =
           List.sort
             (fun a b ->
@@ -446,9 +675,11 @@ let explore ?pool ?(round = 16) ?(prune = true) ?(seed = 7) ?(cycles = 160)
         let t = !totals in
         totals :=
           {
-            enumerated = t.enumerated + List.length cands;
+            enumerated = t.enumerated + List.length cands + n_filtered;
+            filtered = t.filtered + n_filtered;
             bound_pruned = t.bound_pruned + final.a_bound_pruned;
             cert_pruned = t.cert_pruned + final.a_cert_pruned;
+            store_hits = t.store_hits + final.a_store;
             exact_solves = t.exact_solves + final.a_exact;
             front_size = t.front_size + List.length front;
           };

@@ -1,6 +1,6 @@
 (** Pruned Pareto design-space exploration — ROADMAP item 1.
 
-    Enumerates a (Booth generator × analytic parallelisation × technology
+    Enumerates a (generator family × analytic parallelisation × technology
     flavor × throughput) candidate space — thousands of points per run —
     and emits one power/latency/area Pareto front per frequency slice.
     The pruned path ranks candidates with the Eq. 13 closed form (a cheap
@@ -21,16 +21,30 @@
     non-empty front — the empty-threshold case prunes nothing (the
     [dse.front-nonempty] lint rule).
 
-    Counters: [dse.enumerated], [dse.bound_pruned], [dse.cert_pruned],
+    {b Warm store.} With [?store], substrate characterizations, exact
+    solve outcomes and the certified ledger persist across runs. Replay is
+    exact-key only (full hex-float problem serializations), and the solver
+    is deterministic, so a warm run's fronts are byte-identical to a cold
+    run's at any pool size — only [store_hits]/prune counters move.
+
+    Counters: [dse.enumerated], [dse.constraint_filtered],
+    [dse.bound_pruned], [dse.cert_pruned], [dse.store_hits],
     [dse.exact_solves], [pareto.front_size]; caches [memo.dse.build.*],
-    [memo.dse.chars.*]. *)
+    [memo.dse.chars.*]; store traffic under [store.*]. *)
+
+type family = Booth | Dadda | Wallace
+
+val family_name : family -> string
+val family_of_string : string -> family option
 
 type axes = {
   bits : int;
-  radices : int list;
-  signednesses : Multipliers.Booth.signedness list;
+  families : family list;  (** Generator families to enumerate. *)
+  radices : int list;  (** Booth recoding radices (Booth only). *)
+  signednesses : Multipliers.Booth.signedness list;  (** Booth only. *)
   stages : int list;  (** Pipeline depths; combos beyond
-      {!Multipliers.Booth.max_stages} for a radix are skipped. *)
+      {!Multipliers.Booth.max_stages} for a radix are skipped, Dadda is
+      combinational-only (kept iff 1 is listed). *)
   copies : int list;  (** Analytic {!Transform.parallelize} axis. *)
   fmults : float list;  (** Multiples of {!Paper_data.frequency};
       deduplicated and processed in ascending order. *)
@@ -38,20 +52,30 @@ type axes = {
 }
 
 val default_axes : axes
-(** 8-bit, radix {2,4,8}, unsigned, 1–3 stages, 1/2/4 copies, f ×
-    {0.5,1,2,4}, all three STM flavors — 324 candidates. *)
+(** 8-bit, all three families, radix {2,4,8}, unsigned, 1–3 stages,
+    1/2/4 copies, f × {0.5,1,2,4}, all three STM flavors —
+    468 candidates. *)
 
-val substrate_combos : axes -> (int * Multipliers.Booth.signedness * int) list
-(** The valid (radix, signedness, stages) generator builds the axes
-    induce — combos {!Multipliers.Booth.validate} rejects are skipped. *)
+type substrate = {
+  family : family;
+  radix : int;  (** Booth recoding radix; 0 for Dadda/Wallace. *)
+  signedness : Multipliers.Booth.signedness;
+  stages : int;
+}
+
+val substrate_combos : axes -> substrate list
+(** The valid generator builds the axes induce — Booth combos
+    {!Multipliers.Booth.validate} rejects are skipped, Dadda appears iff
+    stage 1 is listed, Wallace pipelines any listed depth. *)
 
 val space_size : axes -> int
-(** Candidates the axes enumerate (invalid radix/stage combos excluded). *)
+(** Candidates the axes enumerate (invalid combos excluded). *)
 
 type entry = {
   label : string;
   design : string;  (** Tech-qualified design identity — the ledger key. *)
-  radix : int;
+  family : family;
+  radix : int;  (** 0 for non-Booth families. *)
   signedness : Multipliers.Booth.signedness;
   stages : int;
   copies : int;
@@ -70,8 +94,10 @@ type slice = { f : float; front : entry list }
 
 type totals = {
   enumerated : int;
+  filtered : int;  (** Dropped by the latency/area constraint caps. *)
   bound_pruned : int;  (** Discarded by the O(1) ledger lookup. *)
   cert_pruned : int;  (** Discarded by an {!Absint.excludes} proof. *)
+  store_hits : int;  (** Exact outcomes replayed from the warm store. *)
   exact_solves : int;
   front_size : int;  (** Summed over slices. *)
 }
@@ -85,6 +111,9 @@ val explore :
   ?seed:int ->
   ?cycles:int ->
   ?reference:Device.Technology.t ->
+  ?store:Store.t ->
+  ?max_latency:float ->
+  ?max_area:float ->
   axes ->
   result
 (** Run the exploration. [prune] (default true) selects the pruned path;
@@ -94,6 +123,9 @@ val explore :
     (any value yields the same fronts). [seed]/[cycles] (defaults 7/160)
     parameterize the activity characterization; [reference] (default LL)
     is the flavor substrates are characterised on before
-    {!Tech_compare.adapt_params}.
-    @raise Invalid_argument on empty axes, non-positive frequencies or
-    copies, or when no (radix, signedness, stages) combo validates. *)
+    {!Tech_compare.adapt_params}. [store] makes the run warm (see the
+    module header); [max_latency]/[max_area] cap the candidates before
+    either arm sees them.
+    @raise Invalid_argument on empty axes, non-positive frequencies,
+    copies, or constraint caps (NaN included), or when no substrate combo
+    validates. *)

@@ -91,6 +91,82 @@ let optimum_warm ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
   Obs.Span.with_ ~name:"opt.solve" (fun () ->
       solve_seeded ~vdd_lo ~vdd_hi ~seed:from.vdd ~scale:0.02 problem)
 
+let c_store_hits = Obs.Counter.make "opt.store_hits"
+let c_store_misses = Obs.Counter.make "opt.store_misses"
+let c_hint_hits = Obs.Counter.make "opt.hint_hits"
+
+let optimum_hinted ?vdd_lo ?vdd_hi ~hint problem =
+  match hint with
+  | Some from -> optimum_warm ?vdd_lo ?vdd_hi ~from problem
+  | None -> optimum ?vdd_lo ?vdd_hi problem
+
+(* Keys for the solver namespace carry the search bracket too: a solve is
+   only replayable when the bracket — which shapes the result — matches. *)
+let solve_key ~vdd_lo ~vdd_hi problem =
+  Printf.sprintf "%s|b:%h %h" (Warm.problem_key problem) vdd_lo vdd_hi
+
+(* The frequency segment of a stored key: "...|f:<hex>|x:...". *)
+let key_frequency key =
+  match String.index_opt key '|' with
+  | None -> None
+  | Some _ -> (
+      let marker = "|f:" in
+      let rec find i =
+        if i + String.length marker > String.length key then None
+        else if String.sub key i (String.length marker) = marker then
+          Some (i + String.length marker)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some start ->
+          let stop =
+            match String.index_from_opt key start '|' with
+            | Some j -> j
+            | None -> String.length key
+          in
+          float_of_string_opt (String.sub key start (stop - start)))
+
+let warm_hint ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi) ~store
+    (problem : Power_law.problem) =
+  let exact = solve_key ~vdd_lo ~vdd_hi problem in
+  match Option.bind (Store.find store ~ns:Warm.ns_solve exact) Warm.decode_point
+  with
+  | Some p ->
+      Obs.Counter.incr c_hint_hits;
+      Some p
+  | None ->
+      (* Nearest stored neighbour of the same design at another f. *)
+      let prefix = Warm.design_key problem ^ "|f:" in
+      let best = ref None in
+      Store.iter store ~ns:Warm.ns_solve (fun k v ->
+          if String.starts_with ~prefix k then
+            match (key_frequency k, Warm.decode_point v) with
+            | Some f, Some p -> (
+                let d = Float.abs (f -. problem.f) in
+                match !best with
+                | Some (d0, _) when d0 <= d -> ()
+                | _ -> best := Some (d, p))
+            | _ -> ());
+      (match !best with
+      | Some _ -> Obs.Counter.incr c_hint_hits
+      | None -> ());
+      Option.map snd !best
+
+let optimum_stored ?(vdd_lo = default_vdd_lo) ?(vdd_hi = default_vdd_hi)
+    ~store problem =
+  let key = solve_key ~vdd_lo ~vdd_hi problem in
+  match Option.bind (Store.find store ~ns:Warm.ns_solve key) Warm.decode_point
+  with
+  | Some p ->
+      Obs.Counter.incr c_store_hits;
+      p
+  | None ->
+      Obs.Counter.incr c_store_misses;
+      let p = optimum ~vdd_lo ~vdd_hi problem in
+      Store.put store ~ns:Warm.ns_solve key (Warm.encode_point p);
+      p
+
 (* Continuation over a family of related problems: fixed-size contiguous
    chunks are mapped through the domain pool; within a chunk each solve is
    warm-started from its predecessor's optimum, the chunk head from the

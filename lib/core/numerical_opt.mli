@@ -51,6 +51,30 @@ val optimum_warm :
     even when the neighbour is further away than that — only the iteration
     count grows. *)
 
+val optimum_hinted :
+  ?vdd_lo:float -> ?vdd_hi:float -> hint:point option ->
+  Power_law.problem -> point
+(** Hint path: [Some from] seeds via {!optimum_warm}, [None] solves cold.
+    Hinted results agree with the grid oracle to 1e-6 relative
+    (property-tested, like the Eq. 13 seeding of PR 5) but are {e not}
+    bitwise-equal to a cold solve — bitwise-critical paths (explorer
+    fronts, serve replies) must use {!optimum_stored} instead. *)
+
+val warm_hint :
+  ?vdd_lo:float -> ?vdd_hi:float -> store:Store.t ->
+  Power_law.problem -> point option
+(** A stored optimum usable as an {!optimum_warm} seed: the exact problem
+    key when present, else the stored solve of the same design at the
+    nearest frequency. [None] when the store knows nothing related. *)
+
+val optimum_stored :
+  ?vdd_lo:float -> ?vdd_hi:float -> store:Store.t ->
+  Power_law.problem -> point
+(** Bitwise-safe store path: an exact-key hit replays the stored bits
+    (the solver is deterministic, so they equal what a cold solve would
+    produce); a miss solves via {!optimum} and persists the result.
+    Counted by [opt.store_hits] / [opt.store_misses]. *)
+
 val continuation_chunk : int
 (** The fixed chunk length (16) {!optima_continued} cuts item lists into.
     Exposed so the serve layer can re-create the exact same chunking when

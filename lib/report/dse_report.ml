@@ -38,16 +38,18 @@ let front_table (s : E.slice) =
 let funnel (r : E.result) =
   let t = r.totals in
   Printf.sprintf
-    "%s: %d candidates -> %d ledger-pruned, %d cert-pruned, %d exact solves \
-     -> %d front entries"
+    "%s: %d candidates -> %d constraint-filtered, %d ledger-pruned, %d \
+     cert-pruned, %d store hits, %d exact solves -> %d front entries"
     (if r.pruned then "pruned" else "exhaustive")
-    t.enumerated t.bound_pruned t.cert_pruned t.exact_solves t.front_size
+    t.enumerated t.filtered t.bound_pruned t.cert_pruned t.store_hits
+    t.exact_solves t.front_size
 
 let counter_block () =
   let lines =
     List.map
       (fun (name, v) -> Printf.sprintf "  %-20s %d" name v)
-      (Obs.counters_prefixed "dse." @ Obs.counters_prefixed "pareto.")
+      (Obs.counters_prefixed "dse." @ Obs.counters_prefixed "pareto."
+      @ Obs.counters_prefixed "store.")
   in
   if lines = [] then "" else "counters:\n" ^ String.concat "\n" lines
 
@@ -65,9 +67,10 @@ let render (r : E.result) =
 
 let render_axes (axes : E.axes) =
   Printf.sprintf
-    "space: %d candidates — %d-bit, radix {%s}, %s, stages {%s}, copies \
-     {%s}, f x {%s}, flavors {%s}"
+    "space: %d candidates — %d-bit, families {%s}, radix {%s}, %s, stages \
+     {%s}, copies {%s}, f x {%s}, flavors {%s}"
     (E.space_size axes) axes.bits
+    (String.concat "," (List.map E.family_name axes.families))
     (String.concat "," (List.map string_of_int axes.radices))
     (String.concat "/" (List.map sign_tag axes.signednesses))
     (String.concat "," (List.map string_of_int axes.stages))

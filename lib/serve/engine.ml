@@ -40,7 +40,8 @@ let lint ?pool ?only () =
 
 let certify ?pool ?flavors () = Report.Certify_report.rows ?pool ?flavors ()
 
-let explore ?pool ?prune axes = Power_core.Explorer.explore ?pool ?prune axes
+let explore ?pool ?prune ?store ?max_latency ?max_area axes =
+  Power_core.Explorer.explore ?pool ?prune ?store ?max_latency ?max_area axes
 
 (* Wire encodings. *)
 
@@ -137,6 +138,7 @@ let explore_json (r : Power_core.Explorer.result) =
     Json.Obj
       [
         ("design", Json.Str e.design);
+        ("family", Json.Str (Power_core.Explorer.family_name e.family));
         ("radix", Json.Num (float_of_int e.radix));
         ( "signed",
           Json.Bool (e.signedness = Multipliers.Booth.Signed) );
@@ -166,29 +168,63 @@ let explore_json (r : Power_core.Explorer.result) =
         Json.Obj
           [
             ("enumerated", Json.Num (float_of_int t.enumerated));
+            ("filtered", Json.Num (float_of_int t.filtered));
             ("bound_pruned", Json.Num (float_of_int t.bound_pruned));
             ("cert_pruned", Json.Num (float_of_int t.cert_pruned));
+            ("store_hits", Json.Num (float_of_int t.store_hits));
             ("exact_solves", Json.Num (float_of_int t.exact_solves));
             ("front_size", Json.Num (float_of_int t.front_size));
           ] );
       ("slices", Json.Arr (List.map slice_json r.slices));
     ]
 
-let run_call ?pool (call : Protocol.call) =
+let store_stats_json store =
+  Json.Obj
+    (( "method", Json.Str "store_stats" )
+     ::
+     (match store with
+     | None -> [ ("enabled", Json.Bool false) ]
+     | Some st ->
+       let s = Store.stats st in
+       [
+         ("enabled", Json.Bool true);
+         ("path", Json.Str s.path);
+         ( "mode",
+           Json.Str
+             (match s.mode with
+             | Store.Read_write -> "read-write"
+             | Store.Read_only -> "read-only") );
+         ("fingerprint", Json.Str (Store.fingerprint st));
+         ("entries", Json.Num (float_of_int s.entries));
+         ("hits", Json.Num (float_of_int s.hits));
+         ("misses", Json.Num (float_of_int s.misses));
+         ("puts", Json.Num (float_of_int s.puts));
+         ("invalidated", Json.Bool s.invalidated);
+         ("recovered", Json.Num (float_of_int s.recovered));
+         ("log_bytes", Json.Num (float_of_int s.log_bytes));
+         ("index_bytes", Json.Num (float_of_int s.index_bytes));
+       ]))
+
+let run_call ?pool ?store (call : Protocol.call) =
   match call with
   | Protocol.Optimum { tech; arch } ->
-    optimum_json ~tech ~arch (optimum ~tech arch)
+    optimum_json ~tech ~arch
+      (match store with
+      | None -> optimum ~tech arch
+      | Some st -> N.optimum_stored ~store:st (problem_of_label tech arch))
   | Protocol.Sweep { tech; arch; samples; vdd_lo; vdd_hi } ->
     sweep_json ~tech ~arch (sweep ?pool ~tech ~samples ~vdd_lo ~vdd_hi arch)
   | Protocol.Rank { tech; archs } ->
     rank_json ~tech (rank ?pool ~tech ~archs ())
   | Protocol.Lint { only } -> lint_json (lint ?pool ?only ())
   | Protocol.Certify { flavors } -> certify_json (certify ?pool ~flavors ())
-  | Protocol.Explore { bits; radices; stages; copies; signed; fmults; techs; prune }
-    ->
+  | Protocol.Explore
+      { bits; families; radices; stages; copies; signed; fmults; techs;
+        prune; max_latency; max_area } ->
     let axes =
       {
         Power_core.Explorer.bits;
+        families;
         radices;
         signednesses =
           [ (if signed then Multipliers.Booth.Signed
@@ -199,4 +235,6 @@ let run_call ?pool (call : Protocol.call) =
         techs;
       }
     in
-    explore_json (explore ?pool ~prune axes)
+    explore_json
+      (explore ?pool ~prune ?store ?max_latency ?max_area axes)
+  | Protocol.Store_stats -> store_stats_json store

@@ -64,9 +64,13 @@ val certify :
 val explore :
   ?pool:Parallel.Pool.t ->
   ?prune:bool ->
+  ?store:Store.t ->
+  ?max_latency:float ->
+  ?max_area:float ->
   Power_core.Explorer.axes ->
   Power_core.Explorer.result
-(** The [optpower explore] body — {!Power_core.Explorer.explore}. *)
+(** The [optpower explore] body — {!Power_core.Explorer.explore}, with
+    the warm store and constraint caps threaded through. *)
 
 (** {1 Wire encodings}
 
@@ -96,7 +100,11 @@ val certify_json : Report.Certify_report.row list -> Json.t
 val explore_json : Power_core.Explorer.result -> Json.t
 (** Pareto fronts per slice plus the prune funnel totals. *)
 
-val run_call : ?pool:Parallel.Pool.t -> Protocol.call -> Json.t
+val store_stats_json : Store.t option -> Json.t
+(** Warm-store statistics payload; [None] encodes [{"enabled": false}]. *)
+
+val run_call : ?pool:Parallel.Pool.t -> ?store:Store.t -> Protocol.call -> Json.t
 (** One-shot execution of a validated call: dispatch to the function above
     and encode the reply payload. This is the reference the batched
-    session must match bitwise. *)
+    session must match bitwise — with the same [store] state, a warm
+    reply replays the exact bits a cold solve would produce. *)

@@ -28,6 +28,7 @@ type call =
   | Certify of { flavors : Device.Technology.t list }
   | Explore of {
       bits : int;
+      families : Power_core.Explorer.family list;
       radices : int list;
       stages : int list;
       copies : int list;
@@ -35,7 +36,10 @@ type call =
       fmults : float list;
       techs : Device.Technology.t list;
       prune : bool;
+      max_latency : float option;
+      max_area : float option;
     }
+  | Store_stats
 
 type request = { id : Json.t; call : call }
 
@@ -50,6 +54,7 @@ let method_name = function
   | Lint _ -> "lint"
   | Certify _ -> "certify"
   | Explore _ -> "explore"
+  | Store_stats -> "store_stats"
 
 (* Validation helpers: every failure raises [Invalid Params] with a
    message; [parse_frame] catches and turns it into the error triple. *)
@@ -223,9 +228,39 @@ let parse_call meth params =
       | Some _ -> invalid "\"tech\" must be a string"
     in
     let prune = bool_param "prune" ~default:true params in
+    let family_of_name s =
+      match Power_core.Explorer.family_of_string s with
+      | Some f -> f
+      | None ->
+        invalid "unknown family %S (expected booth, dadda or wallace)" s
+    in
+    let families =
+      match Json.member "families" params with
+      | None ->
+        [ Power_core.Explorer.Booth; Power_core.Explorer.Dadda;
+          Power_core.Explorer.Wallace ]
+      | Some (Json.Str s) -> [ family_of_name s ]
+      | Some (Json.Arr _ as j) ->
+        let names = string_list "families" j in
+        if names = [] then invalid "\"families\" must not be empty";
+        List.map family_of_name names
+      | Some _ -> invalid "\"families\" must be a string or array of strings"
+    in
+    (* Constraint caps: absent = unconstrained; present must be a finite
+       strictly positive number (NaN and negatives are invalid-params). *)
+    let cap_param name =
+      match Json.member name params with
+      | None -> None
+      | Some j ->
+        let v = finite_number name j in
+        if v > 0.0 then Some v else invalid "%S must be > 0" name
+    in
+    let max_latency = cap_param "max_latency" in
+    let max_area = cap_param "max_area" in
     let axes =
       {
         Power_core.Explorer.bits;
+        families;
         radices;
         signednesses =
           [ (if signed then Multipliers.Booth.Signed else Multipliers.Booth.Unsigned) ];
@@ -237,11 +272,14 @@ let parse_call meth params =
     in
     let size = Power_core.Explorer.space_size axes in
     if size = 0 then
-      invalid "axes enumerate no candidates (no radix/stages combo validates)";
+      invalid "axes enumerate no candidates (no family/radix/stages combo validates)";
     if size > max_explore_candidates then
       invalid "axes enumerate %d candidates (cap %d); narrow an axis" size
         max_explore_candidates;
-    Explore { bits; radices; stages; copies; signed; fmults; techs; prune }
+    Explore
+      { bits; families; radices; stages; copies; signed; fmults; techs;
+        prune; max_latency; max_area }
+  | "store_stats" -> Store_stats
   | m -> raise (Invalid (Unknown_method, Printf.sprintf "unknown method %S" m))
 
 let parse_frame line =

@@ -48,6 +48,9 @@ type call =
       (** Defaults to all three flavors. *)
   | Explore of {
       bits : int;  (** Even, in [4, 16]; default 8. *)
+      families : Power_core.Explorer.family list;
+          (** From ["families"]: a name or array of names among
+              ["booth"], ["dadda"], ["wallace"]; default all three. *)
       radices : int list;  (** Subset of {2, 4, 8}; default all three. *)
       stages : int list;  (** Default [1; 2; 3]. *)
       copies : int list;  (** Default [1; 2; 4]. *)
@@ -56,9 +59,16 @@ type call =
       techs : Device.Technology.t list;
           (** From ["tech"]: a single flavor or ["all"] (the default). *)
       prune : bool;  (** Default true; [false] forces exhaustive solves. *)
+      max_latency : float option;
+          (** Optional effective-logical-depth cap; must be finite > 0
+              (NaN and negatives are [invalid-params]). *)
+      max_area : float option;  (** Optional cell-count cap; same rules. *)
     }
       (** Design-space exploration ({!Power_core.Explorer.explore});
           the axes may enumerate at most {!max_explore_candidates}. *)
+  | Store_stats
+      (** Warm-store statistics of the serving process (entries, hit and
+          put counts, mode, fingerprint); no parameters. *)
 
 type request = { id : Json.t; call : call }
 (** [id] is echoed verbatim in the reply ([Null] when absent). *)

@@ -7,10 +7,12 @@ type config = {
   queue_capacity : int;
   max_batch : int;
   cache : bool;
+  store : Store.t option;
 }
 
 let default_config =
-  { jobs = None; queue_capacity = 64; max_batch = 32; cache = true }
+  { jobs = None; queue_capacity = 64; max_batch = 32; cache = true;
+    store = None }
 
 (* Deterministic per-workload counters keep the default category; batch
    composition and queue residency depend on wall-clock timing, so those
@@ -55,11 +57,21 @@ let take cell =
   | Some (Error e) -> raise e
   | None -> failwith "Serve.Session: work unit never ran"
 
-let plan pool (call : Protocol.call) =
+let plan ?store pool (call : Protocol.call) =
   match call with
   | Protocol.Optimum { tech; arch } ->
     let cell = ref None in
-    ( [ (fun () -> cell := Some (guard (fun () -> Engine.optimum ~tech arch))) ],
+    ( [
+        (fun () ->
+          cell :=
+            Some
+              (guard (fun () ->
+                   match store with
+                   | None -> Engine.optimum ~tech arch
+                   | Some st ->
+                     N.optimum_stored ~store:st
+                       (Engine.problem_of_label tech arch))));
+      ],
       fun () -> Engine.optimum_json ~tech ~arch (take cell) )
   | Protocol.Rank { tech; archs } ->
     (* The exact chunk layout of a one-shot [optima_continued]: cold chunk
@@ -111,10 +123,12 @@ let plan pool (call : Protocol.call) =
       ],
       fun () -> Engine.certify_json (take cell) )
   | Protocol.Explore
-      { bits; radices; stages; copies; signed; fmults; techs; prune } ->
+      { bits; families; radices; stages; copies; signed; fmults; techs;
+        prune; max_latency; max_area } ->
     let axes =
       {
         Power_core.Explorer.bits;
+        families;
         radices;
         signednesses =
           [ (if signed then Multipliers.Booth.Signed
@@ -128,9 +142,17 @@ let plan pool (call : Protocol.call) =
     let cell = ref None in
     ( [
         (fun () ->
-          cell := Some (guard (fun () -> Engine.explore ~pool ~prune axes)));
+          cell :=
+            Some
+              (guard (fun () ->
+                   Engine.explore ~pool ~prune ?store ?max_latency ?max_area
+                     axes)));
       ],
       fun () -> Engine.explore_json (take cell) )
+  | Protocol.Store_stats ->
+    (* Pure introspection: no pool work, assembled at finish time so the
+       reply reflects the store state after the co-batched work ran. *)
+    ([], fun () -> Engine.store_stats_json store)
 
 let finalize job outcome =
   Mutex.lock job.jm;
@@ -151,7 +173,11 @@ let execute_batch t batch =
       batch
   end;
   Obs.Span.with_ ~name:"serve.batch" (fun () ->
-      let plans = List.map (fun job -> (job, plan t.spool job.call)) batch in
+      let plans =
+        List.map
+          (fun job -> (job, plan ?store:t.config.store t.spool job.call))
+          batch
+      in
       let units = List.concat_map (fun (_, (units, _)) -> units) plans in
       (* All units of all co-batched requests go through one pool dispatch;
          each unit traps its own exception into its cell, so [map] never
@@ -243,8 +269,13 @@ let create ?(autostart = true) ?(config = default_config) () =
   t
 
 let submit t call =
-  if t.config.cache then Parallel.Memo.find (Option.get t.memo) call
-  else enqueue_and_wait t call
+  match call with
+  | Protocol.Store_stats ->
+    (* Never memoised: the whole point is the live counters. *)
+    enqueue_and_wait t call
+  | _ ->
+    if t.config.cache then Parallel.Memo.find (Option.get t.memo) call
+    else enqueue_and_wait t call
 
 let pending t =
   Mutex.lock t.mutex;
@@ -276,5 +307,8 @@ let shutdown t =
     Queue.clear t.queue;
     Mutex.unlock t.mutex;
     List.iter (fun j -> finalize j (Error Shutting_down)) !orphans;
-    Parallel.Pool.shutdown t.spool
+    Parallel.Pool.shutdown t.spool;
+    (* The session owns the store handle it was configured with: flush
+       and release the lock so the next process starts warm. *)
+    Option.iter Store.close t.config.store
   end

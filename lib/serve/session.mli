@@ -37,6 +37,12 @@ type config = {
   queue_capacity : int;  (** Bounded queue length (default 64). *)
   max_batch : int;  (** Max requests coalesced per cycle (default 32). *)
   cache : bool;  (** Memoise replies by call (default [true]). *)
+  store : Store.t option;
+      (** Warm store opened once per process and owned by the session
+          ({!shutdown} closes it): [explore] and [optimum] answer warm
+          after a restart, and [store_stats] reports it (that call
+          bypasses the result cache — its counters are live). Default
+          [None] (cold). *)
 }
 
 val default_config : config

@@ -145,6 +145,7 @@ let test_estimated_cells () =
 let mid_axes =
   {
     E.bits = 6;
+    families = [ E.Booth ];
     radices = [ 2; 4; 8 ];
     signednesses = [ B.Unsigned ];
     stages = [ 1; 2 ];
@@ -187,7 +188,10 @@ let test_prune_funnel () =
   Alcotest.(check int) "enumerated = space size" (E.space_size mid_axes)
     t.enumerated;
   Alcotest.(check int) "funnel partitions the space" t.enumerated
-    (t.bound_pruned + t.cert_pruned + t.exact_solves);
+    (t.filtered + t.bound_pruned + t.cert_pruned + t.store_hits
+    + t.exact_solves);
+  Alcotest.(check int) "no store, no store hits" 0 t.store_hits;
+  Alcotest.(check int) "no caps, nothing filtered" 0 t.filtered;
   Alcotest.(check bool) "front nonempty" true (t.front_size > 0);
   Alcotest.(check bool)
     (Printf.sprintf "skips >= 50%% of exact solves (%d of %d solved)"
@@ -226,6 +230,102 @@ let test_chars_memo_hits () =
     (Printf.sprintf "substrate characterization memoized (%d hits)" hits)
     true (hits > 0)
 
+(* All three substrate families through the full pipeline on a small
+   grid: Booth (radix-gated), Dadda (combinational only) and Wallace
+   (pipelined beyond one stage). *)
+let family_axes =
+  {
+    E.bits = 4;
+    families = [ E.Booth; E.Dadda; E.Wallace ];
+    radices = [ 4 ];
+    signednesses = [ B.Unsigned ];
+    stages = [ 1; 2 ];
+    copies = [ 1 ];
+    fmults = [ 1.0 ];
+    techs = [ Device.Technology.ll ];
+  }
+
+let test_families_explore () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "family %s round-trips" (E.family_name f))
+        true
+        (E.family_of_string (E.family_name f) = Some f))
+    [ E.Booth; E.Dadda; E.Wallace ];
+  Alcotest.(check bool) "unknown family rejected" true
+    (E.family_of_string "csa" = None);
+  (* Booth p1/p2, Dadda (stage 1 only), Wallace basic + pipelined. *)
+  Alcotest.(check int) "substrate combos" 5
+    (List.length (E.substrate_combos family_axes));
+  let r = E.explore ~prune:false family_axes in
+  Alcotest.(check int) "space size" (E.space_size family_axes)
+    r.totals.enumerated;
+  (* Each family alone survives the full pipeline, and the combined front
+     is at least as good as any single-family front (at 4 bits one family
+     may Pareto-dominate the whole combined front, so membership of every
+     family in it is not guaranteed). *)
+  let best (res : E.result) =
+    List.fold_left
+      (fun m (s : E.slice) ->
+        List.fold_left (fun m (e : E.entry) -> Float.min m e.power) m s.front)
+      infinity res.slices
+  in
+  List.iter
+    (fun fam ->
+      let solo =
+        E.explore ~prune:false { family_axes with E.families = [ fam ] }
+      in
+      Alcotest.(check bool)
+        (E.family_name fam ^ " alone yields a front")
+        true
+        (solo.totals.front_size > 0);
+      Alcotest.(check bool)
+        (E.family_name fam ^ " never beats the combined front")
+        true
+        (best r <= best solo))
+    [ E.Booth; E.Dadda; E.Wallace ];
+  Alcotest.(check string) "pruned bitwise-identical across families"
+    (fingerprint r)
+    (fingerprint (E.explore ~prune:true family_axes))
+
+let test_constraint_caps () =
+  let entries (r : E.result) =
+    List.concat_map (fun (s : E.slice) -> s.front) r.slices
+  in
+  let base = E.explore ~prune:true family_axes in
+  let max_area =
+    List.fold_left
+      (fun m (e : E.entry) -> Float.max m e.area)
+      0.0 (entries base)
+  in
+  let cap = max_area -. 0.5 in
+  let capped = E.explore ~prune:true ~max_area:cap family_axes in
+  Alcotest.(check bool) "cap filters candidates" true
+    (capped.totals.filtered > 0);
+  List.iter
+    (fun (e : E.entry) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s within the area cap" e.label)
+        true (e.area <= cap))
+    (entries capped);
+  Alcotest.(check int) "capped funnel still partitions the space"
+    capped.totals.enumerated
+    (capped.totals.filtered + capped.totals.bound_pruned
+    + capped.totals.cert_pruned + capped.totals.store_hits
+    + capped.totals.exact_solves);
+  let raises axes_fn =
+    match axes_fn () with
+    | (_ : E.result) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative latency cap rejected" true
+    (raises (fun () -> E.explore ~max_latency:(-1.0) family_axes));
+  Alcotest.(check bool) "NaN area cap rejected" true
+    (raises (fun () -> E.explore ~max_area:Float.nan family_axes));
+  Alcotest.(check bool) "zero area cap rejected" true
+    (raises (fun () -> E.explore ~max_area:0.0 family_axes))
+
 (* Seeded property: on random sub-axes the pruned and exhaustive paths
    agree bitwise. bits = 4 keeps the substrate builds trivial. *)
 let prop_pruned_equals_exhaustive =
@@ -235,15 +335,23 @@ let prop_pruned_equals_exhaustive =
     else [ List.nth all (QCheck.Gen.int_bound (List.length all - 1) st) ]
   in
   let gen_axes st =
-    {
-      E.bits = 4;
-      radices = subset ~min_len:1 [ 2; 4; 8 ] st;
-      signednesses = [ B.Unsigned ];
-      stages = subset ~min_len:1 [ 1; 2 ] st;
-      copies = subset ~min_len:1 [ 1; 2; 3 ] st;
-      fmults = subset ~min_len:1 [ 0.5; 1.0; 3.0 ] st;
-      techs = Device.Technology.all;
-    }
+    let axes =
+      {
+        E.bits = 4;
+        families = subset ~min_len:1 [ E.Booth; E.Dadda; E.Wallace ] st;
+        radices = subset ~min_len:1 [ 2; 4; 8 ] st;
+        signednesses = [ B.Unsigned ];
+        stages = subset ~min_len:1 [ 1; 2 ] st;
+        copies = subset ~min_len:1 [ 1; 2; 3 ] st;
+        fmults = subset ~min_len:1 [ 0.5; 1.0; 3.0 ] st;
+        techs = Device.Technology.all;
+      }
+    in
+    (* A combinational-only family subset with stages = [2] induces no
+       valid substrate; stage 1 makes any family subset explorable. *)
+    if E.substrate_combos axes = [] then
+      { axes with E.stages = 1 :: axes.stages }
+    else axes
   in
   QCheck.Test.make ~name:"pruned = exhaustive on random sub-axes" ~count:6
     (QCheck.make gen_axes)
@@ -286,6 +394,7 @@ let test_front_nonempty_rule () =
   let axes =
     {
       E.bits = 4;
+      families = [ E.Booth ];
       radices = [ 4 ];
       signednesses = [ B.Unsigned ];
       stages = [ 1 ];
@@ -318,6 +427,10 @@ let () =
             test_pruned_matches_exhaustive_any_pool;
           Alcotest.test_case "prune funnel accounting" `Quick test_prune_funnel;
           Alcotest.test_case "axes validation" `Quick test_explore_rejects;
+          Alcotest.test_case "all three families explore" `Quick
+            test_families_explore;
+          Alcotest.test_case "latency/area constraint caps" `Quick
+            test_constraint_caps;
           Alcotest.test_case "substrate memo hits" `Quick test_chars_memo_hits;
           QCheck_alcotest.to_alcotest prop_pruned_equals_exhaustive;
         ] );

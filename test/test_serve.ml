@@ -176,6 +176,7 @@ let test_batch_coalescing () =
       queue_capacity = 16;
       max_batch = 8;
       cache = false;
+      store = None;
     }
   in
   with_session ~autostart:false config @@ fun session ->
@@ -216,7 +217,8 @@ let test_backpressure_and_drain () =
   Obs.reset ();
   Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
   let config =
-    { Session.jobs = Some 2; queue_capacity = 2; max_batch = 2; cache = false }
+    { Session.jobs = Some 2; queue_capacity = 2; max_batch = 2; cache = false;
+      store = None }
   in
   let session = Session.create ~autostart:false ~config () in
   let n = 6 in
@@ -295,6 +297,117 @@ let test_session_cache_across_requests () =
     (Obs.counter_value "opt.solves");
   let stats = Session.cache_stats session in
   Alcotest.(check int) "one cached entry" 1 stats.entries
+
+(* Explore parameter plumbing: families and constraint caps parse into
+   the validated call; bad values are invalid-params before any work. *)
+let test_explore_params () =
+  (match call_of "explore" [ ("families", Json.Str "dadda") ] with
+  | Protocol.Explore e ->
+    Alcotest.(check bool) "single family string" true
+      (e.families = [ Power_core.Explorer.Dadda ]);
+    Alcotest.(check bool) "caps default to none" true
+      (e.max_latency = None && e.max_area = None)
+  | _ -> Alcotest.fail "not an explore call");
+  (match
+     call_of "explore"
+       [
+         ("families", Json.Arr [ Json.Str "booth"; Json.Str "wallace" ]);
+         ("max_latency", Json.Num 12.5);
+         ("max_area", Json.Num 4000.0);
+       ]
+   with
+  | Protocol.Explore e ->
+    Alcotest.(check bool) "family list" true
+      (e.families = [ Power_core.Explorer.Booth; Power_core.Explorer.Wallace ]);
+    Alcotest.(check bool) "caps carried" true
+      (e.max_latency = Some 12.5 && e.max_area = Some 4000.0)
+  | _ -> Alcotest.fail "not an explore call");
+  let invalid params =
+    let line = Json.to_string (frame_of ~id:0 "explore" params) in
+    match Protocol.parse_frame line with
+    | Error (_, Protocol.Params, _) -> true
+    | Ok _ | Error _ -> false
+  in
+  Alcotest.(check bool) "unknown family" true
+    (invalid [ ("families", Json.Str "csa") ]);
+  Alcotest.(check bool) "empty family list" true
+    (invalid [ ("families", Json.Arr []) ]);
+  Alcotest.(check bool) "negative latency cap" true
+    (invalid [ ("max_latency", Json.Num (-1.0)) ]);
+  Alcotest.(check bool) "zero area cap" true
+    (invalid [ ("max_area", Json.Num 0.0) ]);
+  (* NaN is unrepresentable in JSON: whether the reader rejects the
+     literal or the cap guard rejects the value, the frame must error. *)
+  Alcotest.(check bool) "NaN latency cap" true
+    (match
+       Protocol.parse_frame
+         {|{"id":0,"method":"explore","params":{"max_latency":nan}}|}
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* The store_stats method: [{"enabled": false}] on a cold session; live
+   (never memoised) counters on a store-backed one. *)
+let rec remove_tree path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun name -> remove_tree (Filename.concat path name))
+      (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let test_store_stats () =
+  with_session { Session.default_config with jobs = Some 1 } (fun session ->
+      let reply = Session.submit session (call_of "store_stats" []) in
+      match Json.member "enabled" reply with
+      | Some (Json.Bool false) -> ()
+      | _ ->
+        Alcotest.failf "cold session: expected enabled:false, got %s"
+          (Json.to_string reply));
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "optpower-test-serve-store.%d" (Unix.getpid ()))
+  in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let store = Power_core.Warm.open_store ~path:dir () in
+  if store = None then Alcotest.fail "cannot open the test store";
+  (* The session owns (and closes) the store handle. *)
+  with_session { Session.default_config with jobs = Some 1; store }
+  @@ fun session ->
+  let stats () = Session.submit session (call_of "store_stats" []) in
+  let num field reply =
+    match Json.member field reply with
+    | Some (Json.Num v) -> int_of_float v
+    | _ ->
+      Alcotest.failf "store_stats reply lacks %S: %s" field
+        (Json.to_string reply)
+  in
+  let before = stats () in
+  (match Json.member "enabled" before with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail "store-backed session must report enabled:true");
+  let solved =
+    Session.submit session (call_of "optimum" [ ("arch", Json.Str "RCA") ])
+  in
+  let after = stats () in
+  Alcotest.(check bool) "the solve wrote through to the store" true
+    (num "puts" after > num "puts" before);
+  (* Live counters: the session memo is on, so if store_stats were
+     cached the second reply would be a frozen copy of the first. *)
+  Alcotest.(check bool) "stats are never memoised" true
+    (num "entries" after >= num "entries" before
+    && not (Json.equal before after));
+  (* A warm replay through the same store (one-shot path, no session
+     memo involved) answers bitwise-identically to the cold solve. *)
+  Option.iter
+    (fun st ->
+      check_json "warm replay = cold solve" solved
+        (Engine.run_call ~store:st
+           (call_of "optimum" [ ("arch", Json.Str "RCA") ])))
+    store
 
 (* Wire JSON round-trips: 200 seeded random documents must survive
    print -> parse with every float64 bit intact. *)
@@ -507,6 +620,9 @@ let () =
         ] );
       ( "protocol",
         [
+          Alcotest.test_case "explore families and caps" `Quick
+            test_explore_params;
+          Alcotest.test_case "store_stats method" `Quick test_store_stats;
           Alcotest.test_case "200 seeded JSON round-trips" `Quick
             test_json_roundtrip;
           Alcotest.test_case "parser is total on fuzz input" `Quick
